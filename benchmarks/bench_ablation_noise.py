@@ -1,0 +1,76 @@
+"""Ablation (beyond the paper) — telemetry noise vs explanation quality.
+
+Our substrate exposes the observation-noise level of the metric catalogue
+(real collectors are noisy; the paper's Section 3 names noisy attributes
+as the first obstacle).  This bench sweeps the noise scale and measures
+single-model margin and predicate F1, showing the filtering/gap-filling
+pipeline degrades gracefully rather than collapsing.
+"""
+
+import numpy as np
+
+from _shared import SINGLE_THETA, pct, print_table
+from repro.core.causal import CausalModel
+from repro.core.generator import GeneratorConfig, PredicateGenerator
+from repro.eval.harness import rank_models, simulate_run
+from repro.eval.metrics import (
+    margin_of_confidence,
+    score_predicates_mean,
+    topk_contains,
+)
+from repro.anomalies.library import ANOMALY_CAUSES
+
+NOISE_SCALES = (0.5, 1.0, 2.0, 4.0)
+
+
+def run_experiment():
+    generator = PredicateGenerator(GeneratorConfig(theta=SINGLE_THETA))
+    results = {}
+    for noise in NOISE_SCALES:
+        runs = []
+        for i, key in enumerate(ANOMALY_CAUSES):
+            train = simulate_run(
+                key, 45, seed=9000 + i, noise_scale=noise
+            )
+            test = simulate_run(
+                key, 60, seed=9100 + i, noise_scale=noise
+            )
+            runs.append((train, test))
+        models = [
+            CausalModel(
+                cause, generator.generate(ds, spec).predicates
+            )
+            for (ds, spec, cause), _ in runs
+        ]
+        margins, f1s, top1 = [], [], []
+        for (train, test) in runs:
+            test_ds, test_spec, cause = test
+            scores = rank_models(models, test_ds, test_spec)
+            margins.append(margin_of_confidence(scores, cause))
+            top1.append(topk_contains(scores, cause, 1))
+            correct = next(m for m in models if m.cause == cause)
+            f1s.append(
+                score_predicates_mean(correct.predicates, test_ds, test_spec).f1
+            )
+        results[noise] = (
+            float(np.mean(margins)),
+            float(np.mean(f1s)),
+            float(np.mean(top1)),
+        )
+    return results
+
+
+def test_ablation_noise(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        (f"{noise:g}x", pct(margin), pct(f1), pct(top1))
+        for noise, (margin, f1, top1) in results.items()
+    ]
+    print_table(
+        "Ablation: telemetry noise scale vs diagnosis quality",
+        ["noise scale", "avg margin", "avg F1", "top-1"],
+        rows,
+    )
+    # graceful degradation: quadrupled noise still diagnoses most causes
+    assert results[1.0][2] >= 0.7
+    assert results[4.0][2] >= 0.4

@@ -1,0 +1,63 @@
+"""Figure 12a (Appendix D) — effect of the number of partitions R.
+
+Paper protocol: sweep R over {125, 250, 500, 1000, 2000}; report average
+merged-model confidence and total computation time.
+
+Paper result: confidence is nearly flat across R, while computation time
+grows steeply beyond R = 1000 — hence the default of 250.
+"""
+
+import time
+
+import numpy as np
+
+from _shared import MERGED_THETA, pct, print_table, suite
+from repro.core.generator import GeneratorConfig, PredicateGenerator
+from repro.eval.harness import build_merged_models, rank_models
+
+R_VALUES = (125, 250, 500, 1000, 2000)
+
+
+def run_experiment():
+    corpus = suite("tpcc")
+    results = {}
+    for n_partitions in R_VALUES:
+        config = GeneratorConfig(
+            theta=MERGED_THETA, n_partitions=n_partitions
+        )
+        started = time.perf_counter()
+        models = build_merged_models(
+            corpus,
+            {cause: (0, 1, 2) for cause in corpus},
+            theta=MERGED_THETA,
+            config=config,
+        )
+        confidences = []
+        for cause, runs in corpus.items():
+            run = runs[3]  # held-out dataset
+            scores = dict(
+                rank_models(models, run.dataset, run.spec, n_partitions)
+            )
+            confidences.append(scores[cause])
+        elapsed = time.perf_counter() - started
+        results[n_partitions] = (float(np.mean(confidences)), elapsed)
+    return results
+
+
+def test_fig12a_partitions(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        (f"R = {r}", pct(conf), f"{seconds:.1f}s")
+        for r, (conf, seconds) in results.items()
+    ]
+    print_table(
+        "Figure 12a: number of partitions vs confidence and compute time "
+        "(paper: confidence flat, time grows with R)",
+        ["partitions", "avg confidence of correct model", "compute time"],
+        rows,
+    )
+    confs = [c for c, _ in results.values()]
+    times = [t for _, t in results.values()]
+    # shape: confidence roughly flat; the largest R costs the most
+    assert max(confs) - min(confs) < 0.35
+    assert times[-1] >= times[0]

@@ -1,0 +1,73 @@
+"""Figure 13 (Appendix D) — sensitivity of the independence threshold κt.
+
+Paper protocol: on the synthetic SEM data of Appendix F, sweep κt over
+[0, 0.3] and report the average F1 of the pruning decision (pruned
+predicates = positives).
+
+Paper result: F1 peaks around κt = 0.15, the default.
+"""
+
+import numpy as np
+
+from _shared import pct, print_table
+from repro.core.generator import GeneratorConfig, PredicateGenerator
+from repro.core.knowledge import prune_secondary_symptoms
+from repro.synth.sem import sem_dataset
+
+KAPPAS = (0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30)
+N_TRIALS = 120
+
+
+def pruning_f1(kappa_t: float, trials) -> float:
+    f1s = []
+    for sd, predicates in trials:
+        rule_attrs = sd.should_prune | sd.should_keep
+        relevant = [p for p in predicates if p.attr in rule_attrs]
+        if not relevant:
+            continue
+        _, pruned = prune_secondary_symptoms(
+            predicates, sd.dataset, sd.rules, kappa_threshold=kappa_t
+        )
+        pruned_attrs = {p.attr for p in pruned}
+        tp = len(pruned_attrs & sd.should_prune)
+        fp = len(pruned_attrs & sd.should_keep)
+        fn = len(
+            {p.attr for p in relevant if p.attr in sd.should_prune}
+            - pruned_attrs
+        )
+        if tp + fp + fn == 0:
+            continue
+        precision = tp / (tp + fp) if tp + fp else 0.0
+        recall = tp / (tp + fn) if tp + fn else 0.0
+        if precision + recall:
+            f1s.append(2 * precision * recall / (precision + recall))
+        else:
+            f1s.append(0.0)
+    return float(np.mean(f1s)) if f1s else 0.0
+
+
+def run_experiment():
+    generator = PredicateGenerator(GeneratorConfig(theta=0.05))
+    trials = []
+    for seed in range(N_TRIALS):
+        sd = sem_dataset(seed=seed)
+        predicates = generator.generate(sd.dataset, sd.spec).predicates
+        trials.append((sd, predicates))
+    return {kappa: pruning_f1(kappa, trials) for kappa in KAPPAS}
+
+
+def test_fig13_kappa(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [(f"κt = {k:g}", pct(f1)) for k, f1 in results.items()]
+    print_table(
+        "Figure 13: independence threshold vs pruning F1 "
+        "(paper: best around κt = 0.15)",
+        ["threshold", "avg F1 of secondary-symptom pruning"],
+        rows,
+    )
+    best = max(results, key=results.get)
+    print(f"best threshold: {best:g} (paper: 0.15)")
+    # shape: an interior threshold beats both extremes
+    assert results[best] >= results[0.0]
+    assert results[best] >= results[0.30]
+    assert results[0.15] > 0.5

@@ -1,0 +1,92 @@
+"""Table 2 — effect of incorporating domain knowledge (Section 8.6).
+
+Paper protocol: single causal models (Section 8.3 setup) constructed with
+and without the four MySQL/Linux rules of Section 5; report top-1/top-2
+correct-cause accuracy.
+
+Paper result: 85.3 % / 94.8 % with domain knowledge vs 82.7 % / 93.2 %
+without — a modest but consistent gain, showing DBSherlock works well even
+with no rules at all.
+"""
+
+import numpy as np
+
+from _shared import SINGLE_THETA, pct, print_table, suite
+from repro.core.causal import CausalModel
+from repro.core.generator import GeneratorConfig, PredicateGenerator
+from repro.core.knowledge import MYSQL_LINUX_RULES, prune_secondary_symptoms
+from repro.eval.harness import rank_models
+from repro.eval.metrics import topk_contains
+
+PAPER = {
+    "With Domain Knowledge": (0.853, 0.948),
+    "Without Domain Knowledge": (0.827, 0.932),
+}
+
+
+def build_models(use_rules: bool):
+    generator = PredicateGenerator(GeneratorConfig(theta=SINGLE_THETA))
+    models = {}
+    for cause, runs in suite("tpcc").items():
+        cause_models = []
+        for run in runs:
+            predicates = generator.generate(run.dataset, run.spec).predicates
+            if use_rules:
+                predicates, _ = prune_secondary_symptoms(
+                    predicates, run.dataset, MYSQL_LINUX_RULES
+                )
+            cause_models.append(CausalModel(cause, predicates))
+        models[cause] = cause_models
+    return models
+
+
+def evaluate(models):
+    top1, top2 = [], []
+    corpus = suite("tpcc")
+    for cause, runs in corpus.items():
+        n_models = len(models[cause])
+        for model_idx in range(n_models):
+            competitors = [models[cause][model_idx]] + [
+                other[model_idx % len(other)]
+                for other_cause, other in models.items()
+                if other_cause != cause
+            ]
+            for test_idx, run in enumerate(runs):
+                if test_idx == model_idx:
+                    continue
+                scores = rank_models(competitors, run.dataset, run.spec)
+                top1.append(topk_contains(scores, cause, 1))
+                top2.append(topk_contains(scores, cause, 2))
+    return float(np.mean(top1)), float(np.mean(top2))
+
+
+def run_experiment():
+    return {
+        "With Domain Knowledge": evaluate(build_models(use_rules=True)),
+        "Without Domain Knowledge": evaluate(build_models(use_rules=False)),
+    }
+
+
+def test_tab2_domain_knowledge(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        (
+            setting,
+            pct(t1),
+            pct(PAPER[setting][0]),
+            pct(t2),
+            pct(PAPER[setting][1]),
+        )
+        for setting, (t1, t2) in results.items()
+    ]
+    print_table(
+        "Table 2: accuracy with/without domain knowledge",
+        ["setting", "top-1", "paper top-1", "top-2", "paper top-2"],
+        rows,
+    )
+    with_dk = results["With Domain Knowledge"]
+    without_dk = results["Without Domain Knowledge"]
+    # the paper's shape: domain knowledge helps slightly; the system is
+    # strong even without it (difference only 2-3 %)
+    assert with_dk[0] >= without_dk[0] - 0.02
+    assert without_dk[1] > 0.8

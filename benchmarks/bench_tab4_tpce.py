@@ -1,0 +1,54 @@
+"""Table 4 (Appendix A) — accuracy on TPC-C vs TPC-E.
+
+Paper protocol: the merged-model protocol of Section 8.5 repeated on a
+TPC-E workload (3 000 customers, ~50 GB); report top-1/top-2 correct-cause
+accuracy for both workloads.
+
+Paper result: TPC-C 98.0 % / 99.7 %; TPC-E 92.5 % / 99.6 %.  The top-1
+drop on TPC-E traces to 'Poor Physical Design' and 'Lock Contention':
+TPC-E is much more read-intensive, so write- and lock-surface anomalies
+move the system less.
+"""
+
+import numpy as np
+
+from _shared import evaluate_topk, merged_protocol_trials, pct, print_table
+
+PAPER = {"tpcc": (0.980, 0.997), "tpce": (0.925, 0.996)}
+
+
+def run_experiment():
+    results = {}
+    for workload in ("tpcc", "tpce"):
+        top1, top2 = [], []
+        for models, test_runs in merged_protocol_trials(
+            workload=workload, seed=17
+        ):
+            ratios = evaluate_topk(models, test_runs, ks=(1, 2))
+            top1.append(ratios[1])
+            top2.append(ratios[2])
+        results[workload] = (float(np.mean(top1)), float(np.mean(top2)))
+    return results
+
+
+def test_tab4_tpce(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        (
+            workload.upper(),
+            pct(t1),
+            pct(PAPER[workload][0]),
+            pct(t2),
+            pct(PAPER[workload][1]),
+        )
+        for workload, (t1, t2) in results.items()
+    ]
+    print_table(
+        "Table 4: TPC-C vs TPC-E accuracy (merged causal models)",
+        ["workload", "top-1", "paper top-1", "top-2", "paper top-2"],
+        rows,
+    )
+    # the paper's shape: both workloads diagnose well; TPC-E top-1 is the
+    # (slightly) weaker of the four cells
+    assert results["tpcc"][0] > 0.75
+    assert results["tpce"][1] >= results["tpce"][0]

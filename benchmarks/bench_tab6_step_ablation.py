@@ -1,0 +1,97 @@
+"""Table 6 (Appendix D) — contribution of Algorithm 1's individual steps.
+
+Paper protocol: re-run the single-model evaluation with variants of the
+predicate generator that skip Partition Filtering (Section 4.3), Filling
+the Gaps (Section 4.4), or both; report average margin of confidence and
+top-1 accuracy.
+
+Paper result: the full algorithm reaches 37.4 margin / 94.6 % accuracy;
+without gap filling 9.3 / 10.1 %; without filtering 0.7 / 0 %; without
+both, no relevant predicates are found at all (0 / 0 %).
+
+Reproduction delta: on real telemetry, noisy values interleave inside
+partitions so the crippled variants produce fragmented abnormal blocks
+and extract (almost) nothing — hence the paper's total accuracy collapse.
+Our simulator's labels are cleaner, so the crippled variants still
+extract a few hyper-specific predicates and retain accuracy; the step
+contribution shows up as the *margin of confidence* halving instead.
+"""
+
+import numpy as np
+
+from _shared import SINGLE_THETA, pct, print_table, suite
+from repro.core.causal import CausalModel
+from repro.core.generator import GeneratorConfig, PredicateGenerator
+from repro.eval.harness import rank_models
+from repro.eval.metrics import margin_of_confidence, topk_contains
+
+VARIANTS = {
+    "Original (all 5 steps)": dict(enable_filtering=True, enable_fill=True),
+    "Without Filling the Gaps": dict(enable_filtering=True, enable_fill=False),
+    "Without Partition Filtering": dict(enable_filtering=False, enable_fill=True),
+    "Without Both": dict(enable_filtering=False, enable_fill=False),
+}
+
+PAPER = {
+    "Original (all 5 steps)": (0.374, 0.946),
+    "Without Filling the Gaps": (0.093, 0.101),
+    "Without Partition Filtering": (0.007, 0.0),
+    "Without Both": (0.0, 0.0),
+}
+
+
+def evaluate_variant(**switches):
+    config = GeneratorConfig(theta=SINGLE_THETA, **switches)
+    generator = PredicateGenerator(config)
+    corpus = suite("tpcc")
+    models = {}
+    for cause, runs in corpus.items():
+        models[cause] = [
+            CausalModel(cause, generator.generate(r.dataset, r.spec).predicates)
+            for r in runs
+        ]
+    margins, top1 = [], []
+    for cause, runs in corpus.items():
+        for model_idx in range(len(models[cause])):
+            competitors = [models[cause][model_idx]] + [
+                other[model_idx % len(other)]
+                for other_cause, other in models.items()
+                if other_cause != cause
+            ]
+            for test_idx, run in enumerate(runs):
+                if test_idx == model_idx:
+                    continue
+                scores = rank_models(competitors, run.dataset, run.spec)
+                margins.append(margin_of_confidence(scores, cause))
+                top1.append(topk_contains(scores, cause, 1))
+    return float(np.mean(margins)), float(np.mean(top1))
+
+
+def run_experiment():
+    return {name: evaluate_variant(**sw) for name, sw in VARIANTS.items()}
+
+
+def test_tab6_step_ablation(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        (
+            name,
+            pct(margin),
+            pct(PAPER[name][0]),
+            pct(accuracy),
+            pct(PAPER[name][1]),
+        )
+        for name, (margin, accuracy) in results.items()
+    ]
+    print_table(
+        "Table 6: contribution of filtering / gap-filling steps",
+        ["variant", "avg margin", "paper", "top-1", "paper"],
+        rows,
+    )
+    full = results["Original (all 5 steps)"]
+    others = [m for name, (m, _) in results.items()
+              if name != "Original (all 5 steps)"]
+    # the reproducible shape (see module docstring): the full pipeline's
+    # margin of confidence dominates every crippled variant's
+    assert full[0] > max(others)
+    assert full[0] > 1.5 * min(others)

@@ -1,0 +1,94 @@
+"""Table 7 (Appendix E) — accuracy with automatic anomaly detection.
+
+Paper protocol: 10-minute normal runs (so the anomaly is well under 20 %
+of the data), merged causal models built from ground-truth regions, then
+the held-out dataset's abnormal region supplied by (i) the ground truth
+(a perfect user), (ii) DBSherlock's potential-power + DBSCAN detector
+(Section 7), or (iii) PerfAugur's naïve robust scan; report top-1/top-2
+correct-cause accuracy.
+
+Paper result: 94.6/99.1 manual, 90.0/95.5 automatic, 77.3/88.2 PerfAugur.
+Bench scale: 5-minute runs, 2 datasets per cause (train on suite models).
+"""
+
+import numpy as np
+
+from _shared import MERGED_THETA, pct, print_table, suite
+from repro.baselines.perfaugur import PerfAugur, PerfAugurConfig
+from repro.core.anomaly import AnomalyDetector
+from repro.eval.harness import build_merged_models, rank_models, simulate_run
+from repro.eval.metrics import topk_contains
+from repro.anomalies.library import ANOMALY_CAUSES
+
+PAPER = {
+    "Manual (ground truth)": (0.946, 0.991),
+    "Automatic (Section 7)": (0.900, 0.955),
+    "PerfAugur": (0.773, 0.882),
+}
+
+NORMAL_S = 300  # the paper uses 600 s; scaled for bench time
+
+
+def run_experiment():
+    # merged models from the standard 2-minute suite
+    corpus = suite("tpcc")
+    models = build_merged_models(
+        corpus, {cause: (0, 1, 2, 3) for cause in corpus}, theta=MERGED_THETA
+    )
+
+    # long-run test datasets, one per cause
+    long_runs = []
+    for i, key in enumerate(ANOMALY_CAUSES):
+        dataset, spec, cause = simulate_run(
+            key, duration_s=55, normal_s=NORMAL_S, seed=8000 + i
+        )
+        long_runs.append((dataset, spec, cause))
+
+    detector = AnomalyDetector()
+    perfaugur = PerfAugur(PerfAugurConfig(step=2))
+
+    results = {}
+    for mode in PAPER:
+        top1, top2 = [], []
+        for dataset, truth, cause in long_runs:
+            if mode == "Manual (ground truth)":
+                spec = truth
+            elif mode == "Automatic (Section 7)":
+                detection = detector.detect(dataset)
+                if not detection.found:
+                    top1.append(False)
+                    top2.append(False)
+                    continue
+                spec = detection.to_region_spec()
+            else:
+                spec = perfaugur.detect(dataset)
+            scores = rank_models(models, dataset, spec)
+            top1.append(topk_contains(scores, cause, 1))
+            top2.append(topk_contains(scores, cause, 2))
+        results[mode] = (float(np.mean(top1)), float(np.mean(top2)))
+    return results
+
+
+def test_tab7_auto_detection(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        (
+            mode,
+            pct(t1),
+            pct(PAPER[mode][0]),
+            pct(t2),
+            pct(PAPER[mode][1]),
+        )
+        for mode, (t1, t2) in results.items()
+    ]
+    print_table(
+        "Table 7: manual vs automatic vs PerfAugur anomaly detection",
+        ["detection", "top-1", "paper top-1", "top-2", "paper top-2"],
+        rows,
+    )
+    manual = results["Manual (ground truth)"]
+    automatic = results["Automatic (Section 7)"]
+    perfaugur = results["PerfAugur"]
+    # the paper's ordering: manual >= automatic >= PerfAugur
+    assert manual[1] >= automatic[1] - 0.10
+    assert automatic[1] >= perfaugur[1] - 0.10

@@ -1,0 +1,12 @@
+"""Pytest configuration for the reproduction benches.
+
+``pytest benchmarks/ --benchmark-only`` runs every experiment and prints
+the paper-vs-measured tables; pytest-benchmark additionally records each
+experiment's wall-clock time.
+"""
+
+import sys
+from pathlib import Path
+
+# allow `import _shared` from bench modules regardless of rootdir
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Closed-loop auto-remediation: the paper's Section 10 future work, live.
+
+Trains causal models for two root causes, then runs the online loop
+against the simulator: a CPU saturation strikes at t=60; the loop detects
+it, diagnoses it with high confidence, kills the offending external
+processes, and latency recovers.  A second incident shows the action
+journal suggesting the previously successful fix.
+
+Run:  python examples/auto_remediation.py
+"""
+
+from repro import DBSherlock, GeneratorConfig
+from repro.actions import AutoRemediator, RemediationLoop
+from repro.anomalies import make_anomaly
+from repro.anomalies.base import ScheduledAnomaly
+from repro.eval.harness import simulate_run
+from repro.viz import sparkline
+from repro.workload import tpcc_workload
+
+
+def main() -> None:
+    # 1. Accumulate causal models from past (hand-diagnosed) incidents.
+    sherlock = DBSherlock(config=GeneratorConfig(theta=0.05))
+    for key, seed in (
+        ("cpu_saturation", 401), ("cpu_saturation", 402),
+        ("io_saturation", 411), ("io_saturation", 412),
+    ):
+        dataset, regions, cause = simulate_run(key, 50, seed=seed)
+        sherlock.feedback(cause, sherlock.explain(dataset, regions))
+    print(f"trained causal models: {sherlock.store.causes}\n")
+
+    # 2. Engage the closed loop; the anomaly would last forever untreated.
+    remediator = AutoRemediator(sherlock.store, confidence_threshold=0.5)
+    loop = RemediationLoop(tpcc_workload(), remediator, check_every_s=5)
+
+    for trial in (1, 2):
+        anomaly = ScheduledAnomaly(
+            make_anomaly("cpu_saturation", intensity=1.0), 60.0, 10_000.0
+        )
+        result = loop.run(180, [anomaly], seed=500 + trial)
+        latency = result.dataset.column("txn.avg_latency_ms")
+        print(f"--- incident {trial} ---")
+        print(f"latency: {sparkline(latency, width=60)}")
+        print(f"baseline latency: {result.baseline_latency_ms:.1f} ms")
+        print(f"detected at t={result.detected_at:g}s, diagnosed "
+              f"{result.diagnosed_cause!r} "
+              f"(confidence {result.diagnosis_confidence:.0%})")
+        print(f"action: {result.action_name} at t={result.action_applied_at:g}s")
+        print(f"recovered at t={result.recovered_at:g}s "
+              f"({result.time_to_recovery:.0f}s after detection)\n")
+
+    # 3. The journal remembers what worked.
+    print("action journal:")
+    for record in remediator.journal:
+        print(f"  {record}")
+    print(f"suggested action for a future 'CPU Saturation': "
+          f"{remediator.journal.suggest('CPU Saturation')!r}")
+
+
+if __name__ == "__main__":
+    main()

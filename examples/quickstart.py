@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: diagnose a single performance anomaly.
+
+Simulates two minutes of TPC-C activity with a 40-second CPU saturation
+(a stress-ng style external CPU hog), marks the anomalous window the way a
+DBA would on DBSherlock's latency plot, and asks for an explanation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DBSherlock, MYSQL_LINUX_RULES, simulate_run
+
+
+def main() -> None:
+    # 1. Telemetry: ~190 OS/DBMS/transaction attributes at 1 s intervals.
+    dataset, regions, true_cause = simulate_run(
+        "cpu_saturation", duration_s=40, workload="tpcc", seed=7
+    )
+    print(f"collected {dataset.n_rows} seconds of telemetry "
+          f"({len(dataset.attributes)} attributes)")
+    print(f"ground-truth cause: {true_cause}")
+    print(f"user-marked abnormal region: {regions.abnormal[0]}\n")
+
+    # 2. Explain the anomaly with domain knowledge enabled.
+    sherlock = DBSherlock(rules=MYSQL_LINUX_RULES)
+    explanation = sherlock.explain(dataset, regions)
+
+    print(f"DBSherlock generated {len(explanation.predicates)} predicates:")
+    for predicate in explanation.predicates:
+        print(f"  {predicate}")
+    if explanation.pruned:
+        print("\npruned as secondary symptoms:")
+        for predicate in explanation.pruned:
+            print(f"  {predicate}")
+
+    # 3. The DBA diagnoses the root cause and teaches DBSherlock.
+    model = sherlock.feedback(true_cause, explanation)
+    print(f"\nstored causal model: {model.cause} "
+          f"({len(model.predicates)} effect predicates)")
+
+    # 4. Next time the same problem strikes, DBSherlock names the cause.
+    dataset2, regions2, _ = simulate_run(
+        "cpu_saturation", duration_s=60, workload="tpcc", seed=99
+    )
+    explanation2 = sherlock.explain(dataset2, regions2)
+    print("\nsecond incident — ranked causes:")
+    for cause, confidence in explanation2.all_cause_scores:
+        print(f"  {cause}: confidence {confidence:.1%}")
+
+
+if __name__ == "__main__":
+    main()

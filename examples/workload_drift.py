@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Workload drift: the gradual-onset anomaly the paper leaves as future work.
+
+Simulates four minutes of TPC-C where, from t=120, the request rate creeps
+up and an analytical scan pattern slowly grows (no step change anywhere).
+Shows (i) how the gradual onset challenges the median-window detector,
+(ii) that DBSherlock still explains the drift once the region is marked,
+and (iii) the ASCII plotting of the drifting telemetry.
+
+Run:  python examples/workload_drift.py
+"""
+
+from repro import DBSherlock
+from repro.anomalies import WorkloadDrift
+from repro.anomalies.base import ScheduledAnomaly
+from repro.engine import simulate_telemetry
+from repro.viz import plot_series, sparkline
+from repro.workload import tpcc_workload
+
+
+def main() -> None:
+    drift = WorkloadDrift(tps_growth=2.5, scan_growth_rows=2e6, ramp_s=60.0)
+    dataset, regions = simulate_telemetry(
+        tpcc_workload(),
+        duration_s=240,
+        anomalies=[ScheduledAnomaly(drift, 120.0, 240.0)],
+        seed=42,
+        name="tpcc/workload-drift",
+    )
+
+    print(plot_series(dataset, "txn.throughput_tps", regions, height=8))
+    print()
+    scans = dataset.column("mysql.handler_read_rnd_next")
+    print(f"scan counter: {sparkline(scans, width=60)}")
+    print()
+
+    sherlock = DBSherlock()
+
+    # (i) the automatic detector struggles with gradual onsets
+    detection = sherlock.detect(dataset)
+    truth = regions.abnormal[0]
+    print(f"true drift window: t = {truth.start:g} .. {truth.end:g}")
+    if detection.found:
+        for region in detection.regions:
+            print(f"detector found:    t = {region.start:g} .. {region.end:g}")
+        boundary_error = abs(detection.regions[0].start - truth.start)
+        print(f"onset boundary error: {boundary_error:.0f}s "
+              "(gradual ramps blur the median-window statistic)")
+    else:
+        print("detector found:    nothing — the ramp never looks like a step")
+
+    # (ii) with the region marked (e.g. by a capacity review), the drift
+    # explains cleanly
+    explanation = sherlock.explain(dataset, regions)
+    print(f"\npredicates for the marked drift window "
+          f"({len(explanation.predicates)}):")
+    for predicate in list(explanation.predicates)[:10]:
+        print(f"  {predicate}")
+
+
+if __name__ == "__main__":
+    main()

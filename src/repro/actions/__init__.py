@@ -1,0 +1,53 @@
+"""Automatic remediation — the paper's Section 10 future work, realised.
+
+    "An important future work is to enable automatic actions for
+    rectifying simple forms of performance anomaly (e.g., throttling
+    certain tenants or triggering a migration), once they are detected
+    and diagnosed with high confidence.  We also plan to extend
+    DBSherlock to [...] documenting and storing the actions taken by the
+    DBA to use as a suggestion for future occurrences of the same
+    anomaly."
+
+This package provides both: a library of remediation actions mapped to
+the Table 1 root causes, a confidence-gated policy that fires them, an
+action journal that records what was done and whether it worked, and an
+online loop that closes the detect → diagnose → remediate cycle against
+the simulator.
+"""
+
+from repro.actions.base import RemediationAction
+from repro.actions.library import (
+    DEFAULT_POLICY_TABLE,
+    DeferBackup,
+    DropUnusedIndex,
+    EnableAdaptiveFlushing,
+    KillRogueQuery,
+    PauseBulkLoad,
+    RerouteNetwork,
+    SpreadHotKeys,
+    StopExternalProcesses,
+    ThrottleWorkload,
+)
+from repro.actions.journal import ActionJournal, ActionRecord
+from repro.actions.policy import AutoRemediator, RemediationPolicy
+from repro.actions.loop import RemediationLoop, LoopResult
+
+__all__ = [
+    "RemediationAction",
+    "ThrottleWorkload",
+    "KillRogueQuery",
+    "DeferBackup",
+    "PauseBulkLoad",
+    "StopExternalProcesses",
+    "SpreadHotKeys",
+    "EnableAdaptiveFlushing",
+    "RerouteNetwork",
+    "DropUnusedIndex",
+    "DEFAULT_POLICY_TABLE",
+    "RemediationPolicy",
+    "AutoRemediator",
+    "ActionJournal",
+    "ActionRecord",
+    "RemediationLoop",
+    "LoopResult",
+]

@@ -1,0 +1,43 @@
+"""Remediation action interface.
+
+An action models what a DBA (or an automated controller) does to the
+system: kill a rogue query, throttle tenants, reschedule a backup.  In
+the simulator this is a *transformation of the tick modifiers* — the
+combined anomaly perturbations pass through every active action before
+reaching the server, so an action can cancel, cap, or dampen the exact
+causal pathway it targets.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.engine.server import TickModifiers
+
+__all__ = ["RemediationAction"]
+
+
+class RemediationAction(abc.ABC):
+    """Base class for all remediation actions.
+
+    Attributes
+    ----------
+    name:
+        Short imperative label ("kill rogue query").
+    target_cause:
+        The Table 1 cause label this action is designed to rectify.
+    """
+
+    name: str = "no-op"
+    target_cause: str = ""
+
+    @abc.abstractmethod
+    def transform(self, modifiers: TickModifiers) -> TickModifiers:
+        """Rewrite the tick's combined modifiers as if the action ran."""
+
+    def describe(self) -> str:
+        """Human-readable action description for journals and logs."""
+        return f"{self.name} (targets: {self.target_cause or 'any'})"
+
+    def __str__(self) -> str:
+        return self.name

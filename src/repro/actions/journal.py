@@ -1,0 +1,90 @@
+"""Action journal: remembering what the DBA did and whether it worked.
+
+The paper's second future-work item: store the actions taken after each
+diagnosis and surface them as suggestions when the same cause recurs.
+Records carry a simple outcome measure — latency before the action vs
+after it settled — so suggestions rank by demonstrated effectiveness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["ActionRecord", "ActionJournal"]
+
+
+@dataclass(frozen=True)
+class ActionRecord:
+    """One remediation applied to one diagnosed incident."""
+
+    cause: str
+    action_name: str
+    applied_at: float
+    latency_before_ms: float
+    latency_after_ms: float
+    note: str = ""
+
+    @property
+    def improvement(self) -> float:
+        """Fractional latency reduction; negative when the action hurt."""
+        if self.latency_before_ms <= 0:
+            return 0.0
+        return 1.0 - self.latency_after_ms / self.latency_before_ms
+
+    @property
+    def succeeded(self) -> bool:
+        """A record counts as a success above 20 % latency reduction."""
+        return self.improvement > 0.2
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.cause}] {self.action_name}: "
+            f"{self.latency_before_ms:.1f}ms -> {self.latency_after_ms:.1f}ms "
+            f"({self.improvement:+.0%})"
+        )
+
+
+class ActionJournal:
+    """Append-only store of remediation outcomes, queried per cause."""
+
+    def __init__(self) -> None:
+        self._records: List[ActionRecord] = []
+
+    def record(self, record: ActionRecord) -> None:
+        """Append one outcome."""
+        self._records.append(record)
+
+    def records_for(self, cause: str) -> List[ActionRecord]:
+        """All records for a cause, newest last."""
+        return [r for r in self._records if r.cause == cause]
+
+    def suggest(self, cause: str) -> Optional[str]:
+        """The most effective action previously taken for *cause*.
+
+        Ranks candidate actions by mean latency improvement over their
+        recorded applications; returns ``None`` for never-seen causes.
+        """
+        by_action: Dict[str, List[float]] = {}
+        for record in self.records_for(cause):
+            by_action.setdefault(record.action_name, []).append(
+                record.improvement
+            )
+        if not by_action:
+            return None
+        return max(
+            by_action, key=lambda a: sum(by_action[a]) / len(by_action[a])
+        )
+
+    def success_rate(self, cause: str) -> float:
+        """Fraction of recorded actions for *cause* that succeeded."""
+        records = self.records_for(cause)
+        if not records:
+            return 0.0
+        return sum(r.succeeded for r in records) / len(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)

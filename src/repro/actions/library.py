@@ -1,0 +1,179 @@
+"""Remediation actions for the ten Table 1 root causes.
+
+Each action neutralises the causal pathway of its target anomaly the way
+a DBA would on the real system:
+
+===========================  =========================================
+Root cause                    Action (real-world analogue)
+===========================  =========================================
+Workload Spike                admission control / tenant throttling
+Poorly Written Query          kill the rogue query
+Database Backup               reschedule mysqldump off-peak
+Table Restore                 pause / rate-limit the bulk load
+CPU & I/O Saturation          stop the offending external processes
+Lock Contention               spread the hot keys (re-partition)
+Flush Log/Table               re-enable adaptive flushing
+Network Congestion            fail over to a healthy route
+Poor Physical Design          drop the unnecessary index
+===========================  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Type
+
+from repro.actions.base import RemediationAction
+from repro.engine.server import TickModifiers
+
+__all__ = [
+    "ThrottleWorkload",
+    "KillRogueQuery",
+    "DeferBackup",
+    "PauseBulkLoad",
+    "StopExternalProcesses",
+    "SpreadHotKeys",
+    "EnableAdaptiveFlushing",
+    "RerouteNetwork",
+    "DropUnusedIndex",
+    "DEFAULT_POLICY_TABLE",
+]
+
+
+class ThrottleWorkload(RemediationAction):
+    """Admission control: cap the surge at a multiple of the normal rate."""
+
+    name = "throttle workload"
+    target_cause = "Workload Spike"
+
+    def __init__(self, cap_multiplier: float = 1.2):
+        self.cap_multiplier = cap_multiplier
+
+    def transform(self, modifiers: TickModifiers) -> TickModifiers:
+        return replace(
+            modifiers,
+            tps_multiplier=min(modifiers.tps_multiplier, self.cap_multiplier),
+            added_terminals=0,
+        )
+
+
+class KillRogueQuery(RemediationAction):
+    """KILL the long-running JOIN; its scan stream stops immediately."""
+
+    name = "kill rogue query"
+    target_cause = "Poorly Written Query"
+
+    def transform(self, modifiers: TickModifiers) -> TickModifiers:
+        return replace(modifiers, scan_cpu_cores=0.0, scan_rows_per_s=0.0)
+
+
+class DeferBackup(RemediationAction):
+    """Stop mysqldump and reschedule it to an off-peak window."""
+
+    name = "defer backup"
+    target_cause = "Database Backup"
+
+    def transform(self, modifiers: TickModifiers) -> TickModifiers:
+        return replace(
+            modifiers, dump_read_mb=0.0, dump_net_mb=0.0, buffer_miss_boost=0.0
+        )
+
+
+class PauseBulkLoad(RemediationAction):
+    """Pause the table restore (or rate-limit it to a trickle)."""
+
+    name = "pause bulk load"
+    target_cause = "Table Restore"
+
+    def __init__(self, trickle_fraction: float = 0.05):
+        self.trickle_fraction = trickle_fraction
+
+    def transform(self, modifiers: TickModifiers) -> TickModifiers:
+        return replace(
+            modifiers,
+            bulk_insert_rows=modifiers.bulk_insert_rows * self.trickle_fraction,
+        )
+
+
+class StopExternalProcesses(RemediationAction):
+    """Kill the stress-ng style resource hogs competing with the DBMS."""
+
+    name = "stop external processes"
+    target_cause = "CPU Saturation"  # also effective for I/O Saturation
+
+    def transform(self, modifiers: TickModifiers) -> TickModifiers:
+        return replace(
+            modifiers,
+            external_cpu_cores=0.0,
+            external_disk_ops=0.0,
+            external_net_mb=0.0,
+            external_mem_mb=0.0,
+        )
+
+
+class SpreadHotKeys(RemediationAction):
+    """Re-partition the hot district across warehouses (a migration)."""
+
+    name = "spread hot keys"
+    target_cause = "Lock Contention"
+
+    def transform(self, modifiers: TickModifiers) -> TickModifiers:
+        return replace(modifiers, hot_fraction_override=None)
+
+
+class EnableAdaptiveFlushing(RemediationAction):
+    """Turn adaptive flushing back on: storms smooth into the background."""
+
+    name = "enable adaptive flushing"
+    target_cause = "Flush Log/Table"
+
+    def __init__(self, damping: float = 0.1):
+        self.damping = damping
+
+    def transform(self, modifiers: TickModifiers) -> TickModifiers:
+        return replace(
+            modifiers, flush_pages=modifiers.flush_pages * self.damping
+        )
+
+
+class RerouteNetwork(RemediationAction):
+    """Fail traffic over to a healthy route past the bad router."""
+
+    name = "reroute network"
+    target_cause = "Network Congestion"
+
+    def __init__(self, residual_delay_ms: float = 5.0):
+        self.residual_delay_ms = residual_delay_ms
+
+    def transform(self, modifiers: TickModifiers) -> TickModifiers:
+        return replace(
+            modifiers,
+            network_delay_ms=min(
+                modifiers.network_delay_ms, self.residual_delay_ms
+            ),
+        )
+
+
+class DropUnusedIndex(RemediationAction):
+    """Drop the unnecessary index; write amplification returns to normal."""
+
+    name = "drop unused index"
+    target_cause = "Poor Physical Design"
+
+    def transform(self, modifiers: TickModifiers) -> TickModifiers:
+        return replace(modifiers, write_amplification=1.0, scan_cpu_cores=0.0)
+
+
+#: Default cause → action factory mapping used by RemediationPolicy.
+DEFAULT_POLICY_TABLE: Dict[str, Type[RemediationAction]] = {
+    "Workload Spike": ThrottleWorkload,
+    "Poorly Written Query": KillRogueQuery,
+    "Database Backup": DeferBackup,
+    "Table Restore": PauseBulkLoad,
+    "CPU Saturation": StopExternalProcesses,
+    "I/O Saturation": StopExternalProcesses,
+    "Lock Contention": SpreadHotKeys,
+    "Flush Log/Table": EnableAdaptiveFlushing,
+    "Network Congestion": RerouteNetwork,
+    "Poor Physical Design": DropUnusedIndex,
+}

@@ -1,0 +1,210 @@
+"""The closed remediation loop: detect → diagnose → act → verify.
+
+Drives the simulator tick by tick.  A sliding window of recent telemetry
+feeds the Section 7 detector every ``check_every_s`` seconds; when an
+abnormal window is found, the :class:`AutoRemediator` diagnoses it and —
+if a cause clears the confidence gate — applies the mapped action from
+the next tick onward.  The loop records time-to-detection,
+time-to-recovery (latency back within ``recovery_factor`` of baseline),
+and writes the outcome into the action journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.actions.base import RemediationAction
+from repro.actions.journal import ActionRecord
+from repro.actions.policy import AutoRemediator
+from repro.anomalies.base import ScheduledAnomaly
+from repro.core.anomaly import AnomalyDetector
+from repro.data.dataset import Dataset
+from repro.data.regions import RegionSpec
+from repro.engine.metrics import MetricCatalog
+from repro.engine.server import DatabaseServer, TickModifiers
+from repro.workload.spec import WorkloadSpec
+
+__all__ = ["RemediationLoop", "LoopResult"]
+
+
+@dataclass
+class LoopResult:
+    """Outcome of one closed-loop simulation."""
+
+    dataset: Dataset
+    baseline_latency_ms: float
+    detected_at: Optional[float] = None
+    diagnosed_cause: Optional[str] = None
+    diagnosis_confidence: float = 0.0
+    action_name: Optional[str] = None
+    action_applied_at: Optional[float] = None
+    recovered_at: Optional[float] = None
+
+    @property
+    def time_to_recovery(self) -> Optional[float]:
+        """Seconds from anomaly detection to latency recovery."""
+        if self.detected_at is None or self.recovered_at is None:
+            return None
+        return self.recovered_at - self.detected_at
+
+
+class RemediationLoop:
+    """Online detect-diagnose-remediate simulation."""
+
+    def __init__(
+        self,
+        workload: WorkloadSpec,
+        remediator: AutoRemediator,
+        detector: Optional[AnomalyDetector] = None,
+        check_every_s: int = 10,
+        window_s: int = 120,
+        recovery_factor: float = 1.5,
+    ) -> None:
+        self.workload = workload
+        self.remediator = remediator
+        self.detector = detector or AnomalyDetector(
+            cluster_fraction=0.45, min_region_s=4.0
+        )
+        self.check_every_s = check_every_s
+        self.window_s = window_s
+        self.recovery_factor = recovery_factor
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        duration_s: int,
+        anomalies: List[ScheduledAnomaly],
+        seed: Optional[int] = None,
+        baseline_s: int = 30,
+    ) -> LoopResult:
+        """Simulate ``duration_s`` seconds with the loop engaged.
+
+        The first ``baseline_s`` seconds establish the reference latency;
+        detection is suppressed during that period.
+        """
+        rng = np.random.default_rng(seed)
+        server = DatabaseServer(self.workload)
+        catalog = MetricCatalog(self.workload.type_names)
+
+        timestamps: List[float] = []
+        numeric: Dict[str, List[float]] = {
+            n: [] for n in catalog.numeric_names
+        }
+        categorical: Dict[str, List[str]] = {
+            n: [] for n in catalog.categorical_names
+        }
+        latencies: List[float] = []
+
+        active_action: Optional[RemediationAction] = None
+        result: Optional[LoopResult] = None
+        baseline_latency = 0.0
+        detected_at: Optional[float] = None
+        diagnosed: Optional[str] = None
+        confidence = 0.0
+        action_applied_at: Optional[float] = None
+        recovered_at: Optional[float] = None
+        latency_at_detection = 0.0
+
+        for second in range(duration_s):
+            t = float(second)
+            modifiers = TickModifiers()
+            for anomaly in anomalies:
+                modifiers = modifiers.combine(anomaly.modifiers(t, rng))
+            if active_action is not None:
+                modifiers = active_action.transform(modifiers)
+
+            state = server.tick(t, modifiers, rng)
+            latencies.append(state.avg_latency_ms)
+            timestamps.append(t)
+            for attr, value in catalog.emit_numeric(state, rng).items():
+                numeric[attr].append(value)
+            for attr, value in catalog.emit_categorical(state).items():
+                categorical[attr].append(value)
+
+            if second == baseline_s - 1:
+                baseline_latency = float(np.mean(latencies))
+
+            ready = second >= baseline_s and second % self.check_every_s == 0
+            if ready and active_action is None:
+                window = self._window_dataset(
+                    timestamps, numeric, categorical
+                )
+                detection = self.detector.detect(window)
+                if detection.found:
+                    spec = detection.to_region_spec()
+                    cause, action, conf = self.remediator.decide(window, spec)
+                    # only latch a *confident* diagnosis; spurious detector
+                    # blips on normal telemetry stay in monitoring mode
+                    if cause is not None:
+                        detected_at = t
+                        latency_at_detection = state.avg_latency_ms
+                        diagnosed = cause
+                        confidence = conf
+                        if action is not None:
+                            active_action = action
+                            action_applied_at = t
+
+            if (
+                detected_at is not None
+                and recovered_at is None
+                and second > (action_applied_at or detected_at)
+                and state.avg_latency_ms
+                <= baseline_latency * self.recovery_factor
+            ):
+                recovered_at = t
+
+        dataset = Dataset(
+            timestamps,
+            numeric=numeric,
+            categorical=categorical,
+            name=f"{self.workload.name}/remediation-loop",
+        )
+        result = LoopResult(
+            dataset=dataset,
+            baseline_latency_ms=baseline_latency,
+            detected_at=detected_at,
+            diagnosed_cause=diagnosed,
+            diagnosis_confidence=confidence,
+            action_name=active_action.name if active_action else None,
+            action_applied_at=action_applied_at,
+            recovered_at=recovered_at,
+        )
+        self._journal(result, latency_at_detection, latencies)
+        return result
+
+    # ------------------------------------------------------------------
+    def _window_dataset(self, timestamps, numeric, categorical) -> Dataset:
+        """The trailing telemetry window the online detector sees."""
+        start = max(len(timestamps) - self.window_s, 0)
+        return Dataset(
+            timestamps[start:],
+            numeric={a: np.asarray(v[start:]) for a, v in numeric.items()},
+            categorical={
+                a: np.asarray(v[start:], dtype=object)
+                for a, v in categorical.items()
+            },
+            name="window",
+        )
+
+    def _journal(
+        self,
+        result: LoopResult,
+        latency_at_detection: float,
+        latencies: List[float],
+    ) -> None:
+        """Record the action's outcome for future suggestions."""
+        if result.action_name is None or result.diagnosed_cause is None:
+            return
+        settled = float(np.mean(latencies[-10:]))
+        self.remediator.journal.record(
+            ActionRecord(
+                cause=result.diagnosed_cause,
+                action_name=result.action_name,
+                applied_at=result.action_applied_at or 0.0,
+                latency_before_ms=latency_at_detection,
+                latency_after_ms=settled,
+            )
+        )

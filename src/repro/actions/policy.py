@@ -1,0 +1,104 @@
+"""Confidence-gated remediation policy.
+
+The paper insists automatic actions fire only "once [anomalies] are
+detected and diagnosed with high confidence".  ``AutoRemediator`` wraps a
+DBSherlock causal-model store: given a diagnosed anomaly it returns an
+action only when the top cause's confidence clears a (strict) threshold,
+consulting the journal first so demonstrated-effective actions win over
+the static policy table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Type
+
+from repro.actions.base import RemediationAction
+from repro.actions.journal import ActionJournal
+from repro.actions.library import DEFAULT_POLICY_TABLE
+from repro.core.causal import CausalModelStore
+from repro.data.dataset import Dataset
+from repro.data.regions import RegionSpec
+
+__all__ = ["RemediationPolicy", "AutoRemediator"]
+
+DEFAULT_ACTION_CONFIDENCE = 0.6
+
+
+class RemediationPolicy:
+    """Static cause → action mapping (the DBA's runbook)."""
+
+    def __init__(
+        self,
+        table: Optional[Dict[str, Type[RemediationAction]]] = None,
+    ) -> None:
+        self.table = dict(table if table is not None else DEFAULT_POLICY_TABLE)
+
+    def action_for(self, cause: str) -> Optional[RemediationAction]:
+        """Instantiate the runbook action for *cause*, if any."""
+        factory = self.table.get(cause)
+        return factory() if factory else None
+
+    def causes(self):
+        """Causes the runbook covers."""
+        return list(self.table)
+
+
+class AutoRemediator:
+    """Closed-loop remediation gated on diagnosis confidence.
+
+    Parameters
+    ----------
+    store:
+        The causal models accumulated from past DBA diagnoses.
+    policy:
+        Runbook mapping causes to actions.
+    journal:
+        Outcome history; effective past actions take precedence.
+    confidence_threshold:
+        Minimum top-cause confidence before any action fires — far above
+        the λ=0.2 display threshold, per the paper's "high confidence".
+    """
+
+    def __init__(
+        self,
+        store: CausalModelStore,
+        policy: Optional[RemediationPolicy] = None,
+        journal: Optional[ActionJournal] = None,
+        confidence_threshold: float = DEFAULT_ACTION_CONFIDENCE,
+    ) -> None:
+        self.store = store
+        self.policy = policy or RemediationPolicy()
+        self.journal = journal or ActionJournal()
+        self.confidence_threshold = confidence_threshold
+
+    def decide(
+        self, dataset: Dataset, spec: RegionSpec
+    ) -> Tuple[Optional[str], Optional[RemediationAction], float]:
+        """Diagnose and pick an action.
+
+        Returns ``(cause, action, confidence)``; cause/action are ``None``
+        when no model clears the confidence gate (the safe default: do
+        nothing and page a human).
+        """
+        ranking = self.store.rank(dataset, spec)
+        if not ranking:
+            return None, None, 0.0
+        cause, confidence = ranking[0]
+        if confidence < self.confidence_threshold:
+            return None, None, confidence
+        action = self._action_from_journal(cause) or self.policy.action_for(
+            cause
+        )
+        return cause, action, confidence
+
+    def _action_from_journal(
+        self, cause: str
+    ) -> Optional[RemediationAction]:
+        """Re-instantiate the journal's best past action, when it maps."""
+        suggestion = self.journal.suggest(cause)
+        if suggestion is None:
+            return None
+        for factory in self.policy.table.values():
+            if factory().name == suggestion:
+                return factory()
+        return None

@@ -1,0 +1,18 @@
+"""Anomaly injectors: the 10 root causes of Table 1, plus compounds."""
+
+from repro.anomalies.base import AnomalyInjector, ScheduledAnomaly
+from repro.anomalies.library import (
+    ANOMALY_CAUSES,
+    CompoundAnomaly,
+    WorkloadDrift,
+    make_anomaly,
+)
+
+__all__ = [
+    "AnomalyInjector",
+    "ScheduledAnomaly",
+    "ANOMALY_CAUSES",
+    "CompoundAnomaly",
+    "WorkloadDrift",
+    "make_anomaly",
+]

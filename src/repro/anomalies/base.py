@@ -1,0 +1,73 @@
+"""Anomaly injection interface.
+
+An injector owns a *cause label* (what the DBA would eventually diagnose)
+and produces :class:`~repro.engine.server.TickModifiers` for the seconds
+in which it is active.  The collector composes the modifiers of all active
+injectors, which is how compound situations (Section 8.7) arise.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.regions import Region, RegionSpec
+from repro.engine.server import TickModifiers
+
+__all__ = ["AnomalyInjector", "ScheduledAnomaly"]
+
+
+class AnomalyInjector(abc.ABC):
+    """Base class for all root-cause injectors."""
+
+    #: Human-readable cause label (matches Table 1 naming).
+    cause: str = "unknown"
+
+    @abc.abstractmethod
+    def modifiers(self, t: float, rng: np.random.Generator) -> TickModifiers:
+        """The perturbation this anomaly applies at second *t* when active."""
+
+    def __str__(self) -> str:
+        return self.cause
+
+
+@dataclass
+class ScheduledAnomaly:
+    """An injector bound to an activity window ``[start, end)``."""
+
+    injector: AnomalyInjector
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("anomaly window must have positive length")
+
+    @property
+    def cause(self) -> str:
+        """The underlying injector's cause label."""
+        return self.injector.cause
+
+    def active(self, t: float) -> bool:
+        """True when second *t* falls inside the window."""
+        return self.start <= t < self.end
+
+    def modifiers(self, t: float, rng: np.random.Generator) -> TickModifiers:
+        """Modifiers at *t* (identity when inactive)."""
+        if not self.active(t):
+            return TickModifiers()
+        return self.injector.modifiers(t, rng)
+
+    def ground_truth_region(self) -> Region:
+        """The true abnormal interval (used as the 'perfect user' marking)."""
+        return Region(self.start, self.end - 1.0)
+
+
+def ground_truth_spec(anomalies: List[ScheduledAnomaly]) -> RegionSpec:
+    """Region spec marking every scheduled window as abnormal."""
+    return RegionSpec(
+        abnormal=[a.ground_truth_region() for a in anomalies], normal=None
+    )

@@ -1,0 +1,6 @@
+"""Baselines the paper compares against: PerfXplain and PerfAugur."""
+
+from repro.baselines.perfxplain import PerfXplain, PerfXplainConfig
+from repro.baselines.perfaugur import PerfAugur, PerfAugurConfig
+
+__all__ = ["PerfXplain", "PerfXplainConfig", "PerfAugur", "PerfAugurConfig"]

@@ -1,0 +1,193 @@
+"""Command-line interface: simulate, detect, explain, diagnose.
+
+A thin operational wrapper around the library, in the spirit of the
+dbseer tooling the paper ships with::
+
+    repro-sherlock simulate --anomaly cpu_saturation --out incident.csv
+    repro-sherlock detect incident.csv
+    repro-sherlock explain incident.csv --abnormal 60:99
+    repro-sherlock causes
+    repro-sherlock report incident.csv --abnormal 60:99
+
+All commands print plain text; ``explain``/``report`` accept one or more
+``--abnormal start:end`` ranges (seconds) and optional ``--normal``
+ranges, mirroring the GUI's region selection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.anomalies.library import ANOMALY_CAUSES, make_anomaly
+from repro.core.explain import DBSherlock
+from repro.core.generator import GeneratorConfig
+from repro.core.knowledge import MYSQL_LINUX_RULES
+from repro.data.loader import load_dataset_csv, save_dataset_csv
+from repro.data.regions import RegionSpec
+from repro.eval.harness import simulate_run
+from repro.viz.ascii import incident_report, plot_series
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_range(text: str) -> Tuple[float, float]:
+    try:
+        start, end = text.split(":")
+        return float(start), float(end)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"range {text!r} must look like START:END"
+        ) from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-sherlock argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sherlock",
+        description="DBSherlock reproduction: diagnose OLTP anomalies.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="simulate an incident to CSV")
+    sim.add_argument("--anomaly", choices=ANOMALY_CAUSES + ["workload_drift"],
+                     default="cpu_saturation")
+    sim.add_argument("--duration", type=int, default=50,
+                     help="anomaly duration in seconds")
+    sim.add_argument("--normal", type=int, default=120,
+                     help="seconds of normal activity")
+    sim.add_argument("--workload", choices=["tpcc", "tpce"], default="tpcc")
+    sim.add_argument("--seed", type=int, default=None)
+    sim.add_argument("--out", required=True, help="output CSV path")
+
+    det = sub.add_parser("detect", help="auto-detect abnormal regions")
+    det.add_argument("csv", help="telemetry CSV (see 'simulate')")
+
+    exp = sub.add_parser("explain", help="generate explanatory predicates")
+    _add_region_args(exp)
+    exp.add_argument("--theta", type=float, default=0.2)
+    exp.add_argument("--no-rules", action="store_true",
+                     help="disable domain-knowledge pruning")
+
+    rep = sub.add_parser("report", help="full text incident report")
+    _add_region_args(rep)
+    rep.add_argument("--theta", type=float, default=0.2)
+
+    plot = sub.add_parser("plot", help="ASCII plot of one attribute")
+    plot.add_argument("csv")
+    plot.add_argument("--attr", default="txn.avg_latency_ms")
+
+    sub.add_parser("causes", help="list the Table 1 anomaly causes")
+    return parser
+
+
+def _add_region_args(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument("csv")
+    sub_parser.add_argument(
+        "--abnormal", type=_parse_range, action="append", required=True,
+        metavar="START:END",
+    )
+    sub_parser.add_argument(
+        "--normal", type=_parse_range, action="append", default=None,
+        metavar="START:END",
+    )
+
+
+def _region_spec(args) -> RegionSpec:
+    return RegionSpec.from_bounds(args.abnormal, args.normal)
+
+
+def _cmd_simulate(args, out) -> int:
+    dataset, spec, cause = simulate_run(
+        args.anomaly,
+        duration_s=args.duration,
+        workload=args.workload,
+        seed=args.seed,
+        normal_s=args.normal,
+    )
+    save_dataset_csv(dataset, args.out)
+    region = spec.abnormal[0]
+    print(f"wrote {dataset.n_rows} seconds of telemetry to {args.out}", file=out)
+    print(f"injected cause: {cause}", file=out)
+    print(f"abnormal region: {region.start:g}:{region.end:g}", file=out)
+    return 0
+
+
+def _cmd_detect(args, out) -> int:
+    dataset = load_dataset_csv(args.csv)
+    sherlock = DBSherlock()
+    detection = sherlock.detect(dataset)
+    if not detection.found:
+        print("no abnormal region detected", file=out)
+        return 1
+    for region in detection.regions:
+        print(f"abnormal region: {region.start:g}:{region.end:g}", file=out)
+    print(
+        f"({len(detection.selected_attributes)} attributes selected, "
+        f"eps={detection.eps:.3f})",
+        file=out,
+    )
+    return 0
+
+
+def _sherlock(args) -> DBSherlock:
+    rules = () if getattr(args, "no_rules", False) else MYSQL_LINUX_RULES
+    return DBSherlock(config=GeneratorConfig(theta=args.theta), rules=rules)
+
+
+def _cmd_explain(args, out) -> int:
+    dataset = load_dataset_csv(args.csv)
+    explanation = _sherlock(args).explain(dataset, _region_spec(args))
+    if not explanation.predicates:
+        print("no predicates found (try a lower --theta)", file=out)
+        return 1
+    for predicate in explanation.predicates:
+        print(str(predicate), file=out)
+    for predicate in explanation.pruned:
+        print(f"(pruned secondary symptom: {predicate})", file=out)
+    return 0
+
+
+def _cmd_report(args, out) -> int:
+    dataset = load_dataset_csv(args.csv)
+    spec = _region_spec(args)
+    explanation = _sherlock(args).explain(dataset, spec)
+    print(incident_report(dataset, spec, explanation), file=out)
+    return 0
+
+
+def _cmd_plot(args, out) -> int:
+    dataset = load_dataset_csv(args.csv)
+    if args.attr not in dataset:
+        print(f"unknown attribute {args.attr!r}", file=out)
+        return 1
+    print(plot_series(dataset, args.attr), file=out)
+    return 0
+
+
+def _cmd_causes(args, out) -> int:
+    for key in ANOMALY_CAUSES:
+        print(f"{key:22s} {make_anomaly(key).cause}", file=out)
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "detect": _cmd_detect,
+    "explain": _cmd_explain,
+    "report": _cmd_report,
+    "plot": _cmd_plot,
+    "causes": _cmd_causes,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""DBSCAN (Ester et al., KDD 1996) implemented from scratch.
+
+DBSherlock's automatic anomaly detector (Section 7) clusters normalized
+telemetry points with DBSCAN, fixing ``minPts = 3`` and deriving ``ε`` from
+the k-dist curve: ``ε = max(Lk) / 4`` where ``Lk`` lists each point's
+distance to its k-th nearest neighbour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["DBSCAN", "NOISE", "k_distances"]
+
+#: Cluster id assigned to noise points.
+NOISE = -1
+
+
+def _pairwise_distances(points: np.ndarray) -> np.ndarray:
+    """Dense Euclidean distance matrix (fine for the few-hundred-point runs)."""
+    sq = np.sum(points * points, axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * points @ points.T
+    np.maximum(d2, 0.0, out=d2)
+    return np.sqrt(d2)
+
+
+def k_distances(points: np.ndarray, k: int) -> np.ndarray:
+    """Distance from each point to its k-th nearest neighbour (k-dist list).
+
+    ``k`` counts neighbours excluding the point itself, following the
+    original DBSCAN paper's sorted k-dist graph heuristic.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2-D array")
+    n = points.shape[0]
+    if n == 0:
+        return np.zeros(0)
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    k = min(k, n - 1)
+    if k == 0:
+        return np.zeros(n)
+    distances = _pairwise_distances(points)
+    sorted_rows = np.sort(distances, axis=1)
+    # Column 0 is the self-distance (0); the k-th neighbour is column k.
+    return sorted_rows[:, k]
+
+
+class DBSCAN:
+    """Density-based clustering.
+
+    Parameters
+    ----------
+    eps:
+        Neighbourhood radius.  ``None`` derives ``ε = max(Lk)/4`` from the
+        k-dist list at fit time (the DBSherlock heuristic).
+    min_pts:
+        Minimum neighbourhood size (including the point itself) for a core
+        point.  DBSherlock fixes this to 3.
+    """
+
+    def __init__(self, eps: Optional[float] = None, min_pts: int = 3) -> None:
+        if min_pts < 1:
+            raise ValueError("min_pts must be at least 1")
+        self.eps = eps
+        self.min_pts = min_pts
+        self.labels_: Optional[np.ndarray] = None
+        self.eps_: Optional[float] = None
+
+    def fit(self, points: np.ndarray) -> "DBSCAN":
+        """Cluster *points*; labels land in ``labels_`` (NOISE = -1)."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim == 1:
+            points = points[:, None]
+        n = points.shape[0]
+        if n == 0:
+            self.labels_ = np.zeros(0, dtype=np.int64)
+            self.eps_ = self.eps or 0.0
+            return self
+
+        eps = self.eps
+        if eps is None:
+            kd = k_distances(points, self.min_pts)
+            if kd.size:
+                # DBSherlock's heuristic is ε = max(Lk)/4; when the k-dist
+                # curve is flat that can land below the typical neighbour
+                # distance and dissolve every cluster, so we floor ε at the
+                # 95th percentile of Lk (keeping cluster-dense points core).
+                eps = max(float(kd.max()) / 4.0, float(np.quantile(kd, 0.95)))
+            else:
+                eps = 0.0
+        if eps <= 0:
+            # Degenerate geometry (all points identical): one cluster.
+            self.labels_ = np.zeros(n, dtype=np.int64)
+            self.eps_ = eps
+            return self
+        self.eps_ = eps
+
+        distances = _pairwise_distances(points)
+        neighbours: List[np.ndarray] = [
+            np.flatnonzero(distances[i] <= eps) for i in range(n)
+        ]
+        labels = np.full(n, NOISE, dtype=np.int64)
+        visited = np.zeros(n, dtype=bool)
+        cluster_id = 0
+        for i in range(n):
+            if visited[i]:
+                continue
+            visited[i] = True
+            if neighbours[i].size < self.min_pts:
+                continue  # stays noise unless captured as a border point
+            labels[i] = cluster_id
+            queue = deque(neighbours[i])
+            while queue:
+                j = queue.popleft()
+                if labels[j] == NOISE:
+                    labels[j] = cluster_id  # border point
+                if visited[j]:
+                    continue
+                visited[j] = True
+                labels[j] = cluster_id
+                if neighbours[j].size >= self.min_pts:
+                    queue.extend(neighbours[j])
+            cluster_id += 1
+        self.labels_ = labels
+        return self
+
+    def fit_predict(self, points: np.ndarray) -> np.ndarray:
+        """Fit and return the label array."""
+        self.fit(points)
+        assert self.labels_ is not None
+        return self.labels_
+
+    def cluster_sizes(self) -> dict:
+        """Mapping of cluster id → size (noise excluded)."""
+        if self.labels_ is None:
+            raise RuntimeError("fit() has not been called")
+        sizes = {}
+        for label in self.labels_:
+            if label == NOISE:
+                continue
+            sizes[int(label)] = sizes.get(int(label), 0) + 1
+        return sizes

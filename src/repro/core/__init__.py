@@ -1,0 +1,63 @@
+"""DBSherlock's core contribution: predicate-based anomaly explanation.
+
+Modules
+-------
+``partition``   equi-width partition spaces and labeling (Sections 4.1-4.2)
+``filtering``   partition filtering and gap filling (Sections 4.3-4.4)
+``predicates``  predicate types, evaluation, and merging (Sections 3, 6.2)
+``separation``  separation power and normalization (Equations 1-2)
+``generator``   Algorithm 1 end to end (Section 4)
+``knowledge``   domain-knowledge pruning of secondary symptoms (Section 5)
+``causal``      causal models, confidence, merging (Section 6)
+``anomaly``     automatic anomaly detection (Section 7)
+``explain``     the ``DBSherlock`` facade tying everything together
+"""
+
+from repro.core.predicates import (
+    CategoricalPredicate,
+    Conjunction,
+    NumericPredicate,
+    Predicate,
+)
+from repro.core.partition import (
+    Label,
+    CategoricalPartitionSpace,
+    NumericPartitionSpace,
+)
+from repro.core.separation import normalized_difference, separation_power
+from repro.core.generator import GeneratorConfig, PredicateGenerator
+from repro.core.knowledge import (
+    DomainRule,
+    MYSQL_LINUX_RULES,
+    independence_factor,
+    mutual_information,
+    prune_secondary_symptoms,
+)
+from repro.core.causal import CausalModel, CausalModelStore
+from repro.core.anomaly import AnomalyDetector, potential_power
+from repro.core.explain import DBSherlock, Explanation
+
+__all__ = [
+    "Predicate",
+    "NumericPredicate",
+    "CategoricalPredicate",
+    "Conjunction",
+    "Label",
+    "NumericPartitionSpace",
+    "CategoricalPartitionSpace",
+    "separation_power",
+    "normalized_difference",
+    "GeneratorConfig",
+    "PredicateGenerator",
+    "DomainRule",
+    "MYSQL_LINUX_RULES",
+    "mutual_information",
+    "independence_factor",
+    "prune_secondary_symptoms",
+    "CausalModel",
+    "CausalModelStore",
+    "AnomalyDetector",
+    "potential_power",
+    "DBSherlock",
+    "Explanation",
+]

@@ -1,0 +1,179 @@
+"""Automatic anomaly detection (Section 7).
+
+The detector (i) normalizes each numeric attribute to [0, 1], (ii) selects
+attributes whose *potential power* — the largest absolute gap between the
+overall median and a sliding-window median (Equation 4) — exceeds ``PPt``,
+(iii) clusters the selected attribute vectors with DBSCAN (minPts = 3,
+ε = max(Lk)/4), and (iv) flags points in clusters smaller than 20 % of the
+data as abnormal, under the assumption that anomalies are rare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.dbscan import DBSCAN, NOISE
+from repro.core.separation import normalize_values
+from repro.data.dataset import Dataset
+from repro.data.regions import Region, RegionSpec
+
+__all__ = ["potential_power", "AnomalyDetector", "mask_to_regions"]
+
+DEFAULT_WINDOW = 20
+DEFAULT_PP_THRESHOLD = 0.3
+DEFAULT_CLUSTER_FRACTION = 0.2
+
+
+def potential_power(values: np.ndarray, window: int = DEFAULT_WINDOW) -> float:
+    """Equation 4: max over sliding windows of |median − window median|.
+
+    *values* should already be normalized to [0, 1] so the result is
+    comparable across attributes; windows longer than the series degrade to
+    a single whole-series window (power 0).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[0]
+    if n == 0:
+        return 0.0
+    window = max(min(int(window), n), 1)
+    overall = float(np.median(values))
+    best = 0.0
+    for start in range(0, n - window + 1):
+        local = float(np.median(values[start : start + window]))
+        best = max(best, abs(overall - local))
+    return best
+
+
+def mask_to_regions(timestamps: np.ndarray, mask: np.ndarray) -> List[Region]:
+    """Convert a boolean row mask into contiguous time regions."""
+    regions: List[Region] = []
+    start_idx: Optional[int] = None
+    for i, flagged in enumerate(mask):
+        if flagged and start_idx is None:
+            start_idx = i
+        elif not flagged and start_idx is not None:
+            regions.append(
+                Region(float(timestamps[start_idx]), float(timestamps[i - 1]))
+            )
+            start_idx = None
+    if start_idx is not None:
+        regions.append(
+            Region(float(timestamps[start_idx]), float(timestamps[-1]))
+        )
+    return regions
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of automatic detection."""
+
+    mask: np.ndarray
+    regions: List[Region]
+    selected_attributes: List[str]
+    eps: float
+
+    def to_region_spec(self) -> RegionSpec:
+        """The detected abnormal regions as a user-style region spec."""
+        return RegionSpec(abnormal=list(self.regions), normal=None)
+
+    @property
+    def found(self) -> bool:
+        """True when at least one abnormal region was detected."""
+        return bool(self.regions)
+
+
+class AnomalyDetector:
+    """DBSCAN-based automatic anomaly detection (Section 7 defaults)."""
+
+    def __init__(
+        self,
+        window: int = DEFAULT_WINDOW,
+        pp_threshold: float = DEFAULT_PP_THRESHOLD,
+        min_pts: int = 3,
+        cluster_fraction: float = DEFAULT_CLUSTER_FRACTION,
+        include_noise: bool = True,
+        min_region_s: float = 5.0,
+        gap_fill_s: float = 3.0,
+    ) -> None:
+        self.window = window
+        self.pp_threshold = pp_threshold
+        self.min_pts = min_pts
+        self.cluster_fraction = cluster_fraction
+        # DBSCAN noise points are density outliers — in high-dimensional
+        # telemetry the anomalous seconds often land there rather than in
+        # a cluster of their own, so they count as abnormal candidates.
+        self.include_noise = include_noise
+        # temporal smoothing: anomalies are sustained windows, so flagged
+        # slivers shorter than min_region_s are discarded and unflagged
+        # gaps shorter than gap_fill_s inside a window are bridged.
+        self.min_region_s = min_region_s
+        self.gap_fill_s = gap_fill_s
+
+    def select_attributes(
+        self, dataset: Dataset, attributes: Optional[Sequence[str]] = None
+    ) -> List[str]:
+        """Numeric attributes whose potential power exceeds the threshold."""
+        names = (
+            [a for a in attributes if dataset.is_numeric(a)]
+            if attributes is not None
+            else dataset.numeric_attributes
+        )
+        selected = []
+        for attr in names:
+            normalized = normalize_values(dataset.column(attr))
+            if potential_power(normalized, self.window) > self.pp_threshold:
+                selected.append(attr)
+        return selected
+
+    def detect(
+        self, dataset: Dataset, attributes: Optional[Sequence[str]] = None
+    ) -> DetectionResult:
+        """Run the full detection pipeline on *dataset*."""
+        selected = self.select_attributes(dataset, attributes)
+        n = dataset.n_rows
+        if not selected or n == 0:
+            return DetectionResult(
+                mask=np.zeros(n, dtype=bool),
+                regions=[],
+                selected_attributes=[],
+                eps=0.0,
+            )
+        matrix = np.column_stack(
+            [normalize_values(dataset.column(a)) for a in selected]
+        )
+        clusterer = DBSCAN(eps=None, min_pts=self.min_pts)
+        labels = clusterer.fit_predict(matrix)
+        sizes = clusterer.cluster_sizes()
+        threshold = self.cluster_fraction * n
+        abnormal_clusters = {cid for cid, size in sizes.items() if size < threshold}
+        mask = np.isin(labels, sorted(abnormal_clusters))
+        if self.include_noise:
+            mask |= labels == NOISE
+        mask = self._smooth_mask(mask, dataset.timestamps)
+        return DetectionResult(
+            mask=mask,
+            regions=mask_to_regions(dataset.timestamps, mask),
+            selected_attributes=selected,
+            eps=float(clusterer.eps_ or 0.0),
+        )
+
+    def _smooth_mask(
+        self, mask: np.ndarray, timestamps: np.ndarray
+    ) -> np.ndarray:
+        """Bridge short unflagged gaps, then drop sub-threshold slivers."""
+        smoothed = mask.copy()
+        # pass 1: bridge short interior gaps inside a flagged window
+        for gap in mask_to_regions(timestamps, ~smoothed):
+            is_interior = (
+                gap.start > timestamps[0] and gap.end < timestamps[-1]
+            )
+            if is_interior and gap.duration + 1.0 <= self.gap_fill_s:
+                smoothed[gap.contains(timestamps)] = True
+        # pass 2: drop flagged runs too short to be a sustained anomaly
+        for run in mask_to_regions(timestamps, smoothed):
+            if run.duration + 1.0 <= self.min_region_s:
+                smoothed[run.contains(timestamps)] = False
+        return smoothed

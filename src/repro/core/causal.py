@@ -1,0 +1,233 @@
+"""Causal models: DBA feedback turned into reusable diagnoses (Section 6).
+
+A causal model pairs a *cause variable* (the DBA's label, e.g. "Log
+Rotation") with *effect predicates* (the accepted explanation).  For a new
+anomaly, the model's **confidence** (Equation 3) is the average separation
+power of its effect predicates measured in the partition space — partitions
+rather than raw tuples, to damp real-world noise.  Models sharing a cause
+**merge** (Section 6.2): only attributes common to both survive, and the
+per-attribute predicates widen to cover both instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.filtering import filter_partitions
+from repro.core.partition import (
+    CategoricalPartitionSpace,
+    Label,
+    NumericPartitionSpace,
+)
+from repro.core.predicates import (
+    CategoricalPredicate,
+    Conjunction,
+    InconsistentPredicates,
+    NumericPredicate,
+    Predicate,
+)
+from repro.data.dataset import Dataset
+from repro.data.regions import RegionSpec
+
+__all__ = ["CausalModel", "CausalModelStore", "model_confidence"]
+
+DEFAULT_CONFIDENCE_PARTITIONS = 250
+
+
+def _predicate_on_partitions(
+    predicate: Predicate,
+    dataset: Dataset,
+    spec: RegionSpec,
+    n_partitions: int,
+    apply_filtering: bool,
+) -> Optional[float]:
+    """Separation power of one predicate in the partition space (Eq. 3 term).
+
+    Returns ``None`` when the attribute is missing or either region has no
+    labeled partitions (the predicate then contributes zero confidence).
+    """
+    attr = predicate.attr
+    if attr not in dataset:
+        return None
+    values = dataset.column(attr)
+    abnormal = spec.abnormal_mask(dataset)
+    normal = spec.normal_mask(dataset)
+    if dataset.is_numeric(attr):
+        space = NumericPartitionSpace(attr, values, n_partitions)
+        labels = space.label(values, abnormal, normal)
+        if apply_filtering:
+            labels = filter_partitions(labels)
+        representatives = np.asarray(
+            [space.midpoint(i) for i in range(space.n_partitions)]
+        )
+        satisfied = predicate.evaluate_values(representatives)
+    else:
+        space = CategoricalPartitionSpace(attr, values)
+        labels = space.label(values, abnormal, normal)
+        satisfied = predicate.evaluate_values(
+            np.asarray(space.categories, dtype=object)
+        )
+    abnormal_parts = labels == int(Label.ABNORMAL)
+    normal_parts = labels == int(Label.NORMAL)
+    n_abnormal = int(abnormal_parts.sum())
+    n_normal = int(normal_parts.sum())
+    if n_abnormal == 0 or n_normal == 0:
+        return None
+    ratio_abnormal = float((satisfied & abnormal_parts).sum()) / n_abnormal
+    ratio_normal = float((satisfied & normal_parts).sum()) / n_normal
+    return ratio_abnormal - ratio_normal
+
+
+def model_confidence(
+    predicates: Sequence[Predicate],
+    dataset: Dataset,
+    spec: RegionSpec,
+    n_partitions: int = DEFAULT_CONFIDENCE_PARTITIONS,
+    apply_filtering: bool = True,
+) -> float:
+    """Equation 3: mean partition-space separation power of *predicates*."""
+    if not predicates:
+        return 0.0
+    total = 0.0
+    for predicate in predicates:
+        power = _predicate_on_partitions(
+            predicate, dataset, spec, n_partitions, apply_filtering
+        )
+        total += power if power is not None else 0.0
+    return total / len(predicates)
+
+
+@dataclass
+class CausalModel:
+    """A cause variable with its effect predicates.
+
+    Parameters
+    ----------
+    cause:
+        Human-readable root-cause label supplied by the DBA.
+    predicates:
+        Effect predicates accepted as the explanation for this cause.
+    n_merged:
+        How many diagnosed datasets contributed to this model (1 for a
+        freshly created model; grows via :meth:`merge`).
+    """
+
+    cause: str
+    predicates: List[Predicate] = field(default_factory=list)
+    n_merged: int = 1
+
+    def __post_init__(self) -> None:
+        attrs = [p.attr for p in self.predicates]
+        if len(attrs) != len(set(attrs)):
+            raise ValueError("causal model has duplicate predicate attributes")
+
+    @property
+    def attributes(self) -> List[str]:
+        """Attributes the effect predicates constrain."""
+        return [p.attr for p in self.predicates]
+
+    def confidence(
+        self,
+        dataset: Dataset,
+        spec: RegionSpec,
+        n_partitions: int = DEFAULT_CONFIDENCE_PARTITIONS,
+        apply_filtering: bool = True,
+    ) -> float:
+        """Fitness of this model for the given anomaly (Equation 3)."""
+        return model_confidence(
+            self.predicates, dataset, spec, n_partitions, apply_filtering
+        )
+
+    def merge(self, other: "CausalModel") -> "CausalModel":
+        """Merge with another model of the same cause (Section 6.2).
+
+        Keeps only predicates on attributes common to both models, widening
+        each pair to cover both; attribute pairs with inconsistent numeric
+        directions are discarded.
+        """
+        if other.cause != self.cause:
+            raise ValueError(
+                f"cannot merge causes {self.cause!r} and {other.cause!r}"
+            )
+        mine = {p.attr: p for p in self.predicates}
+        theirs = {p.attr: p for p in other.predicates}
+        merged: List[Predicate] = []
+        for attr in mine:
+            if attr not in theirs:
+                continue
+            a, b = mine[attr], theirs[attr]
+            if isinstance(a, NumericPredicate) != isinstance(b, NumericPredicate):
+                continue
+            try:
+                merged.append(a.merge(b))  # type: ignore[arg-type]
+            except InconsistentPredicates:
+                continue
+        return CausalModel(
+            cause=self.cause,
+            predicates=merged,
+            n_merged=self.n_merged + other.n_merged,
+        )
+
+    def conjunction(self) -> Conjunction:
+        """The effect predicates as an evaluable conjunction."""
+        return Conjunction(self.predicates)
+
+    def __str__(self) -> str:
+        preds = " ∧ ".join(str(p) for p in self.predicates) or "(no predicates)"
+        return f"[{self.cause}] {preds}"
+
+
+class CausalModelStore:
+    """The system's accumulated causal models, keyed by cause.
+
+    Adding a model whose cause already exists merges it into the stored
+    model, mirroring how DBSherlock refines diagnoses over time.
+    """
+
+    def __init__(self, merge_on_add: bool = True) -> None:
+        self._models: Dict[str, CausalModel] = {}
+        self.merge_on_add = merge_on_add
+
+    def add(self, model: CausalModel) -> CausalModel:
+        """Insert (or merge) *model*; returns the stored model."""
+        existing = self._models.get(model.cause)
+        if existing is not None and self.merge_on_add:
+            model = existing.merge(model)
+        self._models[model.cause] = model
+        return model
+
+    def get(self, cause: str) -> Optional[CausalModel]:
+        """The stored model for *cause*, if any."""
+        return self._models.get(cause)
+
+    @property
+    def causes(self) -> List[str]:
+        """All known causes."""
+        return list(self._models)
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __iter__(self):
+        return iter(self._models.values())
+
+    def rank(
+        self,
+        dataset: Dataset,
+        spec: RegionSpec,
+        n_partitions: int = DEFAULT_CONFIDENCE_PARTITIONS,
+        apply_filtering: bool = True,
+    ) -> List[Tuple[str, float]]:
+        """All causes with their confidence, highest first."""
+        scored = [
+            (
+                model.cause,
+                model.confidence(dataset, spec, n_partitions, apply_filtering),
+            )
+            for model in self._models.values()
+        ]
+        scored.sort(key=lambda item: item[1], reverse=True)
+        return scored

@@ -1,0 +1,181 @@
+"""The ``DBSherlock`` facade: explain, diagnose, learn from feedback.
+
+Ties together the predicate generator (Section 4), domain-knowledge
+pruning (Section 5), the causal-model store (Section 6), and the automatic
+anomaly detector (Section 7) behind the workflow of Figure 2:
+
+1. the user marks an anomaly (or calls :meth:`DBSherlock.detect`),
+2. :meth:`DBSherlock.explain` returns predicates plus any known causes
+   whose confidence clears the display threshold λ,
+3. once the user confirms the actual cause, :meth:`DBSherlock.feedback`
+   stores (and merges) a causal model for future diagnoses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.anomaly import AnomalyDetector, DetectionResult
+from repro.core.causal import CausalModel, CausalModelStore
+from repro.core.generator import GeneratorConfig, PredicateGenerator
+from repro.core.knowledge import (
+    DEFAULT_KAPPA_THRESHOLD,
+    DomainRule,
+    prune_secondary_symptoms,
+)
+from repro.core.predicates import Conjunction, Predicate
+from repro.data.dataset import Dataset
+from repro.data.regions import RegionSpec
+
+__all__ = ["DBSherlock", "Explanation"]
+
+DEFAULT_LAMBDA = 0.2
+
+
+@dataclass
+class Explanation:
+    """What DBSherlock shows the user for one anomaly.
+
+    Attributes
+    ----------
+    predicates:
+        The explanatory conjunction (after domain-knowledge pruning).
+    pruned:
+        Predicates removed as secondary symptoms, kept for transparency.
+    causes:
+        ``(cause, confidence)`` pairs from causal models clearing λ,
+        ordered by decreasing confidence.
+    all_cause_scores:
+        Every model's score regardless of λ (useful for evaluation).
+    """
+
+    predicates: Conjunction
+    pruned: List[Predicate] = field(default_factory=list)
+    causes: List[Tuple[str, float]] = field(default_factory=list)
+    all_cause_scores: List[Tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def top_cause(self) -> Optional[str]:
+        """The highest-confidence cause above λ, if any."""
+        return self.causes[0][0] if self.causes else None
+
+    def __str__(self) -> str:
+        lines = [f"predicates: {self.predicates}"]
+        for cause, confidence in self.causes:
+            lines.append(f"cause: {cause} (confidence {confidence:.1%})")
+        return "\n".join(lines)
+
+
+class DBSherlock:
+    """Performance-anomaly explanation for OLTP telemetry.
+
+    Parameters
+    ----------
+    config:
+        Predicate-generation parameters (R, δ, θ).
+    rules:
+        Domain-knowledge rules for secondary-symptom pruning; empty
+        disables pruning (the paper shows only a 2-3 % accuracy drop).
+    kappa_threshold:
+        Independence-test threshold κt (default 0.15).
+    lambda_threshold:
+        Minimum confidence λ for a cause to be displayed (default 20 %).
+    detector:
+        Automatic anomaly detector; defaults to the Section 7 settings.
+        Any object with ``detect(dataset) -> DetectionResult`` works —
+        e.g. the alternative strategies in :mod:`repro.detect`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[GeneratorConfig] = None,
+        rules: Sequence[DomainRule] = (),
+        kappa_threshold: float = DEFAULT_KAPPA_THRESHOLD,
+        lambda_threshold: float = DEFAULT_LAMBDA,
+        detector: Optional[AnomalyDetector] = None,
+    ) -> None:
+        self.config = config or GeneratorConfig()
+        self.generator = PredicateGenerator(self.config)
+        self.rules = list(rules)
+        self.kappa_threshold = kappa_threshold
+        self.lambda_threshold = lambda_threshold
+        self.detector = detector or AnomalyDetector()
+        self.store = CausalModelStore()
+
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        dataset: Dataset,
+        spec: Optional[RegionSpec] = None,
+        attributes: Optional[Sequence[str]] = None,
+    ) -> Explanation:
+        """Explain an anomaly on *dataset*.
+
+        When *spec* is omitted the automatic detector locates the abnormal
+        region first; a detector miss yields an empty explanation.
+        """
+        if spec is None:
+            detection = self.detect(dataset)
+            if not detection.found:
+                return Explanation(predicates=Conjunction())
+            spec = detection.to_region_spec()
+
+        conjunction = self.generator.generate(dataset, spec, attributes)
+        kept, pruned = prune_secondary_symptoms(
+            conjunction.predicates, dataset, self.rules, self.kappa_threshold
+        )
+        scores = self.store.rank(
+            dataset, spec, n_partitions=self.config.n_partitions
+        )
+        visible = [
+            (cause, confidence)
+            for cause, confidence in scores
+            if confidence > self.lambda_threshold
+        ]
+        return Explanation(
+            predicates=Conjunction(kept),
+            pruned=pruned,
+            causes=visible,
+            all_cause_scores=scores,
+        )
+
+    def detect(self, dataset: Dataset) -> DetectionResult:
+        """Automatically locate abnormal regions (Section 7)."""
+        return self.detector.detect(dataset)
+
+    def feedback(
+        self,
+        cause: str,
+        explanation: Explanation,
+    ) -> CausalModel:
+        """Record the DBA's confirmed cause for an explanation.
+
+        Creates a causal model from the accepted predicates and adds it to
+        the store, merging with any existing model for the same cause.
+        """
+        model = CausalModel(cause=cause, predicates=explanation.predicates.predicates)
+        return self.store.add(model)
+
+    def diagnose(
+        self, dataset: Dataset, spec: RegionSpec, top_k: int = 1
+    ) -> List[Tuple[str, float]]:
+        """The ``top_k`` most likely known causes for an anomaly."""
+        return self.store.rank(
+            dataset, spec, n_partitions=self.config.n_partitions
+        )[:top_k]
+
+    # ------------------------------------------------------------------
+    def save_models(self, path) -> None:
+        """Persist the accumulated causal models as JSON."""
+        from repro.core.persistence import save_store
+
+        save_store(self.store, path)
+
+    def load_models(self, path) -> None:
+        """Load previously saved causal models, merging same-cause models."""
+        from repro.core.persistence import load_store
+
+        loaded = load_store(path)
+        for model in loaded:
+            self.store.add(model)

@@ -1,0 +1,155 @@
+"""Partition filtering and gap filling (Sections 4.3-4.4).
+
+Both steps apply to numeric attributes only.  *Filtering* erases non-Empty
+partitions whose label disagrees with either of their nearest non-Empty
+neighbours — all decisions taken simultaneously on the original labels, so
+partitions cannot cascade-filter each other (the paper's Figure 5 note).
+*Gap filling* then assigns every Empty partition the label of the closer
+non-Empty side, with the distance to the Abnormal side inflated by the
+anomaly distance multiplier ``δ`` (δ > 1 yields more specific predicates).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.partition import Label
+
+__all__ = ["filter_partitions", "fill_gaps"]
+
+
+def _nearest_non_empty(labels: np.ndarray) -> tuple:
+    """Per-partition index of the nearest non-Empty partition on each side.
+
+    Returns ``(left, right)`` int arrays; -1 where no such partition exists.
+    """
+    n = labels.shape[0]
+    left = np.full(n, -1, dtype=np.int64)
+    last = -1
+    for i in range(n):
+        left[i] = last
+        if labels[i] != int(Label.EMPTY):
+            last = i
+    right = np.full(n, -1, dtype=np.int64)
+    nxt = -1
+    for i in range(n - 1, -1, -1):
+        right[i] = nxt
+        if labels[i] != int(Label.EMPTY):
+            nxt = i
+    return left, right
+
+
+def filter_partitions(labels: np.ndarray) -> np.ndarray:
+    """Section 4.3 filtering, applied simultaneously.
+
+    A non-Empty partition keeps its label only when *both* of its nearest
+    non-Empty neighbours carry the same label (Figure 5, Scenario 1).
+    Partitions at either end of the non-Empty run (with a single neighbour)
+    are never filtered — the paper notes that an incremental version would
+    wrongly erode them.  A lone Abnormal (or lone Normal) partition is
+    deemed significant and kept regardless of its neighbours.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    result = labels.copy()
+    left, right = _nearest_non_empty(labels)
+    lone_abnormal = int((labels == int(Label.ABNORMAL)).sum()) == 1
+    lone_normal = int((labels == int(Label.NORMAL)).sum()) == 1
+    for i in range(labels.shape[0]):
+        label = labels[i]
+        if label == int(Label.EMPTY):
+            continue
+        if label == int(Label.ABNORMAL) and lone_abnormal:
+            continue
+        if label == int(Label.NORMAL) and lone_normal:
+            continue
+        li, ri = left[i], right[i]
+        if li < 0 or ri < 0:
+            # End of the non-Empty run: only one neighbour, never filtered.
+            continue
+        if labels[li] != label or labels[ri] != label:
+            result[i] = int(Label.EMPTY)
+    return result
+
+
+def fill_gaps(
+    labels: np.ndarray,
+    delta: float,
+    normal_mean_partition: Optional[int] = None,
+) -> np.ndarray:
+    """Section 4.4 gap filling with anomaly distance multiplier ``δ``.
+
+    Every Empty partition takes the label of its closer non-Empty side,
+    where the distance to an Abnormal side is multiplied by ``δ``; ties go
+    Normal (consistent with δ > 1 favouring specific predicates).  When
+    only Abnormal partitions remain, the partition holding the normal
+    region's average value (``normal_mean_partition``) is force-labeled
+    Normal first, so a predicate direction can be determined.
+
+    Returns a fully non-Empty label array (unless no non-Empty partitions
+    exist at all, in which case the input is returned unchanged).
+    """
+    labels = np.asarray(labels, dtype=np.int64).copy()
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+
+    has_abnormal = bool((labels == int(Label.ABNORMAL)).any())
+    has_normal = bool((labels == int(Label.NORMAL)).any())
+    if not has_abnormal and not has_normal:
+        return labels
+    if has_abnormal and not has_normal:
+        if normal_mean_partition is None:
+            raise ValueError(
+                "only Abnormal partitions remain; normal_mean_partition required"
+            )
+        labels[int(normal_mean_partition)] = int(Label.NORMAL)
+
+    left, right = _nearest_non_empty(labels)
+    filled = labels.copy()
+    for i in range(labels.shape[0]):
+        if labels[i] != int(Label.EMPTY):
+            continue
+        li, ri = left[i], right[i]
+        if li < 0 and ri < 0:
+            continue
+        if li < 0:
+            filled[i] = labels[ri]
+            continue
+        if ri < 0:
+            filled[i] = labels[li]
+            continue
+        left_label, right_label = labels[li], labels[ri]
+        if left_label == right_label:
+            filled[i] = left_label
+            continue
+        dist_left = float(i - li)
+        dist_right = float(ri - i)
+        if left_label == int(Label.ABNORMAL):
+            dist_abnormal, dist_normal = dist_left, dist_right
+            abnormal_label, normal_label = left_label, right_label
+        else:
+            dist_abnormal, dist_normal = dist_right, dist_left
+            abnormal_label, normal_label = right_label, left_label
+        if dist_abnormal * delta < dist_normal:
+            filled[i] = abnormal_label
+        else:
+            filled[i] = normal_label
+    return filled
+
+
+def abnormal_blocks(labels: np.ndarray) -> list:
+    """Contiguous runs of Abnormal partitions as ``(start, end)`` inclusive."""
+    labels = np.asarray(labels, dtype=np.int64)
+    blocks = []
+    start = None
+    for i, label in enumerate(labels):
+        if label == int(Label.ABNORMAL):
+            if start is None:
+                start = i
+        elif start is not None:
+            blocks.append((start, i - 1))
+            start = None
+    if start is not None:
+        blocks.append((start, labels.shape[0] - 1))
+    return blocks

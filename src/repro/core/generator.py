@@ -1,0 +1,246 @@
+"""Algorithm 1: end-to-end predicate generation (Section 4).
+
+For each numeric attribute: create a partition space (R partitions), label
+partitions from the user's regions, filter noisy labels, fill the gaps with
+anomaly distance multiplier δ, and extract a candidate predicate when the
+filled space contains a single block of consecutive Abnormal partitions and
+the normalized mean difference exceeds θ.  Categorical attributes skip the
+filter/fill steps and emit ``Attr ∈ {...}`` from Abnormal partitions.
+
+``GeneratorConfig`` exposes the paper's parameters (R, δ, θ) plus ablation
+switches used by the Appendix D step-contribution study (Table 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.filtering import abnormal_blocks, fill_gaps, filter_partitions
+from repro.core.partition import (
+    CategoricalPartitionSpace,
+    Label,
+    NumericPartitionSpace,
+)
+from repro.core.predicates import (
+    CategoricalPredicate,
+    Conjunction,
+    NumericPredicate,
+    Predicate,
+)
+from repro.core.separation import normalize_values, region_means
+from repro.data.dataset import Dataset
+from repro.data.regions import RegionSpec
+
+__all__ = ["GeneratorConfig", "AttributeArtifacts", "PredicateGenerator"]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Tunable parameters of the predicate generation algorithm.
+
+    Attributes
+    ----------
+    n_partitions:
+        ``R``, the number of equi-width partitions for numeric attributes.
+        The paper's experiments use 250 (Appendix D); Section 4.1 names
+        1 000 as an upper default.
+    delta:
+        Anomaly distance multiplier ``δ`` for gap filling (default 10).
+    theta:
+        Normalized difference threshold ``θ`` gating extraction
+        (default 0.2 for single causal models; the paper uses 0.05 when
+        building models that will be merged).
+    enable_filtering / enable_fill:
+        Ablation switches for the Table 6 step-contribution study.
+    """
+
+    n_partitions: int = 250
+    delta: float = 10.0
+    theta: float = 0.2
+    enable_filtering: bool = True
+    enable_fill: bool = True
+
+    def replace(self, **kwargs) -> "GeneratorConfig":
+        """Return a copy with the given fields overridden."""
+        values = {
+            "n_partitions": self.n_partitions,
+            "delta": self.delta,
+            "theta": self.theta,
+            "enable_filtering": self.enable_filtering,
+            "enable_fill": self.enable_fill,
+        }
+        values.update(kwargs)
+        return GeneratorConfig(**values)
+
+
+@dataclass
+class AttributeArtifacts:
+    """Intermediate state of Algorithm 1 for one attribute.
+
+    Kept for testing, visualisation, and causal-model confidence, which
+    re-uses labeled partition spaces (Equation 3).
+    """
+
+    attr: str
+    is_numeric: bool
+    space: object
+    labels_initial: np.ndarray
+    labels_filtered: Optional[np.ndarray] = None
+    labels_filled: Optional[np.ndarray] = None
+    normalized_difference: Optional[float] = None
+    predicate: Optional[Predicate] = None
+    rejection: Optional[str] = None
+
+
+class PredicateGenerator:
+    """Generates a conjunction of explanatory predicates (Algorithm 1)."""
+
+    def __init__(self, config: Optional[GeneratorConfig] = None) -> None:
+        self.config = config or GeneratorConfig()
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        dataset: Dataset,
+        spec: RegionSpec,
+        attributes: Optional[Sequence[str]] = None,
+    ) -> Conjunction:
+        """Run Algorithm 1 over *attributes* (default: all) and conjoin."""
+        artifacts = self.generate_with_artifacts(dataset, spec, attributes)
+        return Conjunction(
+            [a.predicate for a in artifacts.values() if a.predicate is not None]
+        )
+
+    def generate_with_artifacts(
+        self,
+        dataset: Dataset,
+        spec: RegionSpec,
+        attributes: Optional[Sequence[str]] = None,
+    ) -> Dict[str, AttributeArtifacts]:
+        """Like :meth:`generate` but returns per-attribute artifacts."""
+        spec.validate(dataset)
+        abnormal = spec.abnormal_mask(dataset)
+        normal = spec.normal_mask(dataset)
+        names = list(attributes) if attributes is not None else dataset.attributes
+        artifacts: Dict[str, AttributeArtifacts] = {}
+        for attr in names:
+            if dataset.is_numeric(attr):
+                artifacts[attr] = self._numeric_attribute(
+                    dataset, attr, abnormal, normal
+                )
+            else:
+                artifacts[attr] = self._categorical_attribute(
+                    dataset, attr, abnormal, normal
+                )
+        return artifacts
+
+    # ------------------------------------------------------------------
+    # Numeric attributes (all five steps)
+    # ------------------------------------------------------------------
+    def _numeric_attribute(
+        self,
+        dataset: Dataset,
+        attr: str,
+        abnormal: np.ndarray,
+        normal: np.ndarray,
+    ) -> AttributeArtifacts:
+        values = dataset.column(attr)
+        space = NumericPartitionSpace(attr, values, self.config.n_partitions)
+        labels = space.label(values, abnormal, normal)
+        art = AttributeArtifacts(
+            attr=attr, is_numeric=True, space=space, labels_initial=labels
+        )
+
+        filtered = (
+            filter_partitions(labels) if self.config.enable_filtering else labels
+        )
+        art.labels_filtered = filtered
+
+        if not (filtered == int(Label.ABNORMAL)).any():
+            art.rejection = "no abnormal partitions after filtering"
+            return art
+
+        if self.config.enable_fill:
+            normal_mean_partition = None
+            if not (filtered == int(Label.NORMAL)).any():
+                mean_normal = float(values[normal].mean())
+                normal_mean_partition = int(
+                    space.partition_indices(np.asarray([mean_normal]))[0]
+                )
+            filled = fill_gaps(
+                filtered, self.config.delta, normal_mean_partition
+            )
+        else:
+            filled = filtered
+        art.labels_filled = filled
+
+        normalized = normalize_values(values)
+        mu_abnormal, mu_normal = region_means(normalized, abnormal, normal)
+        art.normalized_difference = abs(mu_abnormal - mu_normal)
+
+        blocks = abnormal_blocks(filled)
+        if len(blocks) != 1:
+            art.rejection = f"{len(blocks)} abnormal blocks (need exactly 1)"
+            return art
+        if art.normalized_difference <= self.config.theta:
+            art.rejection = (
+                f"normalized difference {art.normalized_difference:.3f} "
+                f"<= theta {self.config.theta}"
+            )
+            return art
+
+        start, end = blocks[0]
+        if start == 0 and end == space.n_partitions - 1:
+            art.rejection = "abnormal block spans the entire domain"
+            return art
+        art.predicate = self._block_to_predicate(space, start, end)
+        return art
+
+    @staticmethod
+    def _block_to_predicate(
+        space: NumericPartitionSpace, start: int, end: int
+    ) -> NumericPredicate:
+        """Translate an Abnormal block into a simple numeric predicate.
+
+        Blocks touching the left edge become ``Attr < ub``; blocks touching
+        the right edge become ``Attr > lb``; interior blocks become ranges.
+        """
+        if start == 0:
+            return NumericPredicate(space.attr, upper=space.upper_bound(end))
+        if end == space.n_partitions - 1:
+            return NumericPredicate(space.attr, lower=space.lower_bound(start))
+        return NumericPredicate(
+            space.attr,
+            lower=space.lower_bound(start),
+            upper=space.upper_bound(end),
+        )
+
+    # ------------------------------------------------------------------
+    # Categorical attributes (label + extract only)
+    # ------------------------------------------------------------------
+    def _categorical_attribute(
+        self,
+        dataset: Dataset,
+        attr: str,
+        abnormal: np.ndarray,
+        normal: np.ndarray,
+    ) -> AttributeArtifacts:
+        values = dataset.column(attr)
+        space = CategoricalPartitionSpace(attr, values)
+        labels = space.label(values, abnormal, normal)
+        art = AttributeArtifacts(
+            attr=attr, is_numeric=False, space=space, labels_initial=labels
+        )
+        abnormal_categories = [
+            space.categories[i]
+            for i in range(space.n_partitions)
+            if labels[i] == int(Label.ABNORMAL)
+        ]
+        if not abnormal_categories:
+            art.rejection = "no abnormal categories"
+            return art
+        art.predicate = CategoricalPredicate.of(attr, abnormal_categories)
+        return art

@@ -1,0 +1,200 @@
+"""Domain knowledge and secondary-symptom pruning (Section 5).
+
+A domain rule ``Attr_i → Attr_j`` states that when predicates are extracted
+on both attributes, the predicate on ``Attr_j`` is *likely* a secondary
+symptom of the one on ``Attr_i``.  Because rules can be imperfect, the rule
+only fires when the data corroborates the dependence: the independence
+factor
+
+    κ(Ai, Aj) = MI(Ai, Aj)² / (H(Ai) · H(Aj))
+
+is compared to a threshold κt (default 0.15).  κ < κt means the attributes
+look independent in this dataset — the rule does not apply and both
+predicates stay; κ ≥ κt confirms the dependence and the effect predicate is
+pruned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.predicates import Predicate
+from repro.data.dataset import Dataset
+
+__all__ = [
+    "DomainRule",
+    "MYSQL_LINUX_RULES",
+    "entropy",
+    "joint_entropy",
+    "mutual_information",
+    "independence_factor",
+    "prune_secondary_symptoms",
+]
+
+DEFAULT_KAPPA_THRESHOLD = 0.15
+
+#: Histogram bins γ for the joint distribution.  The paper does not state
+#: its value; with the 100-600-row datasets of the evaluation, γ = 15 keeps
+#: the finite-sample MI bias of *independent* attribute pairs well below
+#: the κt = 0.15 threshold while strongly dependent pairs score ≈ 0.5+.
+DEFAULT_BINS = 15
+
+
+@dataclass(frozen=True)
+class DomainRule:
+    """``cause_attr → effect_attr``: effect is likely a secondary symptom.
+
+    Rules are directional; ``a → b`` and ``b → a`` must not coexist
+    (condition ii of Section 5).
+    """
+
+    cause_attr: str
+    effect_attr: str
+
+    def __post_init__(self) -> None:
+        if self.cause_attr == self.effect_attr:
+            raise ValueError("a rule cannot relate an attribute to itself")
+
+    def __str__(self) -> str:
+        return f"{self.cause_attr} → {self.effect_attr}"
+
+
+def validate_rules(rules: Sequence[DomainRule]) -> None:
+    """Raise when a pair of rules violates the no-inverse condition."""
+    seen = {(r.cause_attr, r.effect_attr) for r in rules}
+    for cause, effect in seen:
+        if (effect, cause) in seen:
+            raise ValueError(
+                f"rules {cause} → {effect} and {effect} → {cause} cannot coexist"
+            )
+
+
+#: The four MySQL-on-Linux rules from Section 5, expressed over the metric
+#: names emitted by :mod:`repro.engine.metrics`.
+MYSQL_LINUX_RULES: List[DomainRule] = [
+    DomainRule("mysql.cpu_usage", "os.cpu_usage"),
+    DomainRule("os.allocated_pages", "os.free_pages"),
+    DomainRule("os.swap_used_mb", "os.swap_free_mb"),
+    DomainRule("os.cpu_usage", "os.cpu_idle"),
+]
+
+
+# ----------------------------------------------------------------------
+# Entropy / mutual information over discretized attributes
+# ----------------------------------------------------------------------
+def _discretize(values: np.ndarray, is_numeric: bool, bins: int) -> np.ndarray:
+    """Map values to integer bin indices (γ equi-width bins when numeric)."""
+    if is_numeric:
+        values = np.asarray(values, dtype=np.float64)
+        lo = float(values.min())
+        hi = float(values.max())
+        if hi <= lo:
+            return np.zeros(values.shape, dtype=np.int64)
+        idx = np.floor((values - lo) / (hi - lo) * bins).astype(np.int64)
+        return np.clip(idx, 0, bins - 1)
+    categories = {c: i for i, c in enumerate(sorted({str(v) for v in values}))}
+    return np.asarray([categories[str(v)] for v in values], dtype=np.int64)
+
+
+def _entropy_from_probs(probs: np.ndarray) -> float:
+    probs = probs[probs > 0]
+    return float(-(probs * np.log2(probs)).sum())
+
+
+def entropy(
+    values: np.ndarray, is_numeric: bool = True, bins: int = DEFAULT_BINS
+) -> float:
+    """Shannon entropy (bits) of the discretized value distribution."""
+    idx = _discretize(values, is_numeric, bins)
+    counts = np.bincount(idx)
+    return _entropy_from_probs(counts / counts.sum())
+
+
+def joint_entropy(
+    x: np.ndarray,
+    y: np.ndarray,
+    x_numeric: bool = True,
+    y_numeric: bool = True,
+    bins: int = DEFAULT_BINS,
+) -> float:
+    """Joint Shannon entropy from the 2-D histogram of discretized values."""
+    xi = _discretize(x, x_numeric, bins)
+    yi = _discretize(y, y_numeric, bins)
+    n_y = int(yi.max()) + 1
+    joint = np.bincount(xi * n_y + yi)
+    return _entropy_from_probs(joint / joint.sum())
+
+
+def mutual_information(
+    x: np.ndarray,
+    y: np.ndarray,
+    x_numeric: bool = True,
+    y_numeric: bool = True,
+    bins: int = DEFAULT_BINS,
+) -> float:
+    """``MI(X, Y) = H(X) + H(Y) − H(X, Y)`` over discretized values."""
+    hx = entropy(x, x_numeric, bins)
+    hy = entropy(y, y_numeric, bins)
+    hxy = joint_entropy(x, y, x_numeric, y_numeric, bins)
+    return max(hx + hy - hxy, 0.0)
+
+
+def independence_factor(
+    x: np.ndarray,
+    y: np.ndarray,
+    x_numeric: bool = True,
+    y_numeric: bool = True,
+    bins: int = DEFAULT_BINS,
+) -> float:
+    """``κ = MI² / (H(X) · H(Y))`` — 0 when independent, → 1 when dependent.
+
+    A constant attribute has zero entropy and carries no information about
+    the other; κ is defined as 0 in that degenerate case.
+    """
+    hx = entropy(x, x_numeric, bins)
+    hy = entropy(y, y_numeric, bins)
+    if hx <= 0.0 or hy <= 0.0:
+        return 0.0
+    mi = mutual_information(x, y, x_numeric, y_numeric, bins)
+    return float(mi * mi / (hx * hy))
+
+
+# ----------------------------------------------------------------------
+# Pruning
+# ----------------------------------------------------------------------
+def prune_secondary_symptoms(
+    predicates: Sequence[Predicate],
+    dataset: Dataset,
+    rules: Sequence[DomainRule],
+    kappa_threshold: float = DEFAULT_KAPPA_THRESHOLD,
+    bins: int = DEFAULT_BINS,
+) -> Tuple[List[Predicate], List[Predicate]]:
+    """Apply domain rules, returning ``(kept, pruned)`` predicates.
+
+    A rule ``i → j`` fires only when predicates exist on both attributes
+    *and* the independence test fails (κ ≥ κt), confirming the dependence
+    in the data at hand; then the predicate on ``j`` is pruned.
+    """
+    validate_rules(rules)
+    by_attr: Dict[str, Predicate] = {p.attr: p for p in predicates}
+    pruned_attrs = set()
+    for rule in rules:
+        if rule.cause_attr not in by_attr or rule.effect_attr not in by_attr:
+            continue
+        if rule.cause_attr not in dataset or rule.effect_attr not in dataset:
+            continue
+        kappa = independence_factor(
+            dataset.column(rule.cause_attr),
+            dataset.column(rule.effect_attr),
+            dataset.is_numeric(rule.cause_attr),
+            dataset.is_numeric(rule.effect_attr),
+            bins,
+        )
+        if kappa >= kappa_threshold:
+            pruned_attrs.add(rule.effect_attr)
+    kept = [p for p in predicates if p.attr not in pruned_attrs]
+    pruned = [p for p in predicates if p.attr in pruned_attrs]
+    return kept, pruned

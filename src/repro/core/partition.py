@@ -1,0 +1,183 @@
+"""Partition spaces: equi-width discretization and labeling (Sections 4.1-4.2).
+
+For a numeric attribute, DBSherlock discretizes the value range into ``R``
+equi-width partitions; for a categorical attribute, one partition per
+distinct value.  Each partition is then labeled:
+
+* numeric — ``Abnormal`` when every tuple falling in it is abnormal,
+  ``Normal`` when every tuple is normal, ``Empty`` otherwise (no tuples, or
+  a mix of both regions);
+* categorical — by majority: ``Abnormal`` when more abnormal than normal
+  tuples fall in it, ``Normal`` for the converse, ``Empty`` on ties.
+
+Tuples outside both regions are ignored (Section 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.regions import RegionSpec
+
+__all__ = ["Label", "NumericPartitionSpace", "CategoricalPartitionSpace"]
+
+
+class Label(enum.IntEnum):
+    """Partition labels used throughout Algorithm 1."""
+
+    EMPTY = 0
+    NORMAL = 1
+    ABNORMAL = 2
+
+
+class NumericPartitionSpace:
+    """``R`` equi-width partitions over a numeric attribute's observed range.
+
+    Partition ``Pj`` covers ``[lb(Pj), ub(Pj))``; values equal to the global
+    maximum are assigned to the last partition so every tuple belongs to
+    exactly one partition.
+    """
+
+    def __init__(self, attr: str, values: np.ndarray, n_partitions: int) -> None:
+        if n_partitions < 1:
+            raise ValueError("n_partitions must be at least 1")
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("cannot partition an empty attribute")
+        self.attr = attr
+        self.minimum = float(values.min())
+        self.maximum = float(values.max())
+        if self.maximum > self.minimum:
+            self.n_partitions = int(n_partitions)
+        else:
+            # A constant attribute collapses to a single partition.
+            self.n_partitions = 1
+        self.width = (self.maximum - self.minimum) / self.n_partitions
+
+    def lower_bound(self, index: int) -> float:
+        """``lb(P_index)``."""
+        self._check_index(index)
+        return self.minimum + index * self.width
+
+    def upper_bound(self, index: int) -> float:
+        """``ub(P_index)``."""
+        self._check_index(index)
+        if index == self.n_partitions - 1:
+            return self.maximum
+        return self.minimum + (index + 1) * self.width
+
+    def midpoint(self, index: int) -> float:
+        """Representative value of a partition (its centre)."""
+        self._check_index(index)
+        if self.width == 0:
+            return self.minimum
+        return self.lower_bound(index) + self.width / 2.0
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.n_partitions:
+            raise IndexError(f"partition index {index} out of range")
+
+    def partition_indices(self, values: np.ndarray) -> np.ndarray:
+        """Partition index of each value (max value maps to the last one)."""
+        values = np.asarray(values, dtype=np.float64)
+        if self.width == 0:
+            return np.zeros(values.shape, dtype=np.int64)
+        idx = np.floor((values - self.minimum) / self.width).astype(np.int64)
+        return np.clip(idx, 0, self.n_partitions - 1)
+
+    def label(
+        self,
+        values: np.ndarray,
+        abnormal_mask: np.ndarray,
+        normal_mask: np.ndarray,
+    ) -> np.ndarray:
+        """Label every partition from the region masks (Section 4.2).
+
+        Returns an ``int`` array of :class:`Label` values, one per partition.
+        """
+        idx = self.partition_indices(values)
+        counts_abnormal = np.bincount(
+            idx[abnormal_mask], minlength=self.n_partitions
+        )
+        counts_normal = np.bincount(idx[normal_mask], minlength=self.n_partitions)
+        labels = np.full(self.n_partitions, int(Label.EMPTY), dtype=np.int64)
+        labels[(counts_abnormal > 0) & (counts_normal == 0)] = int(Label.ABNORMAL)
+        labels[(counts_normal > 0) & (counts_abnormal == 0)] = int(Label.NORMAL)
+        return labels
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: Dataset, attr: str, n_partitions: int
+    ) -> "NumericPartitionSpace":
+        """Build the partition space over all rows of *dataset*."""
+        return cls(attr, dataset.column(attr), n_partitions)
+
+    def labeled_from_spec(
+        self, dataset: Dataset, spec: RegionSpec
+    ) -> np.ndarray:
+        """Convenience: label using the spec's region masks on *dataset*."""
+        return self.label(
+            dataset.column(self.attr),
+            spec.abnormal_mask(dataset),
+            spec.normal_mask(dataset),
+        )
+
+
+class CategoricalPartitionSpace:
+    """One partition per distinct category value (order is irrelevant)."""
+
+    def __init__(self, attr: str, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=object)
+        if values.size == 0:
+            raise ValueError("cannot partition an empty attribute")
+        self.attr = attr
+        self.categories: List[str] = sorted({str(v) for v in values})
+        self._index = {c: i for i, c in enumerate(self.categories)}
+
+    @property
+    def n_partitions(self) -> int:
+        """Number of distinct categories."""
+        return len(self.categories)
+
+    def partition_indices(self, values: np.ndarray) -> np.ndarray:
+        """Partition index of each value; unseen categories map to -1."""
+        return np.asarray(
+            [self._index.get(str(v), -1) for v in values], dtype=np.int64
+        )
+
+    def label(
+        self,
+        values: np.ndarray,
+        abnormal_mask: np.ndarray,
+        normal_mask: np.ndarray,
+    ) -> np.ndarray:
+        """Majority labeling for categorical partitions (Section 4.2)."""
+        idx = self.partition_indices(values)
+        labels = np.full(self.n_partitions, int(Label.EMPTY), dtype=np.int64)
+        valid = idx >= 0
+        counts_abnormal = np.bincount(
+            idx[valid & abnormal_mask], minlength=self.n_partitions
+        )
+        counts_normal = np.bincount(
+            idx[valid & normal_mask], minlength=self.n_partitions
+        )
+        labels[counts_abnormal > counts_normal] = int(Label.ABNORMAL)
+        labels[counts_normal > counts_abnormal] = int(Label.NORMAL)
+        return labels
+
+    @classmethod
+    def from_dataset(cls, dataset: Dataset, attr: str) -> "CategoricalPartitionSpace":
+        """Build the partition space over all rows of *dataset*."""
+        return cls(attr, dataset.column(attr))
+
+    def labeled_from_spec(self, dataset: Dataset, spec: RegionSpec) -> np.ndarray:
+        """Convenience: label using the spec's region masks on *dataset*."""
+        return self.label(
+            dataset.column(self.attr),
+            spec.abnormal_mask(dataset),
+            spec.normal_mask(dataset),
+        )

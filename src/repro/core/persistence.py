@@ -1,0 +1,111 @@
+"""Persistence for causal models: the knowledge DBAs accumulate.
+
+Causal models are the long-lived asset of DBSherlock — each one encodes a
+confirmed diagnosis — so they must outlive the process.  Models and whole
+stores serialize to a small explicit JSON schema (no pickle: the files are
+meant to be inspected, diffed, and shared between DBAs, like dbseer's
+saved models).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.causal import CausalModel, CausalModelStore
+from repro.core.predicates import (
+    CategoricalPredicate,
+    NumericPredicate,
+    Predicate,
+)
+
+__all__ = [
+    "predicate_to_dict",
+    "predicate_from_dict",
+    "model_to_dict",
+    "model_from_dict",
+    "save_store",
+    "load_store",
+]
+
+SCHEMA_VERSION = 1
+
+
+def predicate_to_dict(predicate: Predicate) -> Dict:
+    """JSON-safe representation of one predicate."""
+    if isinstance(predicate, NumericPredicate):
+        return {
+            "kind": "numeric",
+            "attr": predicate.attr,
+            "lower": predicate.lower,
+            "upper": predicate.upper,
+        }
+    if isinstance(predicate, CategoricalPredicate):
+        return {
+            "kind": "categorical",
+            "attr": predicate.attr,
+            "categories": sorted(predicate.categories),
+        }
+    raise TypeError(f"unknown predicate type: {type(predicate)!r}")
+
+
+def predicate_from_dict(payload: Dict) -> Predicate:
+    """Inverse of :func:`predicate_to_dict`."""
+    kind = payload.get("kind")
+    if kind == "numeric":
+        return NumericPredicate(
+            payload["attr"], lower=payload["lower"], upper=payload["upper"]
+        )
+    if kind == "categorical":
+        return CategoricalPredicate.of(payload["attr"], payload["categories"])
+    raise ValueError(f"unknown predicate kind: {kind!r}")
+
+
+def model_to_dict(model: CausalModel) -> Dict:
+    """JSON-safe representation of one causal model."""
+    return {
+        "cause": model.cause,
+        "n_merged": model.n_merged,
+        "predicates": [predicate_to_dict(p) for p in model.predicates],
+    }
+
+
+def model_from_dict(payload: Dict) -> CausalModel:
+    """Inverse of :func:`model_to_dict`."""
+    return CausalModel(
+        cause=payload["cause"],
+        predicates=[predicate_from_dict(p) for p in payload["predicates"]],
+        n_merged=int(payload.get("n_merged", 1)),
+    )
+
+
+def save_store(store: CausalModelStore, path: Union[str, Path]) -> None:
+    """Write every model in *store* to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "models": [model_to_dict(m) for m in store],
+    }
+    with path.open("w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+
+def load_store(
+    path: Union[str, Path], merge_on_add: bool = True
+) -> CausalModelStore:
+    """Load a store previously written by :func:`save_store`."""
+    path = Path(path)
+    with path.open("r") as fh:
+        payload = json.load(fh)
+    schema = payload.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported causal-model schema {schema!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    store = CausalModelStore(merge_on_add=merge_on_add)
+    for model_payload in payload.get("models", []):
+        store.add(model_from_dict(model_payload))
+    return store

@@ -1,0 +1,208 @@
+"""Predicate types: the vocabulary of DBSherlock explanations.
+
+Section 3 of the paper restricts explanations to conjunctions of *simple*
+predicates, one per attribute:
+
+* numeric — ``Attr < x``, ``Attr > x``, or ``x < Attr < y`` (open bounds);
+* categorical — ``Attr ∈ {c1, ..., cl}``.
+
+Section 6.2 defines how two predicates over the same attribute merge when
+combining causal models that share a cause: boundaries widen so the merged
+predicate covers both, and numeric predicates with conflicting directions
+are inconsistent (the attribute is dropped from the merged model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+__all__ = [
+    "NumericPredicate",
+    "CategoricalPredicate",
+    "Predicate",
+    "Conjunction",
+    "InconsistentPredicates",
+]
+
+
+class InconsistentPredicates(ValueError):
+    """Raised when merging predicates with conflicting directions."""
+
+
+@dataclass(frozen=True)
+class NumericPredicate:
+    """``lower < Attr < upper`` with either bound optionally open.
+
+    ``lower is None`` encodes ``Attr < upper``; ``upper is None`` encodes
+    ``Attr > lower``.  At least one bound must be present.
+    """
+
+    attr: str
+    lower: Optional[float] = None
+    upper: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.lower is None and self.upper is None:
+            raise ValueError(f"predicate on {self.attr!r} needs at least one bound")
+        if (
+            self.lower is not None
+            and self.upper is not None
+            and self.upper <= self.lower
+        ):
+            raise ValueError(
+                f"predicate on {self.attr!r} has empty range "
+                f"({self.lower}, {self.upper})"
+            )
+
+    @property
+    def direction(self) -> str:
+        """``'gt'``, ``'lt'``, or ``'range'``."""
+        if self.lower is not None and self.upper is not None:
+            return "range"
+        return "gt" if self.lower is not None else "lt"
+
+    def evaluate_values(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of values satisfying the predicate."""
+        values = np.asarray(values, dtype=np.float64)
+        mask = np.ones(values.shape, dtype=bool)
+        if self.lower is not None:
+            mask &= values > self.lower
+        if self.upper is not None:
+            mask &= values < self.upper
+        return mask
+
+    def evaluate(self, dataset: Dataset) -> np.ndarray:
+        """Boolean mask of dataset rows satisfying the predicate."""
+        return self.evaluate_values(dataset.column(self.attr))
+
+    def merge(self, other: "NumericPredicate") -> "NumericPredicate":
+        """Widen to cover both predicates (Section 6.2).
+
+        ``A > 10`` merged with ``A > 15`` gives ``A > 10``; ``C < 20`` with
+        ``C < 15`` gives ``C < 20``; two ranges give their convex hull.
+        Conflicting directions (e.g. ``A > 10`` vs ``A < 30``) raise
+        :class:`InconsistentPredicates`.
+        """
+        if other.attr != self.attr:
+            raise ValueError("cannot merge predicates on different attributes")
+        if self.direction != other.direction:
+            raise InconsistentPredicates(
+                f"{self.attr}: {self.direction} vs {other.direction}"
+            )
+        if self.direction == "gt":
+            assert self.lower is not None and other.lower is not None
+            return NumericPredicate(self.attr, lower=min(self.lower, other.lower))
+        if self.direction == "lt":
+            assert self.upper is not None and other.upper is not None
+            return NumericPredicate(self.attr, upper=max(self.upper, other.upper))
+        assert None not in (self.lower, self.upper, other.lower, other.upper)
+        return NumericPredicate(
+            self.attr,
+            lower=min(self.lower, other.lower),  # type: ignore[type-var]
+            upper=max(self.upper, other.upper),  # type: ignore[type-var]
+        )
+
+    def __str__(self) -> str:
+        if self.direction == "gt":
+            return f"{self.attr} > {self.lower:g}"
+        if self.direction == "lt":
+            return f"{self.attr} < {self.upper:g}"
+        return f"{self.lower:g} < {self.attr} < {self.upper:g}"
+
+
+@dataclass(frozen=True)
+class CategoricalPredicate:
+    """``Attr ∈ {c1, ..., cl}`` over a categorical attribute."""
+
+    attr: str
+    categories: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        if not self.categories:
+            raise ValueError(f"predicate on {self.attr!r} has no categories")
+
+    @classmethod
+    def of(cls, attr: str, categories: Iterable[str]) -> "CategoricalPredicate":
+        """Convenience constructor accepting any iterable of labels."""
+        return cls(attr, frozenset(categories))
+
+    def evaluate_values(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of values inside the category set."""
+        return np.isin(np.asarray(values, dtype=object), list(self.categories))
+
+    def evaluate(self, dataset: Dataset) -> np.ndarray:
+        """Boolean mask of dataset rows satisfying the predicate."""
+        return self.evaluate_values(dataset.column(self.attr))
+
+    def merge(self, other: "CategoricalPredicate") -> "CategoricalPredicate":
+        """Union of both category sets, so the merge covers both models.
+
+        The paper's Section 6.2 merge rule states the merged predicate must
+        "include the boundaries (or categories) of both"; its worked example
+        accordingly lists ``E ∈ {xx, yy, zz}`` in the merged model.  (One
+        sentence of the example text says ``{xx, zz}``, which contradicts
+        both the stated rule and the final model — we follow the rule.)
+        """
+        if other.attr != self.attr:
+            raise ValueError("cannot merge predicates on different attributes")
+        return CategoricalPredicate(self.attr, self.categories | other.categories)
+
+    def __str__(self) -> str:
+        cats = ", ".join(sorted(self.categories))
+        return f"{self.attr} ∈ {{{cats}}}"
+
+
+Predicate = Union[NumericPredicate, CategoricalPredicate]
+
+
+class Conjunction:
+    """An ordered conjunction of simple predicates (at most one per attribute)."""
+
+    def __init__(self, predicates: Sequence[Predicate] = ()) -> None:
+        self._predicates: List[Predicate] = []
+        seen = set()
+        for pred in predicates:
+            if pred.attr in seen:
+                raise ValueError(f"duplicate predicate attribute {pred.attr!r}")
+            seen.add(pred.attr)
+            self._predicates.append(pred)
+
+    @property
+    def predicates(self) -> List[Predicate]:
+        """The member predicates, in insertion order."""
+        return list(self._predicates)
+
+    @property
+    def attributes(self) -> List[str]:
+        """Attributes constrained by this conjunction."""
+        return [p.attr for p in self._predicates]
+
+    def evaluate(self, dataset: Dataset) -> np.ndarray:
+        """Rows satisfying *every* predicate (all-True when empty)."""
+        mask = np.ones(dataset.n_rows, dtype=bool)
+        for pred in self._predicates:
+            if pred.attr in dataset:
+                mask &= pred.evaluate(dataset)
+            else:
+                mask &= False
+        return mask
+
+    def __len__(self) -> int:
+        return len(self._predicates)
+
+    def __iter__(self):
+        return iter(self._predicates)
+
+    def __bool__(self) -> bool:
+        return bool(self._predicates)
+
+    def __str__(self) -> str:
+        return " ∧ ".join(str(p) for p in self._predicates) or "(empty)"
+
+    def __repr__(self) -> str:
+        return f"Conjunction({self._predicates!r})"

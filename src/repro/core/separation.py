@@ -1,0 +1,75 @@
+"""Separation power and attribute normalization (Equations 1 and 2).
+
+The separation power of a predicate is the fraction of abnormal tuples it
+covers minus the fraction of normal tuples it covers; DBSherlock searches
+for predicates maximising it.  Normalization maps each numeric attribute to
+[0, 1] so the ``|µA − µN| > θ`` gate (Section 4.5) is scale free.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.predicates import Predicate
+from repro.data.dataset import Dataset
+from repro.data.regions import RegionSpec
+
+__all__ = [
+    "separation_power",
+    "normalized_difference",
+    "normalize_values",
+    "region_means",
+]
+
+
+def separation_power(
+    predicate: Predicate, dataset: Dataset, spec: RegionSpec
+) -> float:
+    """Equation 1: ``|Pred(TA)|/|TA| − |Pred(TN)|/|TN|`` over raw tuples."""
+    abnormal = spec.abnormal_mask(dataset)
+    normal = spec.normal_mask(dataset)
+    n_abnormal = int(abnormal.sum())
+    n_normal = int(normal.sum())
+    if n_abnormal == 0 or n_normal == 0:
+        raise ValueError("both regions must contain tuples")
+    satisfied = predicate.evaluate(dataset)
+    ratio_abnormal = float((satisfied & abnormal).sum()) / n_abnormal
+    ratio_normal = float((satisfied & normal).sum()) / n_normal
+    return ratio_abnormal - ratio_normal
+
+
+def normalize_values(values: np.ndarray) -> np.ndarray:
+    """Equation 2: map values to [0, 1]; constant vectors map to zeros."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return values.copy()
+    lo = float(values.min())
+    hi = float(values.max())
+    span = hi - lo
+    if span <= 0:
+        return np.zeros_like(values)
+    return (values - lo) / span
+
+
+def region_means(
+    values: np.ndarray, abnormal: np.ndarray, normal: np.ndarray
+) -> Tuple[float, float]:
+    """Mean of *values* over the abnormal and normal row masks."""
+    if not abnormal.any() or not normal.any():
+        raise ValueError("both regions must contain tuples")
+    return float(values[abnormal].mean()), float(values[normal].mean())
+
+
+def normalized_difference(
+    attr: str, dataset: Dataset, spec: RegionSpec
+) -> float:
+    """``d = |µA − µN|`` of the normalized attribute (Section 4.5 gate)."""
+    if not dataset.is_numeric(attr):
+        raise TypeError(f"attribute {attr!r} is categorical")
+    normalized = normalize_values(dataset.column(attr))
+    mu_abnormal, mu_normal = region_means(
+        normalized, spec.abnormal_mask(dataset), spec.normal_mask(dataset)
+    )
+    return abs(mu_abnormal - mu_normal)

@@ -1,0 +1,29 @@
+"""Timestamp-aligned telemetry containers and preprocessing.
+
+This subpackage implements the data model described in Section 2.1 of the
+paper: every row is a 1-second snapshot ``(Timestamp, Attr1, ..., Attrk)``
+where attributes mix numeric statistics (OS, DBMS, transaction aggregates)
+and categorical metadata.
+"""
+
+from repro.data.dataset import Dataset
+from repro.data.regions import Region, RegionSpec
+from repro.data.loader import load_dataset_csv, save_dataset_csv
+from repro.data.preprocess import (
+    AlignedLogBuilder,
+    TransactionRecord,
+    aggregate_transactions,
+    align_logs,
+)
+
+__all__ = [
+    "Dataset",
+    "Region",
+    "RegionSpec",
+    "load_dataset_csv",
+    "save_dataset_csv",
+    "AlignedLogBuilder",
+    "TransactionRecord",
+    "aggregate_transactions",
+    "align_logs",
+]

@@ -1,0 +1,103 @@
+"""CSV persistence for datasets, in a dbseer-like layout.
+
+The open-source dbseer toolkit stores each run as a CSV with a header row
+of attribute names, a ``timestamp`` column first, and one row per second.
+Categorical columns are round-tripped via a ``#types`` comment line so the
+loader restores them as categorical rather than failing to parse floats.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+__all__ = ["save_dataset_csv", "load_dataset_csv"]
+
+_TIMESTAMP_COLUMN = "timestamp"
+_TYPES_PREFIX = "#types,"
+
+
+def save_dataset_csv(dataset: Dataset, path: Union[str, Path]) -> None:
+    """Write *dataset* to *path* as CSV with a ``#types`` metadata line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    numeric = dataset.numeric_attributes
+    categorical = dataset.categorical_attributes
+    header = [_TIMESTAMP_COLUMN] + numeric + categorical
+    types = ["numeric"] + ["numeric"] * len(numeric) + ["categorical"] * len(categorical)
+    with path.open("w", newline="") as fh:
+        fh.write(_TYPES_PREFIX + ",".join(types) + "\n")
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        columns = [dataset.timestamps] + [dataset.column(a) for a in numeric + categorical]
+        for row in zip(*columns):
+            writer.writerow(
+                [f"{v:.10g}" if isinstance(v, float) else v for v in row]
+            )
+
+
+def load_dataset_csv(path: Union[str, Path], name: str = "") -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset_csv`.
+
+    Files without a ``#types`` line are accepted: columns whose values all
+    parse as floats become numeric, the rest categorical.
+    """
+    path = Path(path)
+    with path.open("r", newline="") as fh:
+        first = fh.readline()
+        declared_types: List[str] = []
+        if first.startswith(_TYPES_PREFIX):
+            declared_types = first[len(_TYPES_PREFIX):].strip().split(",")
+            header_line = fh.readline()
+        else:
+            header_line = first
+        header = next(csv.reader([header_line]))
+        rows = list(csv.reader(fh))
+
+    if not header or header[0] != _TIMESTAMP_COLUMN:
+        raise ValueError(f"{path}: first column must be {_TIMESTAMP_COLUMN!r}")
+    if declared_types and len(declared_types) != len(header):
+        raise ValueError(f"{path}: #types line does not match the header")
+
+    raw: Dict[str, List[str]] = {h: [] for h in header}
+    for row in rows:
+        if not row:
+            continue
+        if len(row) != len(header):
+            raise ValueError(f"{path}: row width {len(row)} != header {len(header)}")
+        for attr, value in zip(header, row):
+            raw[attr].append(value)
+
+    timestamps = np.asarray([float(v) for v in raw[_TIMESTAMP_COLUMN]])
+    numeric: Dict[str, np.ndarray] = {}
+    categorical: Dict[str, np.ndarray] = {}
+    for i, attr in enumerate(header[1:], start=1):
+        values = raw[attr]
+        if declared_types:
+            is_numeric = declared_types[i] == "numeric"
+        else:
+            is_numeric = _all_floats(values)
+        if is_numeric:
+            numeric[attr] = np.asarray([float(v) for v in values])
+        else:
+            categorical[attr] = np.asarray(values, dtype=object)
+    return Dataset(
+        timestamps,
+        numeric=numeric,
+        categorical=categorical,
+        name=name or path.stem,
+    )
+
+
+def _all_floats(values: List[str]) -> bool:
+    for value in values:
+        try:
+            float(value)
+        except ValueError:
+            return False
+    return True

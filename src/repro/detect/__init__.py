@@ -1,0 +1,26 @@
+"""Alternative anomaly detectors — the paper's Section 9 future work.
+
+    "Allowing users to choose from additional outlier detection
+    algorithms [...] will make an interesting future work."
+
+Every detector shares the Section 7 pipeline's front end (normalization +
+potential-power attribute selection) and the ``DetectionResult`` output,
+so they are drop-in replacements for the DBSCAN strategy inside
+:class:`repro.core.anomaly.AnomalyDetector`-based workflows.
+"""
+
+from repro.detect.strategies import (
+    BaseDetector,
+    DbscanDetector,
+    EnsembleDetector,
+    RobustZScoreDetector,
+    ThroughputDipDetector,
+)
+
+__all__ = [
+    "BaseDetector",
+    "DbscanDetector",
+    "RobustZScoreDetector",
+    "ThroughputDipDetector",
+    "EnsembleDetector",
+]

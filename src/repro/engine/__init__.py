@@ -1,0 +1,28 @@
+"""OLTP server simulator: the substrate replacing the paper's testbed.
+
+The paper collected telemetry from MySQL 5.6 + Linux on two Azure A3 VMs.
+Offline we cannot run that stack, so this package provides an analytical
+discrete-time simulator: each 1-second tick, a closed-loop client pool
+offers transactions, resource models (CPU, disk, buffer pool, network,
+locks) translate the demand into utilisations and latencies, and a metric
+catalogue emits ~190 aligned OS/DBMS/transaction attributes — the same
+interface DBSherlock consumes from DBSeer.
+"""
+
+from repro.engine.resources import ServerConfig, mm1_latency_factor
+from repro.engine.locks import LockModel
+from repro.engine.server import DatabaseServer, TickModifiers, TickState
+from repro.engine.metrics import MetricCatalog
+from repro.engine.collector import TelemetryCollector, simulate_telemetry
+
+__all__ = [
+    "ServerConfig",
+    "mm1_latency_factor",
+    "LockModel",
+    "DatabaseServer",
+    "TickModifiers",
+    "TickState",
+    "MetricCatalog",
+    "TelemetryCollector",
+    "simulate_telemetry",
+]

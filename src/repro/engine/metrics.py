@@ -1,0 +1,344 @@
+"""Metric catalogue: TickState → ~190 aligned telemetry attributes.
+
+Models the statistics DBSeer collects at 1-second intervals (Section 2.1):
+Linux ``/proc`` resource counters, MySQL global status variables, and
+transaction aggregates.  Real servers expose many near-duplicate counters
+(per-core splits, handler counters tracking row reads, sectors tracking
+bytes); we reproduce that redundancy deliberately — it is what makes the
+diagnosis problem high-dimensional — and add per-metric observation noise.
+
+Every metric is a small function of the ground-truth :class:`TickState`;
+the catalogue is data-driven so tests can enumerate and audit it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.server import TickState
+
+__all__ = ["MetricDef", "MetricCatalog"]
+
+
+@dataclass(frozen=True)
+class MetricDef:
+    """One emitted telemetry attribute.
+
+    Attributes
+    ----------
+    name:
+        Emitted attribute name (``source.counter`` convention).
+    fn:
+        Maps the tick state to the metric's true value.
+    noise:
+        Relative (multiplicative) Gaussian noise applied on emission.
+    jitter:
+        Absolute additive Gaussian noise (keeps near-zero metrics from
+        being perfectly constant, like real counters).
+    non_negative:
+        Clamp emitted values at zero (true for almost all counters).
+    """
+
+    name: str
+    fn: Callable[[TickState], float]
+    noise: float = 0.03
+    jitter: float = 0.0
+    non_negative: bool = True
+
+
+def _core_split(state: TickState, core: int, n_cores: int = 4) -> float:
+    """Utilisation share of one core; the scheduler spreads load unevenly."""
+    base = state.cpu_util
+    tilt = 1.0 + 0.12 * np.cos(core + state.time * 0.37)
+    return min(base * tilt, 1.0)
+
+
+def _txn_count(state: TickState, txn_type: str) -> float:
+    return state.txn_counts.get(txn_type, 0.0)
+
+
+def build_catalog(txn_types: Sequence[str]) -> List[MetricDef]:
+    """All metric definitions for a workload's transaction types."""
+    defs: List[MetricDef] = []
+
+    def add(name: str, fn: Callable[[TickState], float], **kwargs) -> None:
+        defs.append(MetricDef(name, fn, **kwargs))
+
+    # ------------------------------------------------------------------
+    # OS: CPU (aggregate + per-core user/system/idle/iowait)
+    # ------------------------------------------------------------------
+    add("os.cpu_usage", lambda s: 100.0 * s.cpu_util)
+    add("os.cpu_idle", lambda s: 100.0 * (1.0 - s.cpu_util))
+    add("os.cpu_user", lambda s: 100.0 * s.cpu_util * 0.78)
+    add("os.cpu_system", lambda s: 100.0 * s.cpu_util * 0.22)
+    add("os.cpu_iowait", lambda s: 100.0 * s.cpu_iowait_frac, jitter=0.2)
+    add("os.run_queue", lambda s: s.run_queue, jitter=0.1)
+    add("os.load_avg_1m", lambda s: s.run_queue + s.disk_queue * 0.3)
+    for core in range(4):
+        add(
+            f"os.cpu{core}_user",
+            lambda s, c=core: 100.0 * _core_split(s, c) * 0.78,
+        )
+        add(
+            f"os.cpu{core}_system",
+            lambda s, c=core: 100.0 * _core_split(s, c) * 0.22,
+        )
+        add(
+            f"os.cpu{core}_idle",
+            lambda s, c=core: 100.0 * (1.0 - _core_split(s, c)),
+        )
+        add(
+            f"os.cpu{core}_iowait",
+            lambda s, c=core: 100.0 * s.cpu_iowait_frac * (0.9 + 0.05 * c),
+            jitter=0.2,
+        )
+
+    # ------------------------------------------------------------------
+    # OS: scheduler / memory / VM
+    # ------------------------------------------------------------------
+    add("os.context_switches", lambda s: s.completed_tps * 9.0 + 2200.0)
+    add("os.interrupts", lambda s: s.completed_tps * 4.0 + 1500.0)
+    add("os.forks", lambda s: 3.0, jitter=1.0)
+    add("os.procs_running", lambda s: 1.0 + s.run_queue, jitter=0.3)
+    add("os.procs_blocked", lambda s: s.disk_queue * 0.4, jitter=0.2)
+    add("os.page_faults_minor", lambda s: s.completed_tps * 12.0 + 800.0)
+    add("os.page_faults_major", lambda s: s.page_faults, jitter=0.5)
+    add("os.allocated_pages", lambda s: s.mem_used_mb * 64.0)
+    add("os.free_pages", lambda s: (7000.0 - s.mem_used_mb) * 64.0)
+    add("os.cached_pages", lambda s: (7000.0 - s.mem_used_mb) * 40.0)
+    add("os.mem_used_mb", lambda s: s.mem_used_mb)
+    add("os.mem_free_mb", lambda s: 7000.0 - s.mem_used_mb)
+    add("os.swap_used_mb", lambda s: s.swap_used_mb, jitter=0.05)
+    add("os.swap_free_mb", lambda s: 4096.0 - s.swap_used_mb)
+    add("os.swap_in_pages", lambda s: s.swap_used_mb * 1.5, jitter=0.2)
+    add("os.swap_out_pages", lambda s: s.swap_used_mb * 1.8, jitter=0.2)
+
+    # ------------------------------------------------------------------
+    # OS: disk
+    # ------------------------------------------------------------------
+    add("os.disk_read_ops", lambda s: s.disk_read_ops, jitter=0.5)
+    add("os.disk_write_ops", lambda s: s.disk_write_ops, jitter=0.5)
+    add("os.disk_read_mb", lambda s: s.disk_read_mb, jitter=0.02)
+    add("os.disk_write_mb", lambda s: s.disk_write_mb, jitter=0.02)
+    add("os.disk_sectors_read", lambda s: s.disk_read_mb * 2048.0)
+    add("os.disk_sectors_written", lambda s: s.disk_write_mb * 2048.0)
+    add("os.disk_utilization", lambda s: 100.0 * s.disk_util)
+    add("os.disk_queue_depth", lambda s: s.disk_queue, jitter=0.1)
+    add("os.disk_read_latency_ms", lambda s: s.io_latency_ms, jitter=0.02)
+    add("os.disk_write_latency_ms", lambda s: s.io_latency_ms * 1.2, jitter=0.02)
+
+    # ------------------------------------------------------------------
+    # OS: network
+    # ------------------------------------------------------------------
+    add("os.network_send_mb", lambda s: s.net_send_mb, jitter=0.01)
+    add("os.network_recv_mb", lambda s: s.net_recv_mb, jitter=0.01)
+    add("os.network_send_packets", lambda s: s.net_send_mb * 900.0 + s.completed_tps)
+    add("os.network_recv_packets", lambda s: s.net_recv_mb * 1100.0 + s.completed_tps)
+    add("os.network_utilization", lambda s: 100.0 * s.net_util)
+    add(
+        "os.tcp_retransmits",
+        lambda s: 0.5 + s.net_util * 8.0 + s.net_delay_ms * 0.05,
+        jitter=0.5,
+    )
+    add("os.tcp_connections", lambda s: float(s.terminals) + 12.0, noise=0.01)
+    add("os.ping_rtt_ms", lambda s: 0.4 + s.net_delay_ms, jitter=0.05)
+
+    # ------------------------------------------------------------------
+    # MySQL: statement counters
+    # ------------------------------------------------------------------
+    add("mysql.questions", lambda s: s.completed_tps * 5.2)
+    add("mysql.com_select", lambda s: s.completed_tps * 2.6 + s.scan_rows / 5e4)
+    add("mysql.com_insert", lambda s: s.rows_inserted / 2.5)
+    add("mysql.com_update", lambda s: s.rows_updated / 2.0)
+    add("mysql.com_delete", lambda s: s.rows_deleted / 1.5)
+    add("mysql.com_commit", lambda s: s.completed_tps)
+    add("mysql.com_rollback", lambda s: s.completed_tps * 0.004, jitter=0.2)
+    add("mysql.slow_queries", lambda s: s.scan_rows / 2e5, jitter=0.05)
+    add("mysql.select_full_join", lambda s: s.scan_rows / 1e5, jitter=0.05)
+    add("mysql.select_scan", lambda s: 2.0 + s.scan_rows / 5e4, jitter=0.3)
+    add("mysql.sort_rows", lambda s: s.completed_tps * 6.0 + s.scan_rows * 0.01)
+    add("mysql.sort_scan", lambda s: s.completed_tps * 0.08, jitter=0.2)
+
+    # ------------------------------------------------------------------
+    # MySQL: threads / connections
+    # ------------------------------------------------------------------
+    add("mysql.threads_running", lambda s: 1.0 + s.concurrency, jitter=0.3)
+    add("mysql.threads_connected", lambda s: float(s.terminals) + 2.0, noise=0.01)
+    add("mysql.threads_created", lambda s: 0.1, jitter=0.1)
+    add("mysql.connections", lambda s: float(s.terminals) + 4.0, noise=0.01)
+    add("mysql.aborted_clients", lambda s: s.net_delay_ms * 0.01, jitter=0.1)
+    add("mysql.aborted_connects", lambda s: 0.05, jitter=0.05)
+
+    # ------------------------------------------------------------------
+    # MySQL: InnoDB buffer pool
+    # ------------------------------------------------------------------
+    add("mysql.innodb_buffer_pool_read_requests", lambda s: s.logical_reads)
+    add("mysql.innodb_buffer_pool_reads", lambda s: s.physical_reads, jitter=0.5)
+    add(
+        "mysql.innodb_buffer_pool_write_requests",
+        lambda s: s.rows_inserted + s.rows_updated + s.rows_deleted,
+    )
+    add("mysql.innodb_buffer_pool_pages_dirty", lambda s: s.dirty_pages)
+    add("mysql.innodb_buffer_pool_pages_free", lambda s: s.free_pages)
+    add(
+        "mysql.innodb_buffer_pool_pages_data",
+        lambda s: 48000.0 - s.free_pages,
+    )
+    add("mysql.innodb_buffer_pool_pages_flushed", lambda s: s.pages_flushed)
+    add("mysql.innodb_buffer_pool_hit_rate", lambda s: 100.0 * s.buffer_hit_rate,
+        noise=0.002)
+
+    # ------------------------------------------------------------------
+    # MySQL: InnoDB row locks
+    # ------------------------------------------------------------------
+    add(
+        "mysql.innodb_row_lock_time_ms",
+        lambda s: s.lock_wait_ms_per_txn * s.completed_tps,
+        jitter=0.5,
+    )
+    add("mysql.innodb_row_lock_waits", lambda s: s.lock_waits, jitter=0.3)
+    add(
+        "mysql.innodb_row_lock_current_waits",
+        lambda s: s.lock_current_waits,
+        jitter=0.2,
+    )
+    add(
+        "mysql.innodb_row_lock_time_avg_ms",
+        lambda s: s.lock_wait_ms_per_txn,
+        jitter=0.05,
+    )
+    add("mysql.innodb_deadlocks", lambda s: s.lock_waits * 0.002, jitter=0.02)
+    add("mysql.table_locks_waited", lambda s: s.lock_waits * 0.05, jitter=0.1)
+    add("mysql.table_locks_immediate", lambda s: s.completed_tps * 4.0)
+
+    # ------------------------------------------------------------------
+    # MySQL: InnoDB I/O and redo log
+    # ------------------------------------------------------------------
+    add("mysql.innodb_data_reads", lambda s: s.physical_reads + 3.0)
+    add("mysql.innodb_data_writes", lambda s: s.disk_write_ops * 0.8)
+    add("mysql.innodb_data_read_mb", lambda s: s.disk_read_mb * 0.95)
+    add("mysql.innodb_data_written_mb", lambda s: s.disk_write_mb * 0.9)
+    add("mysql.innodb_os_log_fsyncs", lambda s: s.completed_tps / 5.0 + 1.0)
+    add("mysql.innodb_log_write_requests", lambda s: s.log_writes)
+    add("mysql.innodb_log_writes", lambda s: s.log_writes * 0.4 + 2.0)
+    add("mysql.innodb_log_waits", lambda s: max(s.log_writes - 8000.0, 0.0) * 0.01,
+        jitter=0.05)
+    add("mysql.innodb_pages_created", lambda s: s.rows_inserted / 20.0)
+    add("mysql.innodb_pages_written", lambda s: s.pages_flushed)
+
+    # ------------------------------------------------------------------
+    # MySQL: handler counters (row access paths)
+    # ------------------------------------------------------------------
+    add(
+        "mysql.handler_read_rnd_next",
+        lambda s: s.scan_rows + s.logical_reads * 0.05,
+    )
+    add("mysql.handler_read_key", lambda s: s.logical_reads * 0.7)
+    add("mysql.handler_read_next", lambda s: s.logical_reads * 0.25)
+    add("mysql.handler_read_first", lambda s: s.completed_tps * 0.3, jitter=0.2)
+    add("mysql.handler_write", lambda s: s.rows_inserted)
+    add("mysql.handler_update", lambda s: s.rows_updated)
+    add("mysql.handler_delete", lambda s: s.rows_deleted)
+    add("mysql.handler_commit", lambda s: s.completed_tps)
+
+    # ------------------------------------------------------------------
+    # MySQL: misc server state
+    # ------------------------------------------------------------------
+    add("mysql.created_tmp_tables", lambda s: s.completed_tps * 0.12 +
+        s.scan_rows / 2e5, jitter=0.3)
+    add("mysql.created_tmp_disk_tables", lambda s: s.scan_rows / 1e6, jitter=0.05)
+    add("mysql.open_tables", lambda s: 220.0, noise=0.005)
+    add("mysql.opened_tables", lambda s: 0.2 + s.pages_flushed / 4000.0, jitter=0.2)
+    add("mysql.bytes_sent_mb", lambda s: s.net_send_mb * 0.92)
+    add("mysql.bytes_received_mb", lambda s: s.net_recv_mb * 0.92)
+    add("mysql.cpu_usage", lambda s: 100.0 * s.db_cpu_cores / 4.0)
+    add("mysql.mem_rss_mb", lambda s: 1550.0 + s.dirty_pages / 400.0, noise=0.005)
+    add("mysql.io_read_mb", lambda s: s.disk_read_mb * 0.9)
+    add("mysql.io_write_mb", lambda s: s.disk_write_mb * 0.85)
+    add("mysql.uptime_ratio", lambda s: 1.0, noise=0.0)
+
+    # ------------------------------------------------------------------
+    # Transaction aggregates (DBSeer preprocessing output)
+    # ------------------------------------------------------------------
+    add("txn.avg_latency_ms", lambda s: s.avg_latency_ms, noise=0.05)
+    add("txn.p95_latency_ms", lambda s: s.p95_latency_ms, noise=0.08)
+    add("txn.p99_latency_ms", lambda s: s.p99_latency_ms, noise=0.10)
+    add("txn.throughput_tps", lambda s: s.completed_tps, noise=0.02)
+    add("txn.count_total", lambda s: s.completed_tps, noise=0.0)
+    add("txn.client_wait_ms", lambda s: s.client_wait_ms, noise=0.05)
+    for txn_type in txn_types:
+        add(
+            f"txn.count_{txn_type}",
+            lambda s, t=txn_type: _txn_count(s, t),
+            noise=0.0,
+        )
+        add(
+            f"txn.avg_latency_{txn_type}_ms",
+            lambda s, t=txn_type: s.avg_latency_ms
+            * (0.8 + 0.4 * (hash(t) % 5) / 5.0),
+            noise=0.08,
+        )
+    return defs
+
+
+class MetricCatalog:
+    """Emits telemetry rows (numeric + categorical) from tick states."""
+
+    def __init__(
+        self,
+        txn_types: Sequence[str],
+        noise_scale: float = 1.0,
+    ) -> None:
+        self.definitions = build_catalog(txn_types)
+        self.noise_scale = float(noise_scale)
+        names = [d.name for d in self.definitions]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate metric names in catalogue")
+
+    @property
+    def numeric_names(self) -> List[str]:
+        """Names of all numeric metrics, in catalogue order."""
+        return [d.name for d in self.definitions]
+
+    @property
+    def categorical_names(self) -> List[str]:
+        """Names of the emitted categorical attributes."""
+        return [
+            "workload.dominant_txn",
+            "mysql.version",
+            "os.io_scheduler",
+            "mysql.adaptive_flushing",
+        ]
+
+    def emit_numeric(
+        self, state: TickState, rng: np.random.Generator
+    ) -> Dict[str, float]:
+        """One noisy numeric telemetry row for *state*."""
+        row: Dict[str, float] = {}
+        for definition in self.definitions:
+            true_value = float(definition.fn(state))
+            value = true_value
+            if definition.noise > 0:
+                value *= 1.0 + rng.normal(0.0, definition.noise * self.noise_scale)
+            if definition.jitter > 0:
+                value += rng.normal(0.0, definition.jitter * self.noise_scale)
+            if definition.non_negative and value < 0:
+                value = 0.0
+            row[definition.name] = value
+        return row
+
+    def emit_categorical(self, state: TickState) -> Dict[str, str]:
+        """The categorical attributes for *state*.
+
+        Three are invariants (never valid explanations — the paper's
+        limitation (ii)); the dominant transaction type varies with mix.
+        """
+        return {
+            "workload.dominant_txn": state.dominant_txn or "none",
+            "mysql.version": "5.6.20",
+            "os.io_scheduler": "deadline",
+            "mysql.adaptive_flushing": "off",
+        }

@@ -1,0 +1,395 @@
+"""The discrete-time database server simulation.
+
+Each 1-second tick solves a small fixed point: the closed-loop terminal
+pool offers transactions at a rate that depends on latency, while latency
+depends on the utilisation the offered rate induces on CPU, disk, network,
+and locks.  Anomaly injectors perturb the tick through
+:class:`TickModifiers` (extra competing load, network delay, flush storms,
+hot-key redirection, ...), and the resulting :class:`TickState` is the
+ground truth from which :mod:`repro.engine.metrics` emits telemetry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.engine.locks import LockModel
+from repro.engine.resources import ServerConfig, mm1_latency_factor
+from repro.workload.client import TerminalPool
+from repro.workload.spec import WorkloadSpec
+
+__all__ = ["TickModifiers", "TickState", "DatabaseServer"]
+
+
+@dataclass(frozen=True)
+class TickModifiers:
+    """Perturbations anomaly injectors apply to one tick.
+
+    Additive fields default to 0, multiplicative fields to 1; modifiers
+    from several simultaneous injectors combine through :meth:`combine`
+    (sums and products respectively), which is what makes compound
+    anomalies (Section 8.7) possible.
+    """
+
+    # workload shape
+    tps_multiplier: float = 1.0
+    added_terminals: int = 0
+    # competing external processes (stress-ng style)
+    external_cpu_cores: float = 0.0
+    external_disk_ops: float = 0.0
+    external_net_mb: float = 0.0
+    external_mem_mb: float = 0.0
+    # rogue query stream (poorly written JOIN)
+    scan_rows_per_s: float = 0.0
+    scan_cpu_cores: float = 0.0
+    # physical design / bulk loads
+    write_amplification: float = 1.0
+    bulk_insert_rows: float = 0.0
+    # backup stream (mysqldump)
+    dump_read_mb: float = 0.0
+    dump_net_mb: float = 0.0
+    # flush storm (mysqladmin flush-logs / refresh)
+    flush_pages: float = 0.0
+    # network path
+    network_delay_ms: float = 0.0
+    # lock hot spot (None = workload default)
+    hot_fraction_override: Optional[float] = None
+    # cache pollution (large scans evicting hot pages)
+    buffer_miss_boost: float = 0.0
+
+    def combine(self, other: "TickModifiers") -> "TickModifiers":
+        """Merge two modifier sets (used for compound anomalies)."""
+        hot = self.hot_fraction_override
+        if other.hot_fraction_override is not None:
+            hot = (
+                other.hot_fraction_override
+                if hot is None
+                else min(hot, other.hot_fraction_override)
+            )
+        return TickModifiers(
+            tps_multiplier=self.tps_multiplier * other.tps_multiplier,
+            added_terminals=self.added_terminals + other.added_terminals,
+            external_cpu_cores=self.external_cpu_cores + other.external_cpu_cores,
+            external_disk_ops=self.external_disk_ops + other.external_disk_ops,
+            external_net_mb=self.external_net_mb + other.external_net_mb,
+            external_mem_mb=self.external_mem_mb + other.external_mem_mb,
+            scan_rows_per_s=self.scan_rows_per_s + other.scan_rows_per_s,
+            scan_cpu_cores=self.scan_cpu_cores + other.scan_cpu_cores,
+            write_amplification=self.write_amplification
+            * other.write_amplification,
+            bulk_insert_rows=self.bulk_insert_rows + other.bulk_insert_rows,
+            dump_read_mb=self.dump_read_mb + other.dump_read_mb,
+            dump_net_mb=self.dump_net_mb + other.dump_net_mb,
+            flush_pages=self.flush_pages + other.flush_pages,
+            network_delay_ms=self.network_delay_ms + other.network_delay_ms,
+            hot_fraction_override=hot,
+            buffer_miss_boost=self.buffer_miss_boost + other.buffer_miss_boost,
+        )
+
+
+IDENTITY_MODIFIERS = TickModifiers()
+
+
+@dataclass
+class TickState:
+    """Ground-truth server state for one simulated second."""
+
+    time: float = 0.0
+    # workload
+    offered_tps: float = 0.0
+    completed_tps: float = 0.0
+    txn_counts: Dict[str, float] = field(default_factory=dict)
+    avg_latency_ms: float = 0.0
+    p95_latency_ms: float = 0.0
+    p99_latency_ms: float = 0.0
+    concurrency: float = 0.0
+    terminals: int = 0
+    client_wait_ms: float = 0.0
+    # cpu
+    db_cpu_cores: float = 0.0
+    external_cpu_cores: float = 0.0
+    cpu_util: float = 0.0
+    cpu_iowait_frac: float = 0.0
+    run_queue: float = 0.0
+    # disk
+    disk_read_ops: float = 0.0
+    disk_write_ops: float = 0.0
+    disk_read_mb: float = 0.0
+    disk_write_mb: float = 0.0
+    disk_util: float = 0.0
+    disk_queue: float = 0.0
+    io_latency_ms: float = 0.0
+    # buffer pool
+    buffer_hit_rate: float = 1.0
+    logical_reads: float = 0.0
+    physical_reads: float = 0.0
+    dirty_pages: float = 0.0
+    pages_flushed: float = 0.0
+    free_pages: float = 0.0
+    # memory
+    mem_used_mb: float = 0.0
+    swap_used_mb: float = 0.0
+    page_faults: float = 0.0
+    # network
+    net_send_mb: float = 0.0
+    net_recv_mb: float = 0.0
+    net_util: float = 0.0
+    net_delay_ms: float = 0.0
+    # locks
+    lock_wait_ms_per_txn: float = 0.0
+    lock_waits: float = 0.0
+    lock_current_waits: float = 0.0
+    # DML row counters
+    rows_read: float = 0.0
+    rows_inserted: float = 0.0
+    rows_updated: float = 0.0
+    rows_deleted: float = 0.0
+    log_writes: float = 0.0
+    scan_rows: float = 0.0
+    # misc derived
+    dominant_txn: str = ""
+
+
+class DatabaseServer:
+    """A simulated MySQL-like server under a closed-loop OLTP workload.
+
+    Parameters
+    ----------
+    workload:
+        The transaction mix and scale (see :mod:`repro.workload`).
+    config:
+        Host capacities (defaults model an Azure A3 instance).
+    """
+
+    #: fixed-point iterations per tick; the map is a contraction in
+    #: practice, and eight rounds settle latency to well under 1 %.
+    FIXED_POINT_ROUNDS = 8
+
+    def __init__(
+        self,
+        workload: WorkloadSpec,
+        config: Optional[ServerConfig] = None,
+    ) -> None:
+        self.workload = workload
+        self.config = config or ServerConfig()
+        self._dirty_backlog = 500.0  # pages
+        self._prev_latency_ms = 5.0
+
+    # ------------------------------------------------------------------
+    def tick(
+        self,
+        time: float,
+        modifiers: TickModifiers = IDENTITY_MODIFIERS,
+        rng: Optional[np.random.Generator] = None,
+    ) -> TickState:
+        """Advance the simulation by one second and return its state."""
+        rng = rng or np.random.default_rng()
+        workload = self.workload
+        config = self.config
+
+        pool = TerminalPool(
+            n_terminals=workload.n_terminals + modifiers.added_terminals,
+            think_time_s=workload.think_time_s,
+            target_rate=workload.base_tps * modifiers.tps_multiplier,
+        )
+
+        # workload-shape constants for this tick
+        cpu_ms_per_txn = workload.mix_average("cpu_ms")
+        logical_per_txn = workload.mix_average("logical_reads")
+        write_rows_per_txn = workload.mix_average("write_rows")
+        lock_rows_per_txn = workload.mix_average("lock_rows")
+        net_out_per_txn = workload.mix_average("net_out_bytes") / 1e6
+        net_in_per_txn = workload.mix_average("net_in_bytes") / 1e6
+
+        hot_fraction = (
+            modifiers.hot_fraction_override
+            if modifiers.hot_fraction_override is not None
+            else workload.hot_fraction
+        )
+        lock_model = LockModel(workload.scale_factor, hot_fraction)
+
+        miss_rate = config.base_miss_rate(workload.scale_factor)
+        miss_rate = min(miss_rate + modifiers.buffer_miss_boost, 0.6)
+
+        latency_ms = self._prev_latency_ms
+        state = TickState(time=time)
+        for _ in range(self.FIXED_POINT_ROUNDS):
+            offered = pool.offered_tps(latency_ms / 1000.0)
+
+            # --- CPU -----------------------------------------------------
+            db_cpu_cores = offered * cpu_ms_per_txn / 1000.0
+            db_cpu_cores += modifiers.scan_cpu_cores
+            total_cpu = (
+                db_cpu_cores + modifiers.external_cpu_cores + 0.10  # OS noise
+            )
+            cpu_util = total_cpu / config.n_cores
+            cpu_factor = mm1_latency_factor(cpu_util)
+
+            # --- Buffer pool / disk reads --------------------------------
+            physical_reads = offered * logical_per_txn * miss_rate
+            dump_read_ops = modifiers.dump_read_mb * 1024.0 / 64.0  # 64 KB ops
+            disk_read_ops = physical_reads + dump_read_ops
+
+            # --- Writes: dirty pages, log, flushing ----------------------
+            effective_write_rows = (
+                offered * write_rows_per_txn * modifiers.write_amplification
+                + modifiers.bulk_insert_rows
+            )
+            dirty_generated = effective_write_rows / config.rows_per_page
+            flush_demand = (
+                min(
+                    self._dirty_backlog + dirty_generated,
+                    config.flush_capacity_pages,
+                )
+                + modifiers.flush_pages
+            )
+            log_writes = offered * max(write_rows_per_txn, 0.05)
+            log_fsyncs = offered / 5.0  # group commit
+            disk_write_ops = (
+                flush_demand * 0.5  # flusher coalesces pages into larger I/Os
+                + log_fsyncs
+                + modifiers.bulk_insert_rows / config.rows_per_page
+            )
+
+            disk_ops = disk_read_ops + disk_write_ops + modifiers.external_disk_ops
+            disk_util = disk_ops / config.disk_iops
+            disk_factor = mm1_latency_factor(disk_util)
+            io_ms_per_txn = (
+                logical_per_txn * miss_rate * config.disk_io_ms * disk_factor
+            )
+            # log flush on commit also rides the disk
+            io_ms_per_txn += 0.2 * config.disk_io_ms * disk_factor
+
+            # --- Network --------------------------------------------------
+            net_send = offered * net_out_per_txn + modifiers.dump_net_mb
+            net_recv = offered * net_in_per_txn
+            net_total = net_send + net_recv + modifiers.external_net_mb
+            net_util = net_total / config.net_bandwidth_mb
+            net_factor = mm1_latency_factor(net_util)
+            transfer_ms = (net_out_per_txn + net_in_per_txn) * 1000.0 / max(
+                config.net_bandwidth_mb, 1e-9
+            )
+            net_ms_per_txn = (
+                modifiers.network_delay_ms + transfer_ms * net_factor
+            )
+
+            # --- Locks ----------------------------------------------------
+            concurrency = offered * latency_ms / 1000.0
+            holding_ms = (
+                config.base_overhead_ms
+                + cpu_ms_per_txn * cpu_factor
+                + io_ms_per_txn
+            )
+            lock_wait_ms = lock_model.wait_time_ms(
+                offered, concurrency, lock_rows_per_txn, holding_ms
+            )
+
+            new_latency = (
+                config.base_overhead_ms
+                + cpu_ms_per_txn * cpu_factor
+                + io_ms_per_txn
+                + net_ms_per_txn
+                + lock_wait_ms
+            )
+            # damp the iteration for stability
+            latency_ms = 0.5 * latency_ms + 0.5 * new_latency
+
+        # ------------------------------------------------------------------
+        # Commit the fixed point into the tick state.
+        # ------------------------------------------------------------------
+        offered = pool.offered_tps(latency_ms / 1000.0)
+        completed = offered  # closed loop: completions match submissions
+        p_conflict = lock_model.conflict_probability(
+            offered * latency_ms / 1000.0, lock_rows_per_txn
+        )
+
+        self._dirty_backlog = max(
+            self._dirty_backlog + dirty_generated - flush_demand, 0.0
+        )
+        self._prev_latency_ms = latency_ms
+
+        weights = workload.weights
+        counts = rng.multinomial(
+            max(int(round(completed)), 0), weights
+        ).astype(float)
+        txn_counts = dict(zip(workload.type_names, counts))
+        dominant = workload.type_names[int(np.argmax(counts))] if counts.size else ""
+
+        insert_rows = updated_rows = deleted_rows = 0.0
+        for txn_type, count in zip(workload.types, counts):
+            rows = count * txn_type.write_rows
+            insert_rows += rows * txn_type.insert_fraction
+            deleted_rows += rows * txn_type.delete_fraction
+            updated_rows += rows * max(
+                1.0 - txn_type.insert_fraction - txn_type.delete_fraction, 0.0
+            )
+        insert_rows += modifiers.bulk_insert_rows
+
+        db_mem = config.buffer_pool_mb + 800.0  # pool + server overhead
+        mem_used = min(
+            db_mem + 600.0 + modifiers.external_mem_mb, config.ram_mb
+        )
+        swap_used = max(
+            db_mem + 600.0 + modifiers.external_mem_mb - config.ram_mb, 0.0
+        )
+
+        state.time = time
+        state.offered_tps = offered
+        state.completed_tps = completed
+        state.txn_counts = txn_counts
+        state.avg_latency_ms = latency_ms
+        state.p95_latency_ms = latency_ms * 1.9
+        state.p99_latency_ms = latency_ms * 2.8
+        state.concurrency = offered * latency_ms / 1000.0
+        state.terminals = pool.n_terminals
+        state.client_wait_ms = latency_ms + modifiers.network_delay_ms
+        state.db_cpu_cores = db_cpu_cores
+        state.external_cpu_cores = modifiers.external_cpu_cores
+        state.cpu_util = min(cpu_util, 1.0)
+        state.cpu_iowait_frac = min(disk_util * 0.25, 0.6)
+        state.run_queue = max(total_cpu - config.n_cores, 0.0) + min(
+            total_cpu, config.n_cores
+        )
+        state.disk_read_ops = disk_read_ops + modifiers.external_disk_ops * 0.5
+        state.disk_write_ops = disk_write_ops + modifiers.external_disk_ops * 0.5
+        state.disk_read_mb = (
+            physical_reads * config.page_size_kb / 1024.0 + modifiers.dump_read_mb
+        )
+        state.disk_write_mb = (
+            disk_write_ops * config.page_size_kb / 1024.0
+        )
+        state.disk_util = min(disk_util, 1.0)
+        state.disk_queue = disk_util * 4.0 / max(1.0 - min(disk_util, 0.97), 0.03)
+        state.io_latency_ms = config.disk_io_ms * disk_factor
+        state.buffer_hit_rate = 1.0 - miss_rate
+        state.logical_reads = offered * logical_per_txn + modifiers.scan_rows_per_s
+        state.physical_reads = physical_reads
+        state.dirty_pages = self._dirty_backlog
+        state.pages_flushed = flush_demand
+        state.free_pages = max(
+            config.buffer_pool_pages
+            - config.working_set_pages(workload.scale_factor),
+            config.buffer_pool_pages * 0.02,
+        )
+        state.mem_used_mb = mem_used
+        state.swap_used_mb = swap_used
+        state.page_faults = physical_reads + swap_used * 2.0
+        state.net_send_mb = net_send
+        state.net_recv_mb = net_recv
+        state.net_util = min(net_util, 1.0)
+        state.net_delay_ms = modifiers.network_delay_ms
+        state.lock_wait_ms_per_txn = lock_wait_ms
+        state.lock_waits = lock_model.waits_per_second(offered, p_conflict)
+        state.lock_current_waits = state.lock_waits * latency_ms / 1000.0
+        state.rows_read = state.logical_reads
+        state.rows_inserted = insert_rows
+        state.rows_updated = updated_rows
+        state.rows_deleted = deleted_rows
+        state.log_writes = log_writes + modifiers.bulk_insert_rows
+        state.scan_rows = modifiers.scan_rows_per_s
+        state.dominant_txn = dominant
+        return state

@@ -1,0 +1,17 @@
+"""Synthetic data with known ground-truth causality (Appendix F)."""
+
+from repro.synth.sem import (
+    LinearCausalGraph,
+    SemDataset,
+    generate_domain_knowledge,
+    random_linear_causal_graph,
+    sem_dataset,
+)
+
+__all__ = [
+    "LinearCausalGraph",
+    "SemDataset",
+    "random_linear_causal_graph",
+    "generate_domain_knowledge",
+    "sem_dataset",
+]

@@ -1,0 +1,250 @@
+"""Random linear causal graphs and SEM-generated datasets (Appendix F).
+
+Evaluating secondary-symptom pruning on real telemetry is impossible
+without knowing the true causal structure, so the paper builds synthetic
+datasets from random *linear causal graphs*: DAGs whose non-root variables
+are linear structural equations ``V_i = Σ c_ji · V_j + ε_i`` with integer
+coefficients drawn from [-10, 10] \\ {0} and standard-normal noise.
+
+The last variable ``V_k`` is the *effect variable* (no outgoing edges, at
+least one incoming).  Its root ancestors are the *root cause variables*:
+they draw from N(10, 10) normally and N(100, 10) inside a contiguous
+abnormal window (10 % of the series) aligned across all root causes.
+Domain-knowledge rules are then sampled with root causes as cause
+variables; ground truth says a rule's effect predicate *should* be pruned
+iff the graph contains a path from the rule's cause to that attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.knowledge import DomainRule
+from repro.data.dataset import Dataset
+from repro.data.regions import Region, RegionSpec
+
+__all__ = [
+    "LinearCausalGraph",
+    "SemDataset",
+    "random_linear_causal_graph",
+    "generate_domain_knowledge",
+    "sem_dataset",
+]
+
+
+def attr_name(index: int) -> str:
+    """Attribute name of variable ``V_index`` (1-based, as in the paper)."""
+    return f"V{index + 1}"
+
+
+@dataclass
+class LinearCausalGraph:
+    """A DAG over ``k`` variables with linear-SEM edge coefficients.
+
+    ``coefficients[(j, i)]`` is ``c_ji``, the effect of ``V_j`` on ``V_i``;
+    variables are indexed 0..k-1 in topological order and ``k-1`` is the
+    effect variable.
+    """
+
+    k: int
+    coefficients: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    def parents(self, i: int) -> List[int]:
+        """Direct causes of variable *i*."""
+        return [j for (j, t) in self.coefficients if t == i]
+
+    def children(self, j: int) -> List[int]:
+        """Direct effects of variable *j*."""
+        return [t for (s, t) in self.coefficients if s == j]
+
+    @property
+    def effect_variable(self) -> int:
+        """Index of the designated effect variable (always the last)."""
+        return self.k - 1
+
+    @property
+    def roots(self) -> List[int]:
+        """Variables with no incoming edges."""
+        has_parent = {t for (_, t) in self.coefficients}
+        return [i for i in range(self.k) if i not in has_parent]
+
+    def reachable_from(self, source: int) -> Set[int]:
+        """All variables reachable from *source* (excluding itself)."""
+        seen: Set[int] = set()
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            for child in self.children(node):
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        return seen
+
+    def ancestors(self, target: int) -> Set[int]:
+        """All variables with a path into *target* (excluding itself)."""
+        seen: Set[int] = set()
+        stack = [target]
+        while stack:
+            node = stack.pop()
+            for parent in self.parents(node):
+                if parent not in seen:
+                    seen.add(parent)
+                    stack.append(parent)
+        return seen
+
+    @property
+    def root_causes(self) -> List[int]:
+        """Root variables that are ancestors of the effect variable."""
+        upstream = self.ancestors(self.effect_variable)
+        return sorted(set(self.roots) & upstream)
+
+    def has_path(self, source: int, target: int) -> bool:
+        """True when the DAG contains a directed path source → target."""
+        return target in self.reachable_from(source)
+
+
+def random_linear_causal_graph(
+    k: int = 7,
+    edge_probability: float = 0.4,
+    rng: Optional[np.random.Generator] = None,
+) -> LinearCausalGraph:
+    """Sample a random linear causal graph with a valid effect variable.
+
+    Edges only go from lower to higher topological index (guaranteeing
+    acyclicity); the last variable receives at least one incoming edge and,
+    by construction, has no outgoing ones.  Coefficients are non-zero
+    integers in [-10, 10].
+    """
+    if k < 2:
+        raise ValueError("need at least two variables")
+    rng = rng or np.random.default_rng()
+    graph = LinearCausalGraph(k=k)
+
+    def draw_coefficient() -> float:
+        value = 0
+        while value == 0:
+            value = int(rng.integers(-10, 11))
+        return float(value)
+
+    for i in range(k):
+        for j in range(i + 1, k):
+            if rng.random() < edge_probability:
+                graph.coefficients[(i, j)] = draw_coefficient()
+    # the effect variable must have at least one incoming edge
+    if not graph.parents(k - 1):
+        parent = int(rng.integers(0, k - 1))
+        graph.coefficients[(parent, k - 1)] = draw_coefficient()
+    # and at least one *root* must reach it, so an anomaly exists
+    if not graph.root_causes:
+        root = graph.roots[0]
+        graph.coefficients[(root, k - 1)] = draw_coefficient()
+    return graph
+
+
+@dataclass
+class SemDataset:
+    """A SEM-generated dataset with its ground truth."""
+
+    graph: LinearCausalGraph
+    dataset: Dataset
+    spec: RegionSpec
+    rules: List[DomainRule]
+    should_prune: FrozenSet[str]
+    should_keep: FrozenSet[str]
+
+
+def generate_domain_knowledge(
+    graph: LinearCausalGraph,
+    rng: np.random.Generator,
+    rules_per_cause: int = 2,
+) -> List[DomainRule]:
+    """Sample domain rules with root causes as cause variables.
+
+    Effect attributes are drawn from the remaining variables; the pair
+    conditions of Section 5 hold by construction (rules never invert
+    because causes are always roots).
+    """
+    rules: List[DomainRule] = []
+    seen: Set[Tuple[str, str]] = set()
+    for cause in graph.root_causes:
+        others = [i for i in range(graph.k) if i != cause and i not in graph.roots]
+        if not others:
+            continue
+        take = min(rules_per_cause, len(others))
+        targets = rng.choice(np.asarray(others), size=take, replace=False)
+        for target in targets:
+            pair = (attr_name(cause), attr_name(int(target)))
+            if pair in seen or (pair[1], pair[0]) in seen:
+                continue
+            seen.add(pair)
+            rules.append(DomainRule(pair[0], pair[1]))
+    return rules
+
+
+def sem_dataset(
+    k: int = 7,
+    n_rows: int = 600,
+    abnormal_fraction: float = 0.10,
+    edge_probability: float = 0.4,
+    rules_per_cause: int = 2,
+    seed: Optional[int] = None,
+) -> SemDataset:
+    """Generate one Appendix F trial: graph, data, rules, and ground truth."""
+    rng = np.random.default_rng(seed)
+    graph = random_linear_causal_graph(k, edge_probability, rng)
+
+    n_abnormal = max(int(round(n_rows * abnormal_fraction)), 1)
+    start = int(rng.integers(0, n_rows - n_abnormal + 1))
+    abnormal_slice = slice(start, start + n_abnormal)
+
+    values = np.zeros((n_rows, k))
+    root_causes = set(graph.root_causes)
+    for i in range(k):
+        parents = graph.parents(i)
+        if not parents:
+            column = rng.normal(10.0, 10.0, size=n_rows)
+            if i in root_causes:
+                column[abnormal_slice] = rng.normal(100.0, 10.0, size=n_abnormal)
+            values[:, i] = column
+        else:
+            noise = rng.normal(0.0, 1.0, size=n_rows)
+            total = noise
+            for j in parents:
+                total = total + graph.coefficients[(j, i)] * values[:, j]
+            values[:, i] = total
+
+    timestamps = np.arange(n_rows, dtype=float)
+    dataset = Dataset(
+        timestamps,
+        numeric={attr_name(i): values[:, i] for i in range(k)},
+        name=f"sem-k{k}",
+    )
+    spec = RegionSpec(
+        abnormal=[Region(float(start), float(start + n_abnormal - 1))],
+        normal=None,
+    )
+
+    rules = generate_domain_knowledge(graph, rng, rules_per_cause)
+    prune: Set[str] = set()
+    keep: Set[str] = set()
+    name_to_index = {attr_name(i): i for i in range(k)}
+    for rule in rules:
+        cause_idx = name_to_index[rule.cause_attr]
+        effect_idx = name_to_index[rule.effect_attr]
+        if graph.has_path(cause_idx, effect_idx):
+            prune.add(rule.effect_attr)
+        else:
+            keep.add(rule.effect_attr)
+    # an attribute reachable from one rule's cause but not another's stays prunable
+    keep -= prune
+    return SemDataset(
+        graph=graph,
+        dataset=dataset,
+        spec=spec,
+        rules=rules,
+        should_prune=frozenset(prune),
+        should_keep=frozenset(keep),
+    )

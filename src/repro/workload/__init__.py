@@ -1,0 +1,21 @@
+"""OLTP workload models: transaction mixes and client (terminal) pools.
+
+Substitute for the paper's OLTPBenchmark drivers: we model TPC-C and TPC-E
+as weighted mixes of transaction types with per-type resource demands
+(CPU, logical/physical reads, writes, lock footprint, network payload)
+rather than executing SQL — the diagnosis algorithms only ever see the
+aggregate telemetry.
+"""
+
+from repro.workload.spec import TransactionType, WorkloadSpec
+from repro.workload.tpcc import tpcc_workload
+from repro.workload.tpce import tpce_workload
+from repro.workload.client import TerminalPool
+
+__all__ = [
+    "TransactionType",
+    "WorkloadSpec",
+    "tpcc_workload",
+    "tpce_workload",
+    "TerminalPool",
+]

@@ -1,0 +1,51 @@
+"""Closed-loop client (terminal) pool.
+
+OLTPBenchmark drives the database with a fixed number of terminals, each
+submitting its next transaction after receiving the previous response plus
+a think time.  The offered rate is therefore self-limiting: when latency
+grows, terminals spend more time waiting and submit less — the mechanism
+behind the paper's observation that Network Congestion *masks* a
+simultaneous Workload Spike (Section 8.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TerminalPool"]
+
+
+@dataclass
+class TerminalPool:
+    """A fixed population of closed-loop clients.
+
+    Attributes
+    ----------
+    n_terminals:
+        Number of concurrent client terminals.
+    think_time_s:
+        Delay between receiving a response and submitting the next request.
+    target_rate:
+        Open-arrival cap (transactions per second): terminals never submit
+        faster than this even when the server is idle.
+    """
+
+    n_terminals: int
+    think_time_s: float
+    target_rate: float
+
+    def offered_tps(self, latency_s: float) -> float:
+        """Transactions per second the pool submits at a given latency.
+
+        Little's law for a closed system: each terminal completes one
+        request every ``latency + think_time`` seconds, capped by the
+        configured open-arrival target rate.
+        """
+        latency_s = max(latency_s, 0.0)
+        cycle = latency_s + max(self.think_time_s, 1e-6)
+        closed_loop_rate = self.n_terminals / cycle
+        return min(closed_loop_rate, self.target_rate)
+
+    def concurrency(self, latency_s: float) -> float:
+        """Average number of in-flight transactions (server-side threads)."""
+        return self.offered_tps(latency_s) * max(latency_s, 0.0)

@@ -1,0 +1,90 @@
+"""TPC-C transaction mix model.
+
+The canonical TPC-C mix (NewOrder 45 %, Payment 43 %, OrderStatus 4 %,
+Delivery 4 %, StockLevel 4 %) with per-type resource demands sized so
+that, at the paper's default scale (500 warehouses, 128 terminals), the
+simulated server runs at moderate utilisation with headroom that the
+anomaly injectors can consume.
+"""
+
+from __future__ import annotations
+
+from repro.workload.spec import TransactionType, WorkloadSpec
+
+__all__ = ["tpcc_workload", "TPCC_TYPES"]
+
+TPCC_TYPES = [
+    TransactionType(
+        name="NewOrder",
+        weight=45.0,
+        cpu_ms=0.55,
+        logical_reads=46.0,
+        write_rows=12.0,
+        lock_rows=11.0,
+        net_in_bytes=640.0,
+        net_out_bytes=900.0,
+        insert_fraction=0.7,
+        update_fraction=0.3,
+    ),
+    TransactionType(
+        name="Payment",
+        weight=43.0,
+        cpu_ms=0.25,
+        logical_reads=7.0,
+        write_rows=4.0,
+        lock_rows=4.0,
+        net_in_bytes=320.0,
+        net_out_bytes=420.0,
+        insert_fraction=0.25,
+        update_fraction=0.75,
+    ),
+    TransactionType(
+        name="OrderStatus",
+        weight=4.0,
+        cpu_ms=0.30,
+        logical_reads=55.0,
+        read_only=True,
+        net_in_bytes=256.0,
+        net_out_bytes=1400.0,
+        update_fraction=0.0,
+    ),
+    TransactionType(
+        name="Delivery",
+        weight=4.0,
+        cpu_ms=0.90,
+        logical_reads=130.0,
+        write_rows=30.0,
+        lock_rows=24.0,
+        net_in_bytes=256.0,
+        net_out_bytes=300.0,
+        update_fraction=0.8,
+        delete_fraction=0.2,
+    ),
+    TransactionType(
+        name="StockLevel",
+        weight=4.0,
+        cpu_ms=0.80,
+        logical_reads=380.0,
+        read_only=True,
+        net_in_bytes=256.0,
+        net_out_bytes=500.0,
+        update_fraction=0.0,
+    ),
+]
+
+
+def tpcc_workload(
+    scale_factor: float = 500.0,
+    n_terminals: int = 128,
+    base_tps: float = 900.0,
+) -> WorkloadSpec:
+    """The paper's default TPC-C setting (scale 500 ≈ 50 GB, 128 terminals)."""
+    return WorkloadSpec(
+        name="tpcc",
+        types=list(TPCC_TYPES),
+        scale_factor=scale_factor,
+        n_terminals=n_terminals,
+        base_tps=base_tps,
+        think_time_s=0.05,
+        hot_fraction=1.0,
+    )

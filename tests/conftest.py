@@ -1,0 +1,66 @@
+"""Shared fixtures.
+
+Simulated telemetry runs are expensive (a couple of seconds each), so the
+handful of runs the integration-style tests share are session-scoped and
+deterministic (fixed seeds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.regions import Region, RegionSpec
+from repro.eval.harness import simulate_run
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def step_dataset():
+    """A small hand-built dataset with a clean step anomaly.
+
+    Rows 60..89 are abnormal: ``metric_a`` jumps from ~10 to ~50, while
+    ``metric_b`` stays flat and ``mode`` flips category.
+    """
+    rng = np.random.default_rng(7)
+    n = 120
+    timestamps = np.arange(n, dtype=float)
+    metric_a = 10.0 + rng.normal(0, 0.5, n)
+    metric_a[60:90] = 50.0 + rng.normal(0, 0.5, 30)
+    metric_b = 5.0 + rng.normal(0, 0.2, n)
+    mode = np.asarray(["steady"] * n, dtype=object)
+    mode[60:90] = "burst"
+    return Dataset(
+        timestamps,
+        numeric={"metric_a": metric_a, "metric_b": metric_b},
+        categorical={"mode": mode},
+        name="step",
+    )
+
+
+@pytest.fixture()
+def step_spec():
+    return RegionSpec(abnormal=[Region(60.0, 89.0)], normal=None)
+
+
+@pytest.fixture(scope="session")
+def cpu_run():
+    """One simulated CPU-saturation incident (dataset, spec, cause)."""
+    return simulate_run("cpu_saturation", duration_s=40, seed=7)
+
+
+@pytest.fixture(scope="session")
+def network_run():
+    """One simulated network-congestion incident."""
+    return simulate_run("network_congestion", duration_s=40, seed=8)
+
+
+@pytest.fixture(scope="session")
+def lock_run():
+    """One simulated lock-contention incident."""
+    return simulate_run("lock_contention", duration_s=40, seed=9)

@@ -1,0 +1,210 @@
+"""Unit tests for automatic remediation (the Section 10 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.actions.base import RemediationAction
+from repro.actions.journal import ActionJournal, ActionRecord
+from repro.actions.library import (
+    DEFAULT_POLICY_TABLE,
+    DeferBackup,
+    DropUnusedIndex,
+    EnableAdaptiveFlushing,
+    KillRogueQuery,
+    PauseBulkLoad,
+    RerouteNetwork,
+    SpreadHotKeys,
+    StopExternalProcesses,
+    ThrottleWorkload,
+)
+from repro.actions.policy import AutoRemediator, RemediationPolicy
+from repro.anomalies.library import ANOMALY_CAUSES, make_anomaly
+from repro.core.causal import CausalModel, CausalModelStore
+from repro.core.predicates import NumericPredicate
+from repro.data.dataset import Dataset
+from repro.data.regions import Region, RegionSpec
+from repro.engine.server import TickModifiers
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestActionTransforms:
+    def test_throttle_caps_spike(self):
+        mods = TickModifiers(tps_multiplier=5.0, added_terminals=128)
+        out = ThrottleWorkload(cap_multiplier=1.2).transform(mods)
+        assert out.tps_multiplier == 1.2
+        assert out.added_terminals == 0
+
+    def test_throttle_leaves_normal_load_alone(self):
+        out = ThrottleWorkload().transform(TickModifiers())
+        assert out.tps_multiplier == 1.0
+
+    def test_kill_rogue_query_zeroes_scans(self):
+        mods = TickModifiers(scan_cpu_cores=1.6, scan_rows_per_s=2.5e6)
+        out = KillRogueQuery().transform(mods)
+        assert out.scan_cpu_cores == 0.0 and out.scan_rows_per_s == 0.0
+
+    def test_defer_backup(self):
+        mods = TickModifiers(dump_read_mb=85.0, dump_net_mb=30.0)
+        out = DeferBackup().transform(mods)
+        assert out.dump_read_mb == 0.0 and out.dump_net_mb == 0.0
+
+    def test_pause_bulk_load_trickles(self):
+        mods = TickModifiers(bulk_insert_rows=20000.0)
+        out = PauseBulkLoad(trickle_fraction=0.05).transform(mods)
+        assert out.bulk_insert_rows == pytest.approx(1000.0)
+
+    def test_stop_external_processes(self):
+        mods = TickModifiers(external_cpu_cores=3.8, external_disk_ops=2300.0)
+        out = StopExternalProcesses().transform(mods)
+        assert out.external_cpu_cores == 0.0 and out.external_disk_ops == 0.0
+
+    def test_spread_hot_keys(self):
+        mods = TickModifiers(hot_fraction_override=2e-6)
+        assert SpreadHotKeys().transform(mods).hot_fraction_override is None
+
+    def test_adaptive_flushing_damps(self):
+        mods = TickModifiers(flush_pages=3000.0)
+        out = EnableAdaptiveFlushing(damping=0.1).transform(mods)
+        assert out.flush_pages == pytest.approx(300.0)
+
+    def test_reroute_network(self):
+        mods = TickModifiers(network_delay_ms=300.0)
+        out = RerouteNetwork(residual_delay_ms=5.0).transform(mods)
+        assert out.network_delay_ms == 5.0
+
+    def test_drop_unused_index(self):
+        mods = TickModifiers(write_amplification=4.5)
+        assert DropUnusedIndex().transform(mods).write_amplification == 1.0
+
+    def test_actions_preserve_unrelated_fields(self):
+        mods = TickModifiers(network_delay_ms=300.0, external_cpu_cores=2.0)
+        out = KillRogueQuery().transform(mods)
+        assert out.network_delay_ms == 300.0
+        assert out.external_cpu_cores == 2.0
+
+    def test_every_table1_cause_has_an_action(self):
+        covered = set(DEFAULT_POLICY_TABLE)
+        causes = {make_anomaly(k).cause for k in ANOMALY_CAUSES}
+        assert causes <= covered
+
+    def test_action_neutralises_its_target_cause(self):
+        """Each runbook action cancels its target injector's perturbation."""
+        neutral = TickModifiers()
+        for key in ANOMALY_CAUSES:
+            injector = make_anomaly(key, intensity=1.0)
+            cause = injector.cause
+            action = DEFAULT_POLICY_TABLE[cause]()
+            mods = injector.modifiers(0.0, rng())
+            out = action.transform(mods)
+            # the remediated modifiers must be materially closer to neutral
+            # on the injector's primary pathway (spot-check key fields)
+            assert out != mods or mods == neutral, cause
+
+
+class TestJournal:
+    def record(self, cause="C", action="a", before=100.0, after=10.0):
+        return ActionRecord(
+            cause=cause,
+            action_name=action,
+            applied_at=50.0,
+            latency_before_ms=before,
+            latency_after_ms=after,
+        )
+
+    def test_improvement(self):
+        assert self.record().improvement == pytest.approx(0.9)
+
+    def test_negative_improvement(self):
+        assert self.record(before=10.0, after=20.0).improvement < 0
+
+    def test_success_threshold(self):
+        assert self.record(before=100.0, after=70.0).succeeded
+        assert not self.record(before=100.0, after=90.0).succeeded
+
+    def test_suggest_best_action(self):
+        journal = ActionJournal()
+        journal.record(self.record(action="weak", before=100, after=80))
+        journal.record(self.record(action="strong", before=100, after=10))
+        assert journal.suggest("C") == "strong"
+
+    def test_suggest_unknown_cause(self):
+        assert ActionJournal().suggest("never seen") is None
+
+    def test_success_rate(self):
+        journal = ActionJournal()
+        journal.record(self.record(after=10.0))
+        journal.record(self.record(after=95.0))
+        assert journal.success_rate("C") == 0.5
+
+    def test_len_and_iter(self):
+        journal = ActionJournal()
+        journal.record(self.record())
+        assert len(journal) == 1
+        assert list(journal)[0].cause == "C"
+
+
+class TestPolicyAndRemediator:
+    def dataset(self):
+        values = np.asarray([10.0] * 60 + [50.0] * 30 + [10.0] * 30)
+        return (
+            Dataset(np.arange(120, dtype=float), numeric={"m": values}),
+            RegionSpec(abnormal=[Region(60.0, 89.0)]),
+        )
+
+    def store(self):
+        store = CausalModelStore()
+        store.add(
+            CausalModel("Workload Spike", [NumericPredicate("m", lower=30.0)])
+        )
+        store.add(
+            CausalModel("Network Congestion", [NumericPredicate("m", upper=30.0)])
+        )
+        return store
+
+    def test_policy_lookup(self):
+        policy = RemediationPolicy()
+        action = policy.action_for("Workload Spike")
+        assert isinstance(action, ThrottleWorkload)
+
+    def test_policy_unknown_cause(self):
+        assert RemediationPolicy().action_for("Alien Invasion") is None
+
+    def test_remediator_fires_on_confident_diagnosis(self):
+        ds, spec = self.dataset()
+        remediator = AutoRemediator(self.store(), confidence_threshold=0.6)
+        cause, action, confidence = remediator.decide(ds, spec)
+        assert cause == "Workload Spike"
+        assert isinstance(action, ThrottleWorkload)
+        assert confidence > 0.6
+
+    def test_remediator_holds_below_threshold(self):
+        ds, spec = self.dataset()
+        remediator = AutoRemediator(self.store(), confidence_threshold=1.01)
+        cause, action, confidence = remediator.decide(ds, spec)
+        assert cause is None and action is None
+
+    def test_remediator_empty_store(self):
+        ds, spec = self.dataset()
+        remediator = AutoRemediator(CausalModelStore())
+        assert remediator.decide(ds, spec) == (None, None, 0.0)
+
+    def test_journal_suggestion_preferred(self):
+        ds, spec = self.dataset()
+        journal = ActionJournal()
+        journal.record(
+            ActionRecord(
+                cause="Workload Spike",
+                action_name="stop external processes",
+                applied_at=0.0,
+                latency_before_ms=100.0,
+                latency_after_ms=5.0,
+            )
+        )
+        remediator = AutoRemediator(
+            self.store(), journal=journal, confidence_threshold=0.6
+        )
+        _, action, _ = remediator.decide(ds, spec)
+        assert isinstance(action, StopExternalProcesses)

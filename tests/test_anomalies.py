@@ -1,0 +1,143 @@
+"""Unit tests for the anomaly injector library (Table 1) and scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.anomalies.base import ScheduledAnomaly, ground_truth_spec
+from repro.anomalies.library import (
+    ANOMALY_CAUSES,
+    CompoundAnomaly,
+    FlushLogTable,
+    NetworkCongestion,
+    WorkloadSpike,
+    make_anomaly,
+)
+from repro.engine.server import TickModifiers
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestRegistry:
+    def test_ten_causes(self):
+        # Table 1 defines exactly ten anomaly classes
+        assert len(ANOMALY_CAUSES) == 10
+
+    def test_make_every_cause(self):
+        for key in ANOMALY_CAUSES:
+            injector = make_anomaly(key)
+            assert injector.cause
+            mods = injector.modifiers(0.0, rng())
+            assert isinstance(mods, TickModifiers)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(KeyError):
+            make_anomaly("disk_melted")
+
+    def test_causes_are_distinct(self):
+        causes = [make_anomaly(k).cause for k in ANOMALY_CAUSES]
+        assert len(set(causes)) == 10
+
+    def test_kwargs_forwarded(self):
+        injector = make_anomaly("network_congestion", delay_ms=150.0)
+        assert injector.delay_ms == 150.0
+
+
+class TestInjectorSignatures:
+    def test_each_cause_perturbs_something(self):
+        identity = TickModifiers()
+        for key in ANOMALY_CAUSES:
+            mods = make_anomaly(key).modifiers(0.0, rng())
+            assert mods != identity, key
+
+    def test_signatures_differ_pairwise(self):
+        """No two causes may produce identical modifier patterns."""
+
+        def shape(mods):
+            return tuple(
+                field_value != default_value
+                for field_value, default_value in zip(
+                    mods.__dict__.values(), TickModifiers().__dict__.values()
+                )
+            )
+
+        shapes = {}
+        for key in ANOMALY_CAUSES:
+            shapes[key] = shape(make_anomaly(key).modifiers(0.0, rng()))
+        values = list(shapes.values())
+        assert len(set(values)) == len(values), shapes
+
+    def test_flush_storm_is_bursty(self):
+        injector = FlushLogTable(period_s=4)
+        r = rng()
+        burst = injector.modifiers(0.0, r).flush_pages
+        quiet = injector.modifiers(2.0, r).flush_pages
+        assert burst > quiet * 3
+
+    def test_network_congestion_delay_scale(self):
+        mods = NetworkCongestion(delay_ms=300.0).modifiers(0.0, rng())
+        assert 250.0 < mods.network_delay_ms < 350.0
+
+
+class TestScheduling:
+    def test_active_window(self):
+        sched = ScheduledAnomaly(WorkloadSpike(), 60.0, 100.0)
+        assert not sched.active(59.0)
+        assert sched.active(60.0)
+        assert sched.active(99.0)
+        assert not sched.active(100.0)
+
+    def test_inactive_returns_identity(self):
+        sched = ScheduledAnomaly(WorkloadSpike(), 60.0, 100.0)
+        assert sched.modifiers(0.0, rng()) == TickModifiers()
+
+    def test_active_returns_injector_modifiers(self):
+        sched = ScheduledAnomaly(WorkloadSpike(), 60.0, 100.0)
+        assert sched.modifiers(70.0, rng()).tps_multiplier > 1.0
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduledAnomaly(WorkloadSpike(), 100.0, 100.0)
+
+    def test_ground_truth_region(self):
+        sched = ScheduledAnomaly(WorkloadSpike(), 60.0, 100.0)
+        region = sched.ground_truth_region()
+        assert (region.start, region.end) == (60.0, 99.0)
+
+    def test_ground_truth_spec_multiple(self):
+        spec = ground_truth_spec([
+            ScheduledAnomaly(WorkloadSpike(), 10.0, 20.0),
+            ScheduledAnomaly(NetworkCongestion(), 50.0, 60.0),
+        ])
+        assert len(spec.abnormal) == 2
+
+
+class TestCompound:
+    def test_combines_modifiers(self):
+        compound = CompoundAnomaly(
+            [make_anomaly("cpu_saturation"), make_anomaly("io_saturation")]
+        )
+        mods = compound.modifiers(0.0, rng())
+        assert mods.external_cpu_cores > 0
+        assert mods.external_disk_ops > 0
+
+    def test_cause_label_joins(self):
+        compound = CompoundAnomaly(
+            [make_anomaly("cpu_saturation"), make_anomaly("io_saturation")]
+        )
+        assert compound.cause == "CPU Saturation + I/O Saturation"
+        assert compound.causes == ["CPU Saturation", "I/O Saturation"]
+
+    def test_empty_compound_rejected(self):
+        with pytest.raises(ValueError):
+            CompoundAnomaly([])
+
+    def test_three_way_compound(self):
+        compound = CompoundAnomaly([
+            make_anomaly("cpu_saturation"),
+            make_anomaly("io_saturation"),
+            make_anomaly("network_congestion"),
+        ])
+        mods = compound.modifiers(0.0, rng())
+        assert mods.network_delay_ms > 0

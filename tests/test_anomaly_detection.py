@@ -1,0 +1,148 @@
+"""Unit tests for automatic anomaly detection (Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.anomaly import (
+    AnomalyDetector,
+    mask_to_regions,
+    potential_power,
+)
+from repro.core.separation import normalize_values
+from repro.data.dataset import Dataset
+
+
+def step_series(n=200, start=100, width=40, lo=0.0, hi=1.0, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    values = np.full(n, lo) + rng.normal(0, noise, n)
+    values[start : start + width] = hi + rng.normal(0, noise, width)
+    return values
+
+
+class TestPotentialPower:
+    def test_flat_series_zero_power(self):
+        assert potential_power(np.zeros(100)) == 0.0
+
+    def test_step_has_high_power(self):
+        values = normalize_values(step_series())
+        assert potential_power(values, window=20) > 0.9
+
+    def test_short_blip_low_power(self):
+        # a 3-sample blip cannot dominate a 20-sample window median
+        values = np.zeros(200)
+        values[100:103] = 1.0
+        assert potential_power(values, window=20) < 0.2
+
+    def test_window_longer_than_series(self):
+        values = np.asarray([0.0, 1.0, 0.0])
+        assert potential_power(values, window=50) == 0.0
+
+    def test_empty_series(self):
+        assert potential_power(np.asarray([])) == 0.0
+
+    def test_power_bounded_by_one_for_normalized(self):
+        values = normalize_values(step_series(noise=0.05, seed=3))
+        assert 0.0 <= potential_power(values) <= 1.0
+
+
+class TestMaskToRegions:
+    def test_single_run(self):
+        ts = np.arange(10, dtype=float)
+        mask = np.zeros(10, dtype=bool)
+        mask[3:6] = True
+        regions = mask_to_regions(ts, mask)
+        assert len(regions) == 1
+        assert (regions[0].start, regions[0].end) == (3.0, 5.0)
+
+    def test_multiple_runs(self):
+        ts = np.arange(10, dtype=float)
+        mask = np.asarray([1, 1, 0, 0, 1, 0, 0, 1, 1, 1], dtype=bool)
+        regions = mask_to_regions(ts, mask)
+        assert len(regions) == 3
+        assert (regions[2].start, regions[2].end) == (7.0, 9.0)
+
+    def test_empty_mask(self):
+        assert mask_to_regions(np.arange(5.0), np.zeros(5, dtype=bool)) == []
+
+    def test_full_mask(self):
+        regions = mask_to_regions(np.arange(5.0), np.ones(5, dtype=bool))
+        assert len(regions) == 1
+        assert regions[0].duration == 4.0
+
+
+class TestAttributeSelection:
+    def dataset(self):
+        n = 300
+        return Dataset(
+            np.arange(n, dtype=float),
+            numeric={
+                "stepped": step_series(n, 150, 50, noise=0.02, seed=1),
+                "flat": np.full(n, 7.0),
+                "noisy_flat": np.random.default_rng(2).normal(0, 1, n),
+            },
+            categorical={"mode": ["x"] * n},
+        )
+
+    def test_selects_stepped_attribute(self):
+        selected = AnomalyDetector().select_attributes(self.dataset())
+        assert "stepped" in selected
+
+    def test_rejects_flat_attributes(self):
+        selected = AnomalyDetector().select_attributes(self.dataset())
+        assert "flat" not in selected
+
+    def test_rejects_stationary_noise(self):
+        selected = AnomalyDetector().select_attributes(self.dataset())
+        assert "noisy_flat" not in selected
+
+    def test_explicit_attribute_list(self):
+        selected = AnomalyDetector().select_attributes(
+            self.dataset(), attributes=["flat"]
+        )
+        assert selected == []
+
+
+class TestDetection:
+    def dataset(self, n=400, start=200, width=50):
+        rng = np.random.default_rng(4)
+        numeric = {}
+        for i in range(5):
+            numeric[f"m{i}"] = step_series(
+                n, start, width, lo=10.0, hi=30.0, noise=0.3, seed=10 + i
+            )
+        numeric["flat"] = np.full(n, 1.0)
+        return Dataset(np.arange(n, dtype=float), numeric=numeric)
+
+    def test_detects_window(self):
+        result = AnomalyDetector().detect(self.dataset())
+        assert result.found
+        region = max(result.regions, key=lambda r: r.duration)
+        assert abs(region.start - 200.0) <= 5.0
+        assert abs(region.end - 249.0) <= 5.0
+
+    def test_detection_mask_matches_regions(self):
+        ds = self.dataset()
+        result = AnomalyDetector().detect(ds)
+        rebuilt = np.zeros(ds.n_rows, dtype=bool)
+        for region in result.regions:
+            rebuilt |= region.contains(ds.timestamps)
+        assert np.array_equal(rebuilt, result.mask)
+
+    def test_no_selected_attributes_no_detection(self):
+        n = 100
+        ds = Dataset(np.arange(n, dtype=float), numeric={"flat": np.ones(n)})
+        result = AnomalyDetector().detect(ds)
+        assert not result.found
+        assert result.selected_attributes == []
+
+    def test_to_region_spec(self):
+        result = AnomalyDetector().detect(self.dataset())
+        spec = result.to_region_spec()
+        assert spec.normal is None
+        assert len(spec.abnormal) == len(result.regions)
+
+    def test_min_region_filters_slivers(self):
+        detector = AnomalyDetector(min_region_s=60.0)
+        result = detector.detect(self.dataset(width=50))
+        # the 50 s anomaly itself is filtered at this threshold
+        assert all(r.duration + 1.0 > 60.0 for r in result.regions)

@@ -1,0 +1,152 @@
+"""Unit tests for causal models: confidence, merging, store (Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.causal import CausalModel, CausalModelStore, model_confidence
+from repro.core.predicates import CategoricalPredicate, NumericPredicate
+from repro.data.dataset import Dataset
+from repro.data.regions import Region, RegionSpec
+
+
+def step_dataset(hi=50.0):
+    values = np.asarray([10.0] * 60 + [hi] * 30 + [10.0] * 30)
+    return (
+        Dataset(np.arange(120, dtype=float),
+                numeric={"m": values},
+                categorical={"mode": ["s"] * 60 + ["b"] * 30 + ["s"] * 30}),
+        RegionSpec(abnormal=[Region(60.0, 89.0)]),
+    )
+
+
+class TestConfidence:
+    def test_matching_predicate_has_high_confidence(self):
+        ds, spec = step_dataset()
+        model = CausalModel("X", [NumericPredicate("m", lower=30.0)])
+        assert model.confidence(ds, spec) == pytest.approx(1.0)
+
+    def test_opposite_predicate_has_negative_confidence(self):
+        ds, spec = step_dataset()
+        model = CausalModel("X", [NumericPredicate("m", upper=30.0)])
+        assert model.confidence(ds, spec) < 0.0
+
+    def test_categorical_effect_predicate(self):
+        ds, spec = step_dataset()
+        model = CausalModel("X", [CategoricalPredicate.of("mode", ["b"])])
+        assert model.confidence(ds, spec) == pytest.approx(1.0)
+
+    def test_confidence_averages_over_predicates(self):
+        ds, spec = step_dataset()
+        good = NumericPredicate("m", lower=30.0)
+        missing = NumericPredicate("ghost", lower=0.0)
+        model = CausalModel("X", [good, missing])
+        assert model.confidence(ds, spec) == pytest.approx(0.5)
+
+    def test_empty_model_zero_confidence(self):
+        ds, spec = step_dataset()
+        assert CausalModel("X", []).confidence(ds, spec) == 0.0
+
+    def test_model_confidence_function_matches_method(self):
+        ds, spec = step_dataset()
+        preds = [NumericPredicate("m", lower=30.0)]
+        assert model_confidence(preds, ds, spec) == pytest.approx(
+            CausalModel("X", preds).confidence(ds, spec)
+        )
+
+    def test_confidence_uses_partitions_not_tuples(self):
+        # duplicate many normal rows: tuple-based power would dilute, the
+        # partition-space confidence must not change materially
+        values = np.asarray([10.0] * 300 + [50.0] * 30)
+        ds = Dataset(np.arange(330, dtype=float), numeric={"m": values})
+        spec = RegionSpec(abnormal=[Region(300.0, 329.0)])
+        model = CausalModel("X", [NumericPredicate("m", lower=30.0)])
+        assert model.confidence(ds, spec) == pytest.approx(1.0)
+
+
+class TestMerge:
+    def test_merge_keeps_common_attributes_only(self):
+        # the paper's Section 6.2 worked example
+        m1 = CausalModel("C", [
+            NumericPredicate("A", lower=10.0),
+            NumericPredicate("B", lower=100.0),
+            NumericPredicate("C", lower=20.0),
+            CategoricalPredicate.of("E", ["xx", "yy", "zz"]),
+        ])
+        m2 = CausalModel("C", [
+            NumericPredicate("A", lower=15.0),
+            NumericPredicate("C", lower=15.0),
+            NumericPredicate("D", upper=250.0),
+            CategoricalPredicate.of("E", ["xx", "zz"]),
+        ])
+        merged = m1.merge(m2)
+        by_attr = {p.attr: p for p in merged.predicates}
+        assert set(by_attr) == {"A", "C", "E"}
+        assert by_attr["A"].lower == 10.0
+        assert by_attr["C"].lower == 15.0
+        assert by_attr["E"].categories == frozenset({"xx", "yy", "zz"})
+
+    def test_inconsistent_directions_discarded(self):
+        m1 = CausalModel("C", [NumericPredicate("A", lower=10.0)])
+        m2 = CausalModel("C", [NumericPredicate("A", upper=30.0)])
+        assert m1.merge(m2).predicates == []
+
+    def test_mixed_types_on_same_attribute_discarded(self):
+        m1 = CausalModel("C", [NumericPredicate("A", lower=10.0)])
+        m2 = CausalModel("C", [CategoricalPredicate.of("A", ["x"])])
+        assert m1.merge(m2).predicates == []
+
+    def test_merge_different_causes_rejected(self):
+        with pytest.raises(ValueError):
+            CausalModel("C1", []).merge(CausalModel("C2", []))
+
+    def test_merge_counts_datasets(self):
+        m1 = CausalModel("C", [NumericPredicate("A", lower=1.0)])
+        m2 = CausalModel("C", [NumericPredicate("A", lower=2.0)])
+        assert m1.merge(m2).n_merged == 2
+        assert m1.merge(m2).merge(m1).n_merged == 3
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            CausalModel("C", [
+                NumericPredicate("A", lower=1.0),
+                NumericPredicate("A", lower=2.0),
+            ])
+
+
+class TestStore:
+    def test_add_and_get(self):
+        store = CausalModelStore()
+        store.add(CausalModel("C", [NumericPredicate("A", lower=1.0)]))
+        assert store.get("C") is not None
+        assert len(store) == 1
+
+    def test_add_same_cause_merges(self):
+        store = CausalModelStore()
+        store.add(CausalModel("C", [
+            NumericPredicate("A", lower=10.0),
+            NumericPredicate("B", lower=1.0),
+        ]))
+        stored = store.add(CausalModel("C", [NumericPredicate("A", lower=5.0)]))
+        assert stored.n_merged == 2
+        assert {p.attr for p in stored.predicates} == {"A"}
+
+    def test_merge_on_add_disabled_replaces(self):
+        store = CausalModelStore(merge_on_add=False)
+        store.add(CausalModel("C", [NumericPredicate("A", lower=10.0)]))
+        store.add(CausalModel("C", [NumericPredicate("B", lower=1.0)]))
+        assert {p.attr for p in store.get("C").predicates} == {"B"}
+
+    def test_rank_orders_by_confidence(self):
+        ds, spec = step_dataset()
+        store = CausalModelStore()
+        store.add(CausalModel("good", [NumericPredicate("m", lower=30.0)]))
+        store.add(CausalModel("bad", [NumericPredicate("m", upper=30.0)]))
+        ranked = store.rank(ds, spec)
+        assert [c for c, _ in ranked] == ["good", "bad"]
+
+    def test_iteration_and_causes(self):
+        store = CausalModelStore()
+        store.add(CausalModel("C1", []))
+        store.add(CausalModel("C2", []))
+        assert set(store.causes) == {"C1", "C2"}
+        assert len(list(store)) == 2

@@ -1,0 +1,127 @@
+"""Unit tests for the repro-sherlock CLI."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.loader import load_dataset_csv
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture(scope="module")
+def incident_csv(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "incident.csv"
+    code, text = run_cli(
+        [
+            "simulate",
+            "--anomaly", "cpu_saturation",
+            "--duration", "30",
+            "--normal", "150",
+            "--seed", "5",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path, text
+
+
+class TestSimulate:
+    def test_writes_csv(self, incident_csv):
+        path, text = incident_csv
+        assert path.exists()
+        assert "injected cause: CPU Saturation" in text
+
+    def test_csv_loads(self, incident_csv):
+        path, _ = incident_csv
+        ds = load_dataset_csv(path)
+        assert ds.n_rows == 180
+        assert "txn.avg_latency_ms" in ds.numeric_attributes
+
+    def test_reports_region(self, incident_csv):
+        _, text = incident_csv
+        assert "abnormal region: 75:104" in text
+
+
+class TestDetect:
+    def test_detects_region(self, incident_csv):
+        path, _ = incident_csv
+        code, text = run_cli(["detect", str(path)])
+        assert code == 0
+        assert "abnormal region" in text
+
+
+class TestExplain:
+    def test_prints_predicates(self, incident_csv):
+        path, _ = incident_csv
+        code, text = run_cli(
+            ["explain", str(path), "--abnormal", "75:104"]
+        )
+        assert code == 0
+        assert "os.cpu_usage" in text
+
+    def test_rules_prune(self, incident_csv):
+        path, _ = incident_csv
+        _, with_rules = run_cli(["explain", str(path), "--abnormal", "75:104"])
+        _, without = run_cli(
+            ["explain", str(path), "--abnormal", "75:104", "--no-rules"]
+        )
+        assert len(without.splitlines()) >= len(
+            [l for l in with_rules.splitlines() if not l.startswith("(pruned")]
+        )
+
+    def test_impossible_theta_fails(self, incident_csv):
+        path, _ = incident_csv
+        code, text = run_cli(
+            ["explain", str(path), "--abnormal", "75:104", "--theta", "5.0"]
+        )
+        assert code == 1
+        assert "no predicates" in text
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explain", "x.csv", "--abnormal", "oops"])
+
+
+class TestReportAndPlot:
+    def test_report(self, incident_csv):
+        path, _ = incident_csv
+        code, text = run_cli(["report", str(path), "--abnormal", "75:104"])
+        assert code == 0
+        assert "Incident report" in text
+
+    def test_plot(self, incident_csv):
+        path, _ = incident_csv
+        code, text = run_cli(["plot", str(path)])
+        assert code == 0
+        assert "txn.avg_latency_ms" in text
+
+    def test_plot_unknown_attribute(self, incident_csv):
+        path, _ = incident_csv
+        code, text = run_cli(["plot", str(path), "--attr", "nope"])
+        assert code == 1
+
+
+class TestCauses:
+    def test_lists_ten(self):
+        code, text = run_cli(["causes"])
+        assert code == 0
+        assert len(text.strip().splitlines()) == 10
+        assert "Lock Contention" in text
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_drift_allowed(self):
+        args = build_parser().parse_args(
+            ["simulate", "--anomaly", "workload_drift", "--out", "x.csv"]
+        )
+        assert args.anomaly == "workload_drift"

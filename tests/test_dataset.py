@@ -1,0 +1,149 @@
+"""Unit tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+
+
+def make_dataset(n=10):
+    return Dataset(
+        np.arange(n, dtype=float),
+        numeric={"a": np.arange(n, dtype=float), "b": np.ones(n)},
+        categorical={"c": np.asarray(["x"] * (n // 2) + ["y"] * (n - n // 2),
+                                     dtype=object)},
+        name="t",
+    )
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        ds = make_dataset(10)
+        assert ds.n_rows == 10
+        assert len(ds) == 10
+
+    def test_attribute_lists(self):
+        ds = make_dataset()
+        assert ds.numeric_attributes == ["a", "b"]
+        assert ds.categorical_attributes == ["c"]
+        assert ds.attributes == ["a", "b", "c"]
+
+    def test_empty_dataset_allowed(self):
+        ds = Dataset([], numeric={}, categorical={})
+        assert ds.n_rows == 0
+
+    def test_timestamps_must_be_1d(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)))
+
+    def test_timestamps_must_increase(self):
+        with pytest.raises(ValueError):
+            Dataset([0.0, 2.0, 1.0])
+
+    def test_timestamps_strictly_increase(self):
+        with pytest.raises(ValueError):
+            Dataset([0.0, 1.0, 1.0])
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset([0.0, 1.0], numeric={"a": [1.0]})
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(
+                [0.0, 1.0],
+                numeric={"a": [1.0, 2.0]},
+                categorical={"a": ["x", "y"]},
+            )
+
+    def test_repr_mentions_counts(self):
+        assert "numeric=2" in repr(make_dataset())
+
+
+class TestFromRows:
+    def test_type_inference(self):
+        ds = Dataset.from_rows(
+            [0.0, 1.0],
+            [{"n": 1, "s": "a"}, {"n": 2, "s": "b"}],
+        )
+        assert ds.is_numeric("n")
+        assert not ds.is_numeric("s")
+
+    def test_values_preserved(self):
+        ds = Dataset.from_rows([0.0, 1.0], [{"n": 1.5}, {"n": 2.5}])
+        assert list(ds.column("n")) == [1.5, 2.5]
+
+    def test_row_count_mismatch(self):
+        with pytest.raises(ValueError):
+            Dataset.from_rows([0.0], [{"n": 1}, {"n": 2}])
+
+    def test_inconsistent_rows_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset.from_rows([0.0, 1.0], [{"n": 1}, {"m": 2}])
+
+    def test_empty_rows(self):
+        ds = Dataset.from_rows([], [])
+        assert ds.n_rows == 0
+
+
+class TestAccess:
+    def test_column_numeric(self):
+        ds = make_dataset()
+        assert ds.column("a")[3] == 3.0
+
+    def test_column_categorical(self):
+        ds = make_dataset()
+        assert ds.column("c")[0] == "x"
+
+    def test_column_missing(self):
+        with pytest.raises(KeyError):
+            make_dataset().column("nope")
+
+    def test_is_numeric_missing(self):
+        with pytest.raises(KeyError):
+            make_dataset().is_numeric("nope")
+
+    def test_contains(self):
+        ds = make_dataset()
+        assert "a" in ds and "c" in ds and "zzz" not in ds
+
+
+class TestRowOperations:
+    def test_select_subset(self):
+        ds = make_dataset(10)
+        sub = ds.select(ds.timestamps < 5)
+        assert sub.n_rows == 5
+        assert list(sub.column("a")) == [0, 1, 2, 3, 4]
+
+    def test_select_preserves_categorical(self):
+        ds = make_dataset(10)
+        sub = ds.select(ds.timestamps >= 5)
+        assert set(sub.column("c")) == {"y"}
+
+    def test_select_bad_mask_shape(self):
+        with pytest.raises(ValueError):
+            make_dataset(10).select(np.ones(3, dtype=bool))
+
+    def test_drop_attributes(self):
+        ds = make_dataset().drop_attributes(["b", "c"])
+        assert ds.attributes == ["a"]
+
+    def test_time_mask_inclusive(self):
+        ds = make_dataset(10)
+        mask = ds.time_mask(2.0, 4.0)
+        assert mask.sum() == 3
+
+
+class TestNormalization:
+    def test_normalized_range(self):
+        ds = make_dataset(10)
+        norm = ds.normalized("a")
+        assert norm.min() == 0.0 and norm.max() == 1.0
+
+    def test_normalized_constant_is_zero(self):
+        ds = make_dataset()
+        assert np.all(ds.normalized("b") == 0.0)
+
+    def test_normalized_categorical_rejected(self):
+        with pytest.raises(TypeError):
+            make_dataset().normalized("c")

@@ -1,0 +1,152 @@
+"""Edge-case tests across the core pipeline.
+
+Exercises the awkward corners: explicit normal regions, constant
+attributes, single-row regions, confidence variants, and generator
+behaviour on degenerate inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.causal import CausalModel
+from repro.core.generator import GeneratorConfig, PredicateGenerator
+from repro.core.predicates import CategoricalPredicate, NumericPredicate
+from repro.data.dataset import Dataset
+from repro.data.regions import Region, RegionSpec
+
+
+def dataset_with_gap():
+    """Rows 0-39 normal, 40-59 ignored, 60-89 abnormal, 90-119 ignored."""
+    values = np.concatenate([
+        np.full(40, 10.0),
+        np.full(20, 25.0),   # ignored middle — would confuse naive labeling
+        np.full(30, 50.0),
+        np.full(30, 25.0),   # ignored tail
+    ])
+    ds = Dataset(np.arange(120, dtype=float), numeric={"m": values})
+    spec = RegionSpec(
+        abnormal=[Region(60.0, 89.0)],
+        normal=[Region(0.0, 39.0)],
+    )
+    return ds, spec
+
+
+class TestExplicitNormalRegions:
+    def test_ignored_rows_do_not_poison_labels(self):
+        ds, spec = dataset_with_gap()
+        conj = PredicateGenerator().generate(ds, spec, attributes=["m"])
+        assert len(conj) == 1
+        pred = conj.predicates[0]
+        # the ignored 25.0 rows must not drag the bound below them
+        assert pred.direction == "gt"
+        assert pred.lower >= 25.0
+
+    def test_confidence_with_explicit_normal(self):
+        ds, spec = dataset_with_gap()
+        model = CausalModel("X", [NumericPredicate("m", lower=30.0)])
+        assert model.confidence(ds, spec) == pytest.approx(1.0)
+
+
+class TestDegenerateInputs:
+    def test_single_abnormal_row(self):
+        values = np.concatenate([np.full(100, 10.0), [99.0]])
+        ds = Dataset(np.arange(101, dtype=float), numeric={"m": values})
+        spec = RegionSpec(abnormal=[Region(100.0, 100.0)])
+        conj = PredicateGenerator().generate(ds, spec, attributes=["m"])
+        # the lone abnormal partition is deemed significant (Section 4.3)
+        assert len(conj) == 1
+        assert conj.predicates[0].direction == "gt"
+
+    def test_single_normal_row(self):
+        values = np.concatenate([[10.0], np.full(100, 99.0)])
+        ds = Dataset(np.arange(101, dtype=float), numeric={"m": values})
+        spec = RegionSpec(abnormal=[Region(1.0, 100.0)])
+        conj = PredicateGenerator().generate(ds, spec, attributes=["m"])
+        assert len(conj) == 1
+
+    def test_two_row_dataset(self):
+        ds = Dataset([0.0, 1.0], numeric={"m": [1.0, 100.0]})
+        spec = RegionSpec(abnormal=[Region(1.0, 1.0)])
+        conj = PredicateGenerator().generate(ds, spec, attributes=["m"])
+        assert len(conj) == 1
+
+    def test_all_attributes_constant(self):
+        n = 50
+        ds = Dataset(
+            np.arange(n, dtype=float),
+            numeric={"a": np.ones(n), "b": np.full(n, 7.0)},
+        )
+        spec = RegionSpec(abnormal=[Region(20.0, 29.0)])
+        conj = PredicateGenerator().generate(ds, spec)
+        assert len(conj) == 0
+
+    def test_identical_abnormal_and_normal_distributions(self):
+        rng = np.random.default_rng(0)
+        n = 200
+        ds = Dataset(
+            np.arange(n, dtype=float), numeric={"m": rng.normal(10, 1, n)}
+        )
+        spec = RegionSpec(abnormal=[Region(100.0, 149.0)])
+        conj = PredicateGenerator().generate(ds, spec, attributes=["m"])
+        # indistinguishable regions must not produce confident predicates
+        assert len(conj) == 0
+
+
+class TestConfidenceVariants:
+    def step(self):
+        values = np.asarray([10.0] * 60 + [50.0] * 30 + [10.0] * 30)
+        return (
+            Dataset(np.arange(120, dtype=float), numeric={"m": values}),
+            RegionSpec(abnormal=[Region(60.0, 89.0)]),
+        )
+
+    def test_filtering_toggle(self):
+        ds, spec = self.step()
+        model = CausalModel("X", [NumericPredicate("m", lower=30.0)])
+        with_filter = model.confidence(ds, spec, apply_filtering=True)
+        without = model.confidence(ds, spec, apply_filtering=False)
+        assert with_filter == pytest.approx(without, abs=0.1)
+
+    def test_partition_count_invariance_on_clean_step(self):
+        ds, spec = self.step()
+        model = CausalModel("X", [NumericPredicate("m", lower=30.0)])
+        for n_partitions in (50, 250, 1000):
+            assert model.confidence(ds, spec, n_partitions) == pytest.approx(
+                1.0
+            )
+
+    def test_categorical_only_model(self):
+        values = np.asarray(["a"] * 60 + ["b"] * 30 + ["a"] * 30, dtype=object)
+        ds = Dataset(np.arange(120, dtype=float), categorical={"c": values})
+        spec = RegionSpec(abnormal=[Region(60.0, 89.0)])
+        model = CausalModel("X", [CategoricalPredicate.of("c", ["b"])])
+        assert model.confidence(ds, spec) == pytest.approx(1.0)
+
+    def test_predicate_on_all_ignored_attribute(self):
+        ds, spec = self.step()
+        model = CausalModel("X", [NumericPredicate("ghost", lower=0.0)])
+        assert model.confidence(ds, spec) == 0.0
+
+
+class TestGeneratorBoundaryDirections:
+    def test_spike_to_maximum_gives_gt(self):
+        values = np.asarray([10.0] * 90 + [100.0] * 30)
+        ds = Dataset(np.arange(120, dtype=float), numeric={"m": values})
+        spec = RegionSpec(abnormal=[Region(90.0, 119.0)])
+        pred = PredicateGenerator().generate(ds, spec, attributes=["m"]).predicates[0]
+        assert pred.direction == "gt"
+
+    def test_drop_to_minimum_gives_lt(self):
+        values = np.asarray([100.0] * 90 + [10.0] * 30)
+        ds = Dataset(np.arange(120, dtype=float), numeric={"m": values})
+        spec = RegionSpec(abnormal=[Region(90.0, 119.0)])
+        pred = PredicateGenerator().generate(ds, spec, attributes=["m"]).predicates[0]
+        assert pred.direction == "lt"
+
+    def test_predicate_bounds_exclude_normal_values(self):
+        values = np.asarray([10.0] * 90 + [100.0] * 30)
+        ds = Dataset(np.arange(120, dtype=float), numeric={"m": values})
+        spec = RegionSpec(abnormal=[Region(90.0, 119.0)])
+        pred = PredicateGenerator().generate(ds, spec, attributes=["m"]).predicates[0]
+        assert not pred.evaluate_values(np.asarray([10.0])).any()
+        assert pred.evaluate_values(np.asarray([100.0])).all()

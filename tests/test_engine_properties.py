@@ -1,0 +1,134 @@
+"""Property-based tests for the OLTP simulator's physical sanity.
+
+Whatever perturbation an injector throws at a tick, the server must
+respond with physically meaningful numbers: finite positive latency,
+throughput within the offered load, utilisations in [0, 1], and
+monotone responses to added load.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.server import DatabaseServer, TickModifiers
+from repro.workload.tpcc import tpcc_workload
+from repro.workload.tpce import tpce_workload
+
+modifier_strategy = st.builds(
+    TickModifiers,
+    tps_multiplier=st.floats(0.1, 10.0),
+    added_terminals=st.integers(0, 512),
+    external_cpu_cores=st.floats(0.0, 8.0),
+    external_disk_ops=st.floats(0.0, 10_000.0),
+    external_net_mb=st.floats(0.0, 100.0),
+    scan_rows_per_s=st.floats(0.0, 1e7),
+    scan_cpu_cores=st.floats(0.0, 4.0),
+    write_amplification=st.floats(1.0, 10.0),
+    bulk_insert_rows=st.floats(0.0, 100_000.0),
+    dump_read_mb=st.floats(0.0, 200.0),
+    dump_net_mb=st.floats(0.0, 60.0),
+    flush_pages=st.floats(0.0, 10_000.0),
+    network_delay_ms=st.floats(0.0, 1000.0),
+    hot_fraction_override=st.one_of(st.none(), st.floats(1e-6, 1.0)),
+    buffer_miss_boost=st.floats(0.0, 0.5),
+)
+
+
+def tick(modifiers, workload=None, seed=0):
+    server = DatabaseServer(workload or tpcc_workload())
+    return server.tick(0.0, modifiers, np.random.default_rng(seed))
+
+
+class TestPhysicalSanity:
+    @settings(deadline=None, max_examples=60)
+    @given(modifier_strategy)
+    def test_latency_finite_positive(self, modifiers):
+        state = tick(modifiers)
+        assert math.isfinite(state.avg_latency_ms)
+        assert state.avg_latency_ms > 0.0
+
+    @settings(deadline=None, max_examples=60)
+    @given(modifier_strategy)
+    def test_throughput_bounded(self, modifiers):
+        state = tick(modifiers)
+        assert 0.0 <= state.completed_tps <= state.offered_tps + 1e-9
+
+    @settings(deadline=None, max_examples=60)
+    @given(modifier_strategy)
+    def test_utilisations_in_unit_interval(self, modifiers):
+        state = tick(modifiers)
+        for value in (state.cpu_util, state.disk_util, state.net_util):
+            assert 0.0 <= value <= 1.0
+        assert 0.0 <= state.buffer_hit_rate <= 1.0
+
+    @settings(deadline=None, max_examples=60)
+    @given(modifier_strategy)
+    def test_counters_non_negative(self, modifiers):
+        state = tick(modifiers)
+        for value in (
+            state.disk_read_ops,
+            state.disk_write_ops,
+            state.net_send_mb,
+            state.net_recv_mb,
+            state.lock_waits,
+            state.rows_inserted,
+            state.rows_updated,
+            state.rows_deleted,
+            state.page_faults,
+        ):
+            assert value >= 0.0
+
+    @settings(deadline=None, max_examples=60)
+    @given(modifier_strategy)
+    def test_txn_counts_consistent(self, modifiers):
+        state = tick(modifiers)
+        total = sum(state.txn_counts.values())
+        assert total == pytest.approx(round(state.completed_tps), abs=1.0)
+
+    @settings(deadline=None, max_examples=30)
+    @given(modifier_strategy)
+    def test_tpce_workload_equally_sane(self, modifiers):
+        state = tick(modifiers, workload=tpce_workload())
+        assert math.isfinite(state.avg_latency_ms)
+        assert state.avg_latency_ms > 0.0
+
+
+class TestMonotoneResponses:
+    @settings(deadline=None, max_examples=30)
+    @given(st.floats(0.0, 3.5))
+    def test_more_external_cpu_never_reduces_latency(self, cores):
+        base = tick(TickModifiers())
+        loaded = tick(TickModifiers(external_cpu_cores=cores))
+        assert loaded.avg_latency_ms >= base.avg_latency_ms - 0.3
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.floats(0.0, 500.0))
+    def test_network_delay_passes_through(self, delay):
+        state = tick(TickModifiers(network_delay_ms=delay))
+        assert state.avg_latency_ms >= delay * 0.9
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.floats(1.0, 8.0))
+    def test_write_amplification_never_reduces_disk_writes(self, amp):
+        base = tick(TickModifiers())
+        amplified = tick(TickModifiers(write_amplification=amp))
+        assert amplified.disk_write_ops >= base.disk_write_ops - 1.0
+
+
+class TestModifierAlgebra:
+    @settings(deadline=None, max_examples=60)
+    @given(modifier_strategy)
+    def test_identity_combination(self, modifiers):
+        assert modifiers.combine(TickModifiers()) == modifiers
+        assert TickModifiers().combine(modifiers) == modifiers
+
+    @settings(deadline=None, max_examples=60)
+    @given(modifier_strategy, modifier_strategy)
+    def test_combination_commutative_on_additive_fields(self, a, b):
+        ab, ba = a.combine(b), b.combine(a)
+        assert ab.external_cpu_cores == pytest.approx(ba.external_cpu_cores)
+        assert ab.flush_pages == pytest.approx(ba.flush_pages)
+        assert ab.network_delay_ms == pytest.approx(ba.network_delay_ms)
+        assert ab.hot_fraction_override == ba.hot_fraction_override

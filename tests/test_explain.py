@@ -1,0 +1,121 @@
+"""Unit tests for the DBSherlock facade (Figure 2 workflow)."""
+
+import numpy as np
+import pytest
+
+from repro.core.explain import DBSherlock, Explanation
+from repro.core.generator import GeneratorConfig
+from repro.core.knowledge import DomainRule
+from repro.core.predicates import Conjunction, NumericPredicate
+from repro.data.dataset import Dataset
+from repro.data.regions import Region, RegionSpec
+
+
+def incident(seed=0, n=240, start=120, width=40):
+    """Correlated cause/effect attributes with a step anomaly."""
+    rng = np.random.default_rng(seed)
+    cause = np.full(n, 10.0) + rng.normal(0, 0.3, n)
+    cause[start : start + width] = 40.0 + rng.normal(0, 0.3, width)
+    effect = cause * 2.0 + rng.normal(0, 0.1, n)
+    other = np.full(n, 5.0) + rng.normal(0, 0.2, n)
+    ds = Dataset(
+        np.arange(n, dtype=float),
+        numeric={"cause_m": cause, "effect_m": effect, "other_m": other},
+    )
+    spec = RegionSpec(abnormal=[Region(float(start), float(start + width - 1))])
+    return ds, spec
+
+
+class TestExplain:
+    def test_returns_predicates(self):
+        ds, spec = incident()
+        explanation = DBSherlock().explain(ds, spec)
+        attrs = set(explanation.predicates.attributes)
+        assert "cause_m" in attrs and "effect_m" in attrs
+
+    def test_domain_rules_prune_effects(self):
+        ds, spec = incident()
+        sherlock = DBSherlock(rules=[DomainRule("cause_m", "effect_m")])
+        explanation = sherlock.explain(ds, spec)
+        assert "effect_m" not in explanation.predicates.attributes
+        assert [p.attr for p in explanation.pruned] == ["effect_m"]
+
+    def test_no_causes_without_models(self):
+        ds, spec = incident()
+        explanation = DBSherlock().explain(ds, spec)
+        assert explanation.causes == []
+        assert explanation.top_cause is None
+
+    def test_attribute_subset(self):
+        ds, spec = incident()
+        explanation = DBSherlock().explain(ds, spec, attributes=["other_m"])
+        assert len(explanation.predicates) == 0
+
+    def test_str_rendering(self):
+        explanation = Explanation(
+            predicates=Conjunction([NumericPredicate("a", lower=1.0)]),
+            causes=[("X", 0.9)],
+        )
+        text = str(explanation)
+        assert "a > 1" in text and "X" in text
+
+
+class TestFeedbackLoop:
+    def test_feedback_creates_model(self):
+        ds, spec = incident()
+        sherlock = DBSherlock()
+        explanation = sherlock.explain(ds, spec)
+        model = sherlock.feedback("Rogue Cause", explanation)
+        assert model.cause == "Rogue Cause"
+        assert sherlock.store.get("Rogue Cause") is not None
+
+    def test_feedback_merges_repeat_diagnoses(self):
+        sherlock = DBSherlock()
+        for seed in (1, 2):
+            ds, spec = incident(seed=seed)
+            explanation = sherlock.explain(ds, spec)
+            model = sherlock.feedback("Rogue Cause", explanation)
+        assert model.n_merged == 2
+
+    def test_known_cause_ranked_on_new_incident(self):
+        sherlock = DBSherlock()
+        ds, spec = incident(seed=1)
+        sherlock.feedback("Rogue Cause", sherlock.explain(ds, spec))
+        ds2, spec2 = incident(seed=9)
+        explanation = sherlock.explain(ds2, spec2)
+        assert explanation.top_cause == "Rogue Cause"
+        assert explanation.causes[0][1] > 0.5
+
+    def test_lambda_threshold_hides_weak_causes(self):
+        sherlock = DBSherlock(lambda_threshold=2.0)  # impossible bar
+        ds, spec = incident(seed=1)
+        sherlock.feedback("Rogue Cause", sherlock.explain(ds, spec))
+        explanation = sherlock.explain(ds, spec)
+        assert explanation.causes == []
+        assert explanation.all_cause_scores  # still visible for evaluation
+
+    def test_diagnose_top_k(self):
+        sherlock = DBSherlock()
+        ds, spec = incident(seed=1)
+        sherlock.feedback("A", sherlock.explain(ds, spec))
+        sherlock.feedback("B", Explanation(predicates=Conjunction()))
+        top = sherlock.diagnose(ds, spec, top_k=1)
+        assert len(top) == 1 and top[0][0] == "A"
+
+
+class TestAutoDetectPath:
+    def test_explain_without_spec_uses_detector(self):
+        ds, spec = incident(n=600, start=300, width=50)
+        explanation = DBSherlock().explain(ds)
+        assert len(explanation.predicates) > 0
+
+    def test_detector_miss_returns_empty_explanation(self):
+        n = 300
+        ds = Dataset(np.arange(n, dtype=float), numeric={"flat": np.ones(n)})
+        explanation = DBSherlock().explain(ds)
+        assert len(explanation.predicates) == 0
+
+    def test_config_theta_respected(self):
+        ds, spec = incident()
+        strict = DBSherlock(config=GeneratorConfig(theta=0.99))
+        assert len(strict.explain(ds, spec).predicates) == 0

@@ -1,0 +1,136 @@
+"""Unit tests for partition filtering and gap filling (Sections 4.3-4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.filtering import abnormal_blocks, fill_gaps, filter_partitions
+from repro.core.partition import Label
+
+E, N, A = int(Label.EMPTY), int(Label.NORMAL), int(Label.ABNORMAL)
+
+
+def labels(*xs):
+    return np.asarray(xs, dtype=np.int64)
+
+
+class TestFiltering:
+    def test_agreeing_run_survives(self):
+        # Scenario 1 of Figure 5: both neighbours share the label
+        out = filter_partitions(labels(A, A, A, A))
+        assert list(out) == [A, A, A, A]
+
+    def test_disagreeing_middle_filtered(self):
+        # two N's in the middle (not lone): both get filtered
+        out = filter_partitions(labels(A, A, N, N, A, A))
+        assert out[2] == E and out[3] == E
+
+    def test_simultaneous_not_incremental(self):
+        # the A's adjacent to the N's are filtered in the same pass, but
+        # the end partitions survive (the paper's Figure 5 note)
+        out = filter_partitions(labels(A, A, N, N, A, A))
+        assert list(out) == [A, E, E, E, E, A]
+
+    def test_end_partitions_never_filtered(self):
+        out = filter_partitions(labels(A, N))
+        assert list(out) == [A, N]
+
+    def test_empty_partitions_skipped_for_adjacency(self):
+        # nearest non-Empty neighbours are used, not literal neighbours
+        out = filter_partitions(labels(A, E, N, E, N, E, A))
+        # each N disagrees with its nearest non-Empty neighbour on one side
+        assert out[2] == E and out[4] == E
+
+    def test_lone_abnormal_kept(self):
+        # "If we only have a single Normal or Abnormal partition to begin
+        # with, we deem it significant and do not filter it."
+        out = filter_partitions(labels(N, N, A, N, N))
+        assert out[2] == A
+
+    def test_lone_normal_kept(self):
+        # a lone Normal among many Abnormal is deemed significant
+        out = filter_partitions(labels(A, A, N, A, A))
+        assert out[2] == N
+
+    def test_all_empty_unchanged(self):
+        out = filter_partitions(labels(E, E, E))
+        assert list(out) == [E, E, E]
+
+    def test_input_not_mutated(self):
+        original = labels(A, N, A)
+        filter_partitions(original)
+        assert list(original) == [A, N, A]
+
+
+class TestLoneLabelSemantics:
+    def test_lone_abnormal_among_normals_survives(self):
+        out = filter_partitions(labels(N, N, N, A, N, N))
+        assert out[3] == A
+
+    def test_two_abnormal_not_lone(self):
+        out = filter_partitions(labels(N, A, N, A, N))
+        # two abnormal partitions: both disagree with neighbours -> filtered
+        assert out[1] == E and out[3] == E
+
+
+class TestFillGaps:
+    def test_fill_between_same_label(self):
+        out = fill_gaps(labels(N, A, E, E, A), delta=1.0)
+        assert list(out) == [N, A, A, A, A]
+
+    def test_fill_edges_take_nearest(self):
+        out = fill_gaps(labels(E, A, N, E), delta=1.0)
+        assert list(out) == [A, A, N, N]
+
+    def test_delta_one_takes_closer(self):
+        out = fill_gaps(labels(A, E, E, E, E, E, N), delta=1.0)
+        # gap indices 1..5: closer side wins, the midpoint tie goes Normal
+        assert list(out) == [A, A, A, N, N, N, N]
+
+    def test_large_delta_favours_normal(self):
+        out = fill_gaps(labels(A, E, E, E, E, E, N), delta=10.0)
+        # with delta=10 every gap partition is closer to Normal
+        assert list(out[1:6]) == [N, N, N, N, N]
+
+    def test_small_delta_favours_abnormal(self):
+        out = fill_gaps(labels(A, E, E, E, E, E, N), delta=0.1)
+        assert list(out[1:6]) == [A, A, A, A, A]
+
+    def test_ties_go_normal(self):
+        out = fill_gaps(labels(A, E, N), delta=1.0)
+        assert out[1] == N
+
+    def test_only_abnormal_uses_normal_mean_partition(self):
+        out = fill_gaps(labels(E, E, A, E, E), delta=1.0, normal_mean_partition=0)
+        assert out[0] == N
+        assert (out == A).any()
+        assert not (out == E).any()
+
+    def test_only_abnormal_without_hint_raises(self):
+        with pytest.raises(ValueError):
+            fill_gaps(labels(E, A, E), delta=1.0)
+
+    def test_all_empty_returned_unchanged(self):
+        out = fill_gaps(labels(E, E), delta=1.0)
+        assert list(out) == [E, E]
+
+    def test_bad_delta_rejected(self):
+        with pytest.raises(ValueError):
+            fill_gaps(labels(A, E, N), delta=0.0)
+
+    def test_result_fully_labeled(self):
+        out = fill_gaps(labels(E, N, E, A, E, N, E), delta=10.0)
+        assert not (out == E).any()
+
+
+class TestAbnormalBlocks:
+    def test_single_block(self):
+        assert abnormal_blocks(labels(N, A, A, N)) == [(1, 2)]
+
+    def test_multiple_blocks(self):
+        assert abnormal_blocks(labels(A, N, A, A)) == [(0, 0), (2, 3)]
+
+    def test_block_at_end(self):
+        assert abnormal_blocks(labels(N, N, A)) == [(2, 2)]
+
+    def test_no_blocks(self):
+        assert abnormal_blocks(labels(N, E, N)) == []

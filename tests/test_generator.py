@@ -1,0 +1,169 @@
+"""Unit tests for Algorithm 1 end to end (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.generator import GeneratorConfig, PredicateGenerator
+from repro.core.predicates import CategoricalPredicate, NumericPredicate
+from repro.data.dataset import Dataset
+from repro.data.regions import Region, RegionSpec
+
+
+def step_dataset(noise=0.0, seed=0, n=120, lo=10.0, hi=50.0):
+    """metric jumps lo -> hi in rows 60..89; optional categorical flip."""
+    rng = np.random.default_rng(seed)
+    values = np.full(n, lo) + rng.normal(0, noise, n)
+    values[60:90] = hi + rng.normal(0, noise, 30)
+    mode = np.asarray(["steady"] * n, dtype=object)
+    mode[60:90] = "burst"
+    return (
+        Dataset(np.arange(n, dtype=float),
+                numeric={"m": values, "flat": np.full(n, 3.0)},
+                categorical={"mode": mode}),
+        RegionSpec(abnormal=[Region(60.0, 89.0)]),
+    )
+
+
+class TestNumericGeneration:
+    def test_step_yields_gt_predicate(self):
+        ds, spec = step_dataset()
+        conj = PredicateGenerator().generate(ds, spec, attributes=["m"])
+        assert len(conj) == 1
+        pred = conj.predicates[0]
+        assert isinstance(pred, NumericPredicate)
+        assert pred.direction == "gt"
+        assert 10.0 < pred.lower < 50.0
+
+    def test_downward_step_yields_lt_predicate(self):
+        ds, spec = step_dataset(lo=50.0, hi=10.0)
+        conj = PredicateGenerator().generate(ds, spec, attributes=["m"])
+        pred = conj.predicates[0]
+        assert pred.direction == "lt"
+        assert 10.0 < pred.upper < 50.0
+
+    def test_flat_attribute_produces_nothing(self):
+        ds, spec = step_dataset()
+        conj = PredicateGenerator().generate(ds, spec, attributes=["flat"])
+        assert len(conj) == 0
+
+    def test_theta_gate_blocks_small_shifts(self):
+        ds, spec = step_dataset(lo=10.0, hi=11.0, noise=0.0)
+        # spike attribute to widen the range so the shift is small relative
+        values = ds.column("m").copy()
+        values[0] = 0.0
+        values[1] = 100.0
+        ds2 = Dataset(ds.timestamps, numeric={"m": values})
+        conj = PredicateGenerator(GeneratorConfig(theta=0.5)).generate(
+            ds2, spec, attributes=["m"]
+        )
+        assert len(conj) == 0
+
+    def test_interior_anomaly_yields_range_predicate(self):
+        # abnormal values sit strictly between two normal clusters
+        n = 120
+        values = np.concatenate([
+            np.full(30, 0.0), np.full(30, 100.0),
+            np.full(30, 50.0),  # abnormal, interior values
+            np.full(30, 0.0),
+        ])
+        ds = Dataset(np.arange(n, dtype=float), numeric={"m": values})
+        spec = RegionSpec(abnormal=[Region(60.0, 89.0)])
+        conj = PredicateGenerator().generate(ds, spec, attributes=["m"])
+        if conj:  # range extraction is legitimate here
+            pred = conj.predicates[0]
+            assert pred.direction == "range"
+            assert pred.lower < 50.0 < pred.upper
+
+    def test_survives_noise(self):
+        ds, spec = step_dataset(noise=2.0, seed=3)
+        conj = PredicateGenerator().generate(ds, spec, attributes=["m"])
+        assert len(conj) == 1
+
+    def test_artifacts_record_rejections(self):
+        ds, spec = step_dataset()
+        arts = PredicateGenerator().generate_with_artifacts(
+            ds, spec, attributes=["flat"]
+        )
+        assert arts["flat"].predicate is None
+        assert arts["flat"].rejection is not None
+
+    def test_artifacts_record_normalized_difference(self):
+        ds, spec = step_dataset()
+        arts = PredicateGenerator().generate_with_artifacts(
+            ds, spec, attributes=["m"]
+        )
+        assert arts["m"].normalized_difference == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_spec_rejected(self):
+        ds, _ = step_dataset()
+        with pytest.raises(ValueError):
+            PredicateGenerator().generate(
+                ds, RegionSpec(abnormal=[Region(999.0, 1000.0)])
+            )
+
+
+class TestCategoricalGeneration:
+    def test_flip_yields_in_predicate(self):
+        ds, spec = step_dataset()
+        conj = PredicateGenerator().generate(ds, spec, attributes=["mode"])
+        pred = conj.predicates[0]
+        assert isinstance(pred, CategoricalPredicate)
+        assert pred.categories == frozenset({"burst"})
+
+    def test_invariant_categorical_produces_nothing(self):
+        n = 120
+        ds = Dataset(
+            np.arange(n, dtype=float),
+            numeric={},
+            categorical={"ver": ["5.6"] * n},
+        )
+        spec = RegionSpec(abnormal=[Region(60.0, 89.0)])
+        conj = PredicateGenerator().generate(ds, spec, attributes=["ver"])
+        # the invariant has more normal than abnormal rows -> Normal label
+        assert len(conj) == 0
+
+
+class TestAblationSwitches:
+    def noisy_mixed(self):
+        """Attribute whose raw labels interleave heavily without filtering."""
+        rng = np.random.default_rng(5)
+        n = 200
+        values = rng.normal(10.0, 1.0, n)
+        values[100:150] = rng.normal(14.0, 1.0, 50)
+        ds = Dataset(np.arange(n, dtype=float), numeric={"m": values})
+        return ds, RegionSpec(abnormal=[Region(100.0, 149.0)])
+
+    def test_disable_fill_blocks_extraction(self):
+        ds, spec = self.noisy_mixed()
+        config = GeneratorConfig(enable_fill=False)
+        conj = PredicateGenerator(config).generate(ds, spec, attributes=["m"])
+        # without gap filling, abnormal partitions rarely form one block
+        full = PredicateGenerator().generate(ds, spec, attributes=["m"])
+        assert len(conj) <= len(full)
+
+    def test_disable_both_is_weaker_or_equal(self):
+        ds, spec = self.noisy_mixed()
+        config = GeneratorConfig(enable_fill=False, enable_filtering=False)
+        conj = PredicateGenerator(config).generate(ds, spec, attributes=["m"])
+        assert len(conj) == 0
+
+    def test_config_replace(self):
+        config = GeneratorConfig().replace(theta=0.05)
+        assert config.theta == 0.05
+        assert config.n_partitions == GeneratorConfig().n_partitions
+
+
+class TestWholeDataset:
+    def test_generates_over_all_attributes_by_default(self):
+        ds, spec = step_dataset()
+        conj = PredicateGenerator().generate(ds, spec)
+        attrs = set(conj.attributes)
+        assert "m" in attrs and "mode" in attrs and "flat" not in attrs
+
+    def test_predicates_cover_abnormal_rows(self):
+        ds, spec = step_dataset(noise=1.0, seed=9)
+        conj = PredicateGenerator().generate(ds, spec)
+        covered = conj.evaluate(ds)
+        abnormal = spec.abnormal_mask(ds)
+        # recall of the conjunction on its own training data is high
+        assert (covered & abnormal).sum() / abnormal.sum() > 0.8

@@ -1,0 +1,94 @@
+"""Tests for the experiment-protocol helpers in repro.eval.harness."""
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import (
+    build_merged_models,
+    build_suite,
+    evaluate_single_models,
+    simulate_run,
+)
+
+
+@pytest.fixture(scope="module")
+def mini_suite():
+    """Two causes x two durations: enough to exercise every protocol."""
+    return build_suite(
+        durations=[30, 45],
+        anomaly_keys=["cpu_saturation", "network_congestion"],
+        seed=777,
+    )
+
+
+class TestSuite:
+    def test_causes_resolved(self, mini_suite):
+        assert set(mini_suite) == {"CPU Saturation", "Network Congestion"}
+
+    def test_dataset_sizes(self, mini_suite):
+        for runs in mini_suite.values():
+            assert runs[0].dataset.n_rows == 150  # 120 normal + 30
+            assert runs[1].dataset.n_rows == 165
+
+    def test_ground_truth_matches_duration(self, mini_suite):
+        for runs in mini_suite.values():
+            for run in runs:
+                region = run.spec.abnormal[0]
+                assert region.duration + 1 == run.duration_s
+
+    def test_intensity_varies_between_runs(self):
+        # different seeds draw different incident intensities
+        # the anomaly window is rows 30..59 (normal_s // 2 onward)
+        d1, _, _ = simulate_run("cpu_saturation", 30, seed=1, normal_s=60)
+        d2, _, _ = simulate_run("cpu_saturation", 30, seed=2, normal_s=60)
+        cpu1 = d1.column("os.cpu_usage")[35:55].mean()
+        cpu2 = d2.column("os.cpu_usage")[35:55].mean()
+        assert cpu1 != pytest.approx(cpu2, abs=0.5)
+
+    def test_pinned_intensity_reproducible(self):
+        d1, _, _ = simulate_run("cpu_saturation", 30, seed=1, normal_s=60,
+                                intensity=1.0)
+        d2, _, _ = simulate_run("cpu_saturation", 30, seed=1, normal_s=60,
+                                intensity=1.0)
+        assert np.allclose(d1.column("os.cpu_usage"), d2.column("os.cpu_usage"))
+
+
+class TestSingleModelProtocol:
+    def test_results_per_cause(self, mini_suite):
+        results = evaluate_single_models(mini_suite)
+        assert {r.cause for r in results} == set(mini_suite)
+
+    def test_scores_in_range(self, mini_suite):
+        for result in evaluate_single_models(mini_suite):
+            assert -1.0 <= result.mean_margin <= 1.0
+            assert 0.0 <= result.mean_f1 <= 1.0
+            assert 0.0 <= result.top1_accuracy <= 1.0
+
+    def test_distinct_causes_separate(self, mini_suite):
+        # CPU saturation vs network congestion have orthogonal signatures
+        results = evaluate_single_models(mini_suite)
+        assert all(r.top1_accuracy == 1.0 for r in results)
+
+    def test_max_models_cap(self, mini_suite):
+        capped = evaluate_single_models(mini_suite, max_models_per_cause=1)
+        assert {r.cause for r in capped} == set(mini_suite)
+
+
+class TestMergedProtocol:
+    def test_merged_models_one_per_cause(self, mini_suite):
+        models = build_merged_models(
+            mini_suite, {cause: [0, 1] for cause in mini_suite}
+        )
+        assert {m.cause for m in models} == set(mini_suite)
+        assert all(m.n_merged == 2 for m in models)
+
+    def test_merged_predicates_subset_of_common_attributes(self, mini_suite):
+        from repro.eval.harness import build_model
+
+        for cause, runs in mini_suite.items():
+            m0 = build_model(runs[0], theta=0.05)
+            m1 = build_model(runs[1], theta=0.05)
+            merged = m0.merge(m1)
+            assert set(merged.attributes) <= (
+                set(m0.attributes) & set(m1.attributes)
+            )

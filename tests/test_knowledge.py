@@ -1,0 +1,172 @@
+"""Unit tests for domain knowledge and secondary-symptom pruning (Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.knowledge import (
+    DomainRule,
+    MYSQL_LINUX_RULES,
+    entropy,
+    independence_factor,
+    joint_entropy,
+    mutual_information,
+    prune_secondary_symptoms,
+    validate_rules,
+)
+from repro.core.predicates import NumericPredicate
+from repro.data.dataset import Dataset
+
+
+class TestDomainRule:
+    def test_self_rule_rejected(self):
+        with pytest.raises(ValueError):
+            DomainRule("a", "a")
+
+    def test_inverse_pair_rejected(self):
+        with pytest.raises(ValueError):
+            validate_rules([DomainRule("a", "b"), DomainRule("b", "a")])
+
+    def test_valid_rules_pass(self):
+        validate_rules(MYSQL_LINUX_RULES)
+
+    def test_str(self):
+        assert str(DomainRule("x", "y")) == "x → y"
+
+    def test_builtin_rules_match_paper(self):
+        pairs = {(r.cause_attr, r.effect_attr) for r in MYSQL_LINUX_RULES}
+        assert ("mysql.cpu_usage", "os.cpu_usage") in pairs
+        assert len(MYSQL_LINUX_RULES) == 4
+
+
+class TestEntropy:
+    def test_constant_has_zero_entropy(self):
+        assert entropy(np.full(100, 5.0)) == 0.0
+
+    def test_uniform_two_values_is_one_bit(self):
+        values = np.asarray([0.0] * 50 + [100.0] * 50)
+        assert entropy(values, bins=2) == pytest.approx(1.0)
+
+    def test_categorical_entropy(self):
+        values = np.asarray(["a", "b"] * 50, dtype=object)
+        assert entropy(values, is_numeric=False) == pytest.approx(1.0)
+
+    def test_joint_entropy_of_identical_equals_marginal(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=500)
+        assert joint_entropy(x, x, bins=20) == pytest.approx(
+            entropy(x, bins=20), abs=1e-9
+        )
+
+
+class TestMutualInformation:
+    def test_independent_attributes_near_zero(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=5000)
+        y = rng.normal(size=5000)
+        assert mutual_information(x, y, bins=10) < 0.1
+
+    def test_identical_attributes_equal_entropy(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=1000)
+        assert mutual_information(x, x, bins=20) == pytest.approx(
+            entropy(x, bins=20), abs=1e-9
+        )
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(3)
+        x, y = rng.normal(size=200), rng.normal(size=200)
+        assert mutual_information(x, y) >= 0.0
+
+
+class TestIndependenceFactor:
+    def test_identical_is_one(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=1000)
+        assert independence_factor(x, x, bins=20) == pytest.approx(1.0)
+
+    def test_independent_is_near_zero(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=5000)
+        y = rng.normal(size=5000)
+        assert independence_factor(x, y, bins=10) < 0.05
+
+    def test_constant_attribute_defined_as_zero(self):
+        x = np.full(100, 1.0)
+        y = np.arange(100.0)
+        assert independence_factor(x, y) == 0.0
+
+    def test_linear_dependence_is_high(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=2000)
+        y = 3.0 * x + rng.normal(scale=0.01, size=2000)
+        assert independence_factor(x, y, bins=20) > 0.5
+
+
+class TestPruning:
+    def dependent_dataset(self):
+        rng = np.random.default_rng(7)
+        n = 400
+        cause = rng.normal(10, 3, n)
+        effect = 2.0 * cause + rng.normal(0, 0.05, n)
+        unrelated = rng.normal(5, 1, n)
+        return Dataset(
+            np.arange(n, dtype=float),
+            numeric={"cause": cause, "effect": effect, "other": unrelated},
+        )
+
+    def predicates(self):
+        return [
+            NumericPredicate("cause", lower=1.0),
+            NumericPredicate("effect", lower=1.0),
+            NumericPredicate("other", lower=1.0),
+        ]
+
+    def test_dependent_effect_pruned(self):
+        kept, pruned = prune_secondary_symptoms(
+            self.predicates(),
+            self.dependent_dataset(),
+            [DomainRule("cause", "effect")],
+        )
+        assert [p.attr for p in pruned] == ["effect"]
+        assert {p.attr for p in kept} == {"cause", "other"}
+
+    def test_independent_rule_does_not_fire(self):
+        kept, pruned = prune_secondary_symptoms(
+            self.predicates(),
+            self.dependent_dataset(),
+            [DomainRule("cause", "other")],
+        )
+        assert pruned == []
+
+    def test_rule_without_both_predicates_ignored(self):
+        kept, pruned = prune_secondary_symptoms(
+            [NumericPredicate("effect", lower=1.0)],
+            self.dependent_dataset(),
+            [DomainRule("cause", "effect")],
+        )
+        assert pruned == []
+
+    def test_rule_with_missing_attribute_ignored(self):
+        kept, pruned = prune_secondary_symptoms(
+            self.predicates(),
+            self.dependent_dataset(),
+            [DomainRule("cause", "ghost")],
+        )
+        assert pruned == []
+
+    def test_no_rules_keeps_everything(self):
+        preds = self.predicates()
+        kept, pruned = prune_secondary_symptoms(
+            preds, self.dependent_dataset(), []
+        )
+        assert kept == preds and pruned == []
+
+    def test_kappa_threshold_controls_firing(self):
+        # with an impossible threshold the dependent rule cannot fire
+        kept, pruned = prune_secondary_symptoms(
+            self.predicates(),
+            self.dependent_dataset(),
+            [DomainRule("cause", "effect")],
+            kappa_threshold=1.1,
+        )
+        assert pruned == []

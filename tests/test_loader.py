@@ -1,0 +1,88 @@
+"""Unit tests for CSV persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.loader import load_dataset_csv, save_dataset_csv
+
+
+def sample():
+    return Dataset(
+        [0.0, 1.0, 2.0],
+        numeric={"a": [1.5, 2.5, 3.5], "b": [0.0, 0.0, 1e-9]},
+        categorical={"c": ["x", "y", "x"]},
+        name="sample",
+    )
+
+
+class TestRoundTrip:
+    def test_shape_preserved(self, tmp_path):
+        path = tmp_path / "d.csv"
+        save_dataset_csv(sample(), path)
+        loaded = load_dataset_csv(path)
+        assert loaded.n_rows == 3
+        assert loaded.numeric_attributes == ["a", "b"]
+        assert loaded.categorical_attributes == ["c"]
+
+    def test_values_preserved(self, tmp_path):
+        path = tmp_path / "d.csv"
+        save_dataset_csv(sample(), path)
+        loaded = load_dataset_csv(path)
+        assert np.allclose(loaded.column("a"), [1.5, 2.5, 3.5])
+        assert list(loaded.column("c")) == ["x", "y", "x"]
+
+    def test_timestamps_preserved(self, tmp_path):
+        path = tmp_path / "d.csv"
+        save_dataset_csv(sample(), path)
+        assert np.allclose(load_dataset_csv(path).timestamps, [0.0, 1.0, 2.0])
+
+    def test_name_from_stem(self, tmp_path):
+        path = tmp_path / "incident.csv"
+        save_dataset_csv(sample(), path)
+        assert load_dataset_csv(path).name == "incident"
+
+    def test_explicit_name(self, tmp_path):
+        path = tmp_path / "d.csv"
+        save_dataset_csv(sample(), path)
+        assert load_dataset_csv(path, name="n").name == "n"
+
+    def test_numeric_looking_categorical_preserved(self, tmp_path):
+        ds = Dataset([0.0, 1.0], categorical={"code": ["1", "2"]})
+        path = tmp_path / "d.csv"
+        save_dataset_csv(ds, path)
+        loaded = load_dataset_csv(path)
+        # the #types line prevents the '1'/'2' strings becoming floats
+        assert loaded.categorical_attributes == ["code"]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "d.csv"
+        save_dataset_csv(sample(), path)
+        assert path.exists()
+
+
+class TestUntypedFiles:
+    def test_type_inference_without_header(self, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("timestamp,a,c\n0,1.5,x\n1,2.5,y\n")
+        loaded = load_dataset_csv(path)
+        assert loaded.is_numeric("a")
+        assert not loaded.is_numeric("c")
+
+    def test_missing_timestamp_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,a\n0,1\n")
+        with pytest.raises(ValueError):
+            load_dataset_csv(path)
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp,a\n0,1\n1\n")
+        with pytest.raises(ValueError):
+            load_dataset_csv(path)
+
+    def test_types_header_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("#types,numeric\ntimestamp,a\n0,1\n")
+        with pytest.raises(ValueError):
+            load_dataset_csv(path)

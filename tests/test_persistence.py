@@ -1,0 +1,113 @@
+"""Unit tests for causal-model persistence."""
+
+import json
+
+import pytest
+
+from repro.core.causal import CausalModel, CausalModelStore
+from repro.core.persistence import (
+    load_store,
+    model_from_dict,
+    model_to_dict,
+    predicate_from_dict,
+    predicate_to_dict,
+    save_store,
+)
+from repro.core.predicates import CategoricalPredicate, NumericPredicate
+
+
+def sample_store():
+    store = CausalModelStore()
+    store.add(
+        CausalModel(
+            "CPU Saturation",
+            [
+                NumericPredicate("os.cpu_usage", lower=85.0),
+                NumericPredicate("os.cpu_idle", upper=10.0),
+                NumericPredicate("txn.avg_latency_ms", lower=5.0, upper=50.0),
+                CategoricalPredicate.of("workload.dominant_txn", ["NewOrder"]),
+            ],
+        )
+    )
+    store.add(CausalModel("Network Congestion", [], n_merged=3))
+    return store
+
+
+class TestPredicateRoundTrip:
+    @pytest.mark.parametrize(
+        "predicate",
+        [
+            NumericPredicate("a", lower=1.0),
+            NumericPredicate("a", upper=2.0),
+            NumericPredicate("a", lower=1.0, upper=2.0),
+            CategoricalPredicate.of("c", ["x", "y"]),
+        ],
+    )
+    def test_round_trip(self, predicate):
+        assert predicate_from_dict(predicate_to_dict(predicate)) == predicate
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            predicate_from_dict({"kind": "quantum"})
+
+
+class TestModelRoundTrip:
+    def test_round_trip_preserves_fields(self):
+        model = CausalModel(
+            "X", [NumericPredicate("a", lower=1.0)], n_merged=4
+        )
+        restored = model_from_dict(model_to_dict(model))
+        assert restored.cause == "X"
+        assert restored.n_merged == 4
+        assert restored.predicates == model.predicates
+
+    def test_missing_n_merged_defaults(self):
+        restored = model_from_dict({"cause": "X", "predicates": []})
+        assert restored.n_merged == 1
+
+
+class TestStorePersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "models.json"
+        save_store(sample_store(), path)
+        restored = load_store(path)
+        assert set(restored.causes) == {"CPU Saturation", "Network Congestion"}
+        model = restored.get("CPU Saturation")
+        assert len(model.predicates) == 4
+
+    def test_file_is_plain_json(self, tmp_path):
+        path = tmp_path / "models.json"
+        save_store(sample_store(), path)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 1
+        assert len(payload["models"]) == 2
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "models.json"
+        save_store(sample_store(), path)
+        assert path.exists()
+
+    def test_bad_schema_rejected(self, tmp_path):
+        path = tmp_path / "models.json"
+        path.write_text(json.dumps({"schema": 99, "models": []}))
+        with pytest.raises(ValueError):
+            load_store(path)
+
+    def test_n_merged_survives(self, tmp_path):
+        path = tmp_path / "models.json"
+        save_store(sample_store(), path)
+        assert load_store(path).get("Network Congestion").n_merged == 3
+
+    def test_restored_models_still_rank(self, tmp_path):
+        import numpy as np
+        from repro.data.dataset import Dataset
+        from repro.data.regions import Region, RegionSpec
+
+        path = tmp_path / "models.json"
+        save_store(sample_store(), path)
+        restored = load_store(path)
+        values = np.asarray([10.0] * 60 + [95.0] * 30 + [10.0] * 30)
+        ds = Dataset(np.arange(120.0), numeric={"os.cpu_usage": values})
+        spec = RegionSpec(abnormal=[Region(60.0, 89.0)])
+        ranked = restored.rank(ds, spec)
+        assert ranked[0][0] == "CPU Saturation"

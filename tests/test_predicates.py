@@ -1,0 +1,166 @@
+"""Unit tests for predicate types and merging (Sections 3, 6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.predicates import (
+    CategoricalPredicate,
+    Conjunction,
+    InconsistentPredicates,
+    NumericPredicate,
+)
+from repro.data.dataset import Dataset
+
+
+class TestNumericPredicate:
+    def test_gt_direction(self):
+        assert NumericPredicate("a", lower=5.0).direction == "gt"
+
+    def test_lt_direction(self):
+        assert NumericPredicate("a", upper=5.0).direction == "lt"
+
+    def test_range_direction(self):
+        assert NumericPredicate("a", lower=1.0, upper=5.0).direction == "range"
+
+    def test_no_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            NumericPredicate("a")
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            NumericPredicate("a", lower=5.0, upper=5.0)
+
+    def test_evaluate_gt_strict(self):
+        pred = NumericPredicate("a", lower=5.0)
+        mask = pred.evaluate_values(np.asarray([4.0, 5.0, 6.0]))
+        assert list(mask) == [False, False, True]
+
+    def test_evaluate_lt_strict(self):
+        pred = NumericPredicate("a", upper=5.0)
+        mask = pred.evaluate_values(np.asarray([4.0, 5.0, 6.0]))
+        assert list(mask) == [True, False, False]
+
+    def test_evaluate_range_open(self):
+        pred = NumericPredicate("a", lower=1.0, upper=3.0)
+        mask = pred.evaluate_values(np.asarray([1.0, 2.0, 3.0]))
+        assert list(mask) == [False, True, False]
+
+    def test_evaluate_on_dataset(self):
+        ds = Dataset([0.0, 1.0], numeric={"a": [1.0, 10.0]})
+        assert list(NumericPredicate("a", lower=5.0).evaluate(ds)) == [False, True]
+
+    def test_str_forms(self):
+        assert str(NumericPredicate("a", lower=5.0)) == "a > 5"
+        assert str(NumericPredicate("a", upper=5.0)) == "a < 5"
+        assert str(NumericPredicate("a", lower=1.0, upper=2.0)) == "1 < a < 2"
+
+
+class TestNumericMerge:
+    def test_gt_takes_smaller_bound(self):
+        # the paper's example: A > 10 merged with A > 15 gives A > 10
+        merged = NumericPredicate("a", lower=10.0).merge(
+            NumericPredicate("a", lower=15.0)
+        )
+        assert merged.lower == 10.0 and merged.upper is None
+
+    def test_lt_takes_larger_bound(self):
+        merged = NumericPredicate("a", upper=15.0).merge(
+            NumericPredicate("a", upper=10.0)
+        )
+        assert merged.upper == 15.0
+
+    def test_range_hull(self):
+        merged = NumericPredicate("a", lower=2.0, upper=5.0).merge(
+            NumericPredicate("a", lower=1.0, upper=4.0)
+        )
+        assert (merged.lower, merged.upper) == (1.0, 5.0)
+
+    def test_conflicting_directions_raise(self):
+        with pytest.raises(InconsistentPredicates):
+            NumericPredicate("a", lower=10.0).merge(
+                NumericPredicate("a", upper=30.0)
+            )
+
+    def test_gt_vs_range_inconsistent(self):
+        with pytest.raises(InconsistentPredicates):
+            NumericPredicate("a", lower=10.0).merge(
+                NumericPredicate("a", lower=1.0, upper=5.0)
+            )
+
+    def test_merge_other_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            NumericPredicate("a", lower=1.0).merge(
+                NumericPredicate("b", lower=1.0)
+            )
+
+    def test_merge_commutative(self):
+        p, q = NumericPredicate("a", lower=10.0), NumericPredicate("a", lower=15.0)
+        assert p.merge(q) == q.merge(p)
+
+
+class TestCategoricalPredicate:
+    def test_evaluate(self):
+        pred = CategoricalPredicate.of("c", ["x", "z"])
+        mask = pred.evaluate_values(np.asarray(["x", "y", "z"], dtype=object))
+        assert list(mask) == [True, False, True]
+
+    def test_empty_categories_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalPredicate.of("c", [])
+
+    def test_merge_is_union(self):
+        # Section 6.2 rule: the merge includes the categories of both
+        merged = CategoricalPredicate.of("c", ["xx", "yy", "zz"]).merge(
+            CategoricalPredicate.of("c", ["xx", "zz"])
+        )
+        assert merged.categories == frozenset({"xx", "yy", "zz"})
+
+    def test_merge_other_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalPredicate.of("c", ["x"]).merge(
+                CategoricalPredicate.of("d", ["x"])
+            )
+
+    def test_str_sorted(self):
+        assert str(CategoricalPredicate.of("c", ["b", "a"])) == "c ∈ {a, b}"
+
+
+class TestConjunction:
+    def ds(self):
+        return Dataset(
+            [0.0, 1.0, 2.0],
+            numeric={"a": [1.0, 10.0, 10.0]},
+            categorical={"c": ["x", "x", "y"]},
+        )
+
+    def test_evaluate_all_predicates(self):
+        conj = Conjunction(
+            [NumericPredicate("a", lower=5.0), CategoricalPredicate.of("c", ["x"])]
+        )
+        assert list(conj.evaluate(self.ds())) == [False, True, False]
+
+    def test_empty_conjunction_all_true(self):
+        assert Conjunction().evaluate(self.ds()).all()
+
+    def test_empty_conjunction_falsy(self):
+        assert not Conjunction()
+
+    def test_missing_attribute_matches_nothing(self):
+        conj = Conjunction([NumericPredicate("zzz", lower=0.0)])
+        assert not conj.evaluate(self.ds()).any()
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            Conjunction(
+                [NumericPredicate("a", lower=1.0), NumericPredicate("a", upper=9.0)]
+            )
+
+    def test_attributes_and_len(self):
+        conj = Conjunction([NumericPredicate("a", lower=1.0)])
+        assert conj.attributes == ["a"] and len(conj) == 1
+
+    def test_str_joins(self):
+        conj = Conjunction(
+            [NumericPredicate("a", lower=1.0), NumericPredicate("b", upper=2.0)]
+        )
+        assert "∧" in str(conj)

@@ -1,0 +1,83 @@
+"""Integration tests for the closed remediation loop."""
+
+import numpy as np
+import pytest
+
+from repro.actions.loop import RemediationLoop
+from repro.actions.policy import AutoRemediator
+from repro.anomalies.base import ScheduledAnomaly
+from repro.anomalies.library import make_anomaly
+from repro.core.causal import CausalModelStore
+from repro.core.generator import GeneratorConfig
+from repro.core.explain import DBSherlock
+from repro.eval.harness import simulate_run
+from repro.workload.tpcc import tpcc_workload
+
+
+@pytest.fixture(scope="module")
+def trained_store():
+    """Causal models for the two causes the loop tests exercise."""
+    sherlock = DBSherlock(config=GeneratorConfig(theta=0.05))
+    for key, seed in (("cpu_saturation", 301), ("cpu_saturation", 302),
+                      ("network_congestion", 303), ("network_congestion", 304)):
+        ds, spec, cause = simulate_run(key, 50, seed=seed)
+        sherlock.feedback(cause, sherlock.explain(ds, spec))
+    return sherlock.store
+
+
+def run_loop(store, with_anomaly=True, seed=11):
+    loop = RemediationLoop(
+        tpcc_workload(),
+        AutoRemediator(store, confidence_threshold=0.5),
+        check_every_s=5,
+    )
+    anomalies = []
+    if with_anomaly:
+        anomalies = [
+            ScheduledAnomaly(
+                make_anomaly("cpu_saturation", intensity=1.0), 60.0, 200.0
+            )
+        ]
+    return loop.run(150, anomalies, seed=seed)
+
+
+class TestRemediationLoop:
+    def test_detects_and_diagnoses(self, trained_store):
+        result = run_loop(trained_store)
+        assert result.detected_at is not None
+        assert result.detected_at >= 60.0
+        assert result.diagnosed_cause == "CPU Saturation"
+
+    def test_applies_correct_action(self, trained_store):
+        result = run_loop(trained_store)
+        assert result.action_name == "stop external processes"
+
+    def test_latency_recovers_after_action(self, trained_store):
+        result = run_loop(trained_store)
+        assert result.recovered_at is not None
+        assert result.time_to_recovery is not None
+        assert result.time_to_recovery < 60.0
+
+    def test_journal_records_outcome(self, trained_store):
+        remediator = AutoRemediator(trained_store, confidence_threshold=0.5)
+        loop = RemediationLoop(tpcc_workload(), remediator, check_every_s=5)
+        loop.run(
+            150,
+            [ScheduledAnomaly(make_anomaly("cpu_saturation", intensity=1.0),
+                              60.0, 200.0)],
+            seed=12,
+        )
+        assert len(remediator.journal) == 1
+        record = list(remediator.journal)[0]
+        assert record.cause == "CPU Saturation"
+        assert record.improvement > 0.2
+
+    def test_quiet_run_takes_no_action(self, trained_store):
+        result = run_loop(trained_store, with_anomaly=False, seed=13)
+        assert result.action_name is None
+        assert result.diagnosed_cause is None
+
+    def test_dataset_collected_for_postmortem(self, trained_store):
+        result = run_loop(trained_store)
+        assert result.dataset.n_rows == 150
+        assert "txn.avg_latency_ms" in result.dataset.numeric_attributes

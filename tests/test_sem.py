@@ -1,0 +1,128 @@
+"""Unit tests for the SEM causal-graph substrate (Appendix F)."""
+
+import numpy as np
+import pytest
+
+from repro.synth.sem import (
+    LinearCausalGraph,
+    attr_name,
+    generate_domain_knowledge,
+    random_linear_causal_graph,
+    sem_dataset,
+)
+
+
+class TestGraphStructure:
+    def test_effect_variable_has_parents(self):
+        for seed in range(20):
+            g = random_linear_causal_graph(7, rng=np.random.default_rng(seed))
+            assert g.parents(g.effect_variable)
+
+    def test_effect_variable_has_no_children(self):
+        for seed in range(20):
+            g = random_linear_causal_graph(7, rng=np.random.default_rng(seed))
+            assert g.children(g.effect_variable) == []
+
+    def test_root_causes_exist(self):
+        for seed in range(20):
+            g = random_linear_causal_graph(7, rng=np.random.default_rng(seed))
+            assert g.root_causes
+
+    def test_acyclic_by_construction(self):
+        g = random_linear_causal_graph(7, rng=np.random.default_rng(1))
+        for (src, dst) in g.coefficients:
+            assert src < dst
+
+    def test_coefficients_nonzero_integers(self):
+        g = random_linear_causal_graph(7, rng=np.random.default_rng(2))
+        for c in g.coefficients.values():
+            assert c != 0 and c == int(c) and -10 <= c <= 10
+
+    def test_reachability(self):
+        g = LinearCausalGraph(3, {(0, 1): 2.0, (1, 2): 3.0})
+        assert g.has_path(0, 2)
+        assert not g.has_path(2, 0)
+
+    def test_ancestors(self):
+        g = LinearCausalGraph(3, {(0, 1): 2.0, (1, 2): 3.0})
+        assert g.ancestors(2) == {0, 1}
+
+    def test_too_few_variables_rejected(self):
+        with pytest.raises(ValueError):
+            random_linear_causal_graph(1)
+
+
+class TestSemData:
+    def test_dataset_shape(self):
+        sd = sem_dataset(k=7, n_rows=600, seed=3)
+        assert sd.dataset.n_rows == 600
+        assert len(sd.dataset.numeric_attributes) == 7
+
+    def test_abnormal_window_size(self):
+        sd = sem_dataset(n_rows=600, abnormal_fraction=0.1, seed=4)
+        assert sd.spec.abnormal_mask(sd.dataset).sum() == 60
+
+    def test_root_cause_shifts_in_window(self):
+        sd = sem_dataset(seed=5)
+        root = attr_name(sd.graph.root_causes[0])
+        values = sd.dataset.column(root)
+        abnormal = sd.spec.abnormal_mask(sd.dataset)
+        assert values[abnormal].mean() > values[~abnormal].mean() + 50.0
+
+    def test_linear_equations_hold(self):
+        sd = sem_dataset(seed=6)
+        g = sd.graph
+        for i in range(g.k):
+            parents = g.parents(i)
+            if not parents:
+                continue
+            expected = np.zeros(sd.dataset.n_rows)
+            for j in parents:
+                expected += g.coefficients[(j, i)] * sd.dataset.column(attr_name(j))
+            residual = sd.dataset.column(attr_name(i)) - expected
+            assert np.abs(residual).std() < 2.0  # ε ~ N(0,1)
+
+    def test_rules_reference_root_causes(self):
+        sd = sem_dataset(seed=7)
+        roots = {attr_name(i) for i in sd.graph.root_causes}
+        for rule in sd.rules:
+            assert rule.cause_attr in roots
+
+    def test_ground_truth_partition(self):
+        sd = sem_dataset(seed=8)
+        assert not (sd.should_prune & sd.should_keep)
+
+    def test_ground_truth_matches_reachability(self):
+        sd = sem_dataset(seed=9)
+        index = {attr_name(i): i for i in range(sd.graph.k)}
+        for attr in sd.should_prune:
+            assert any(
+                sd.graph.has_path(index[r.cause_attr], index[attr])
+                for r in sd.rules
+                if r.effect_attr == attr
+            )
+
+    def test_deterministic_given_seed(self):
+        a = sem_dataset(seed=10)
+        b = sem_dataset(seed=10)
+        assert np.allclose(a.dataset.column("V1"), b.dataset.column("V1"))
+        assert a.rules == b.rules
+
+
+class TestDomainKnowledgeGeneration:
+    def test_no_inverse_rules(self):
+        rng = np.random.default_rng(11)
+        g = random_linear_causal_graph(7, rng=rng)
+        rules = generate_domain_knowledge(g, rng)
+        pairs = {(r.cause_attr, r.effect_attr) for r in rules}
+        for cause, effect in pairs:
+            assert (effect, cause) not in pairs
+
+    def test_rules_capped_per_cause(self):
+        rng = np.random.default_rng(12)
+        g = random_linear_causal_graph(7, rng=rng)
+        rules = generate_domain_knowledge(g, rng, rules_per_cause=1)
+        by_cause = {}
+        for r in rules:
+            by_cause.setdefault(r.cause_attr, []).append(r)
+        assert all(len(v) <= 1 for v in by_cause.values())

@@ -1,0 +1,103 @@
+"""Unit tests for separation power and normalization (Equations 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.predicates import CategoricalPredicate, NumericPredicate
+from repro.core.separation import (
+    normalize_values,
+    normalized_difference,
+    region_means,
+    separation_power,
+)
+from repro.data.dataset import Dataset
+from repro.data.regions import Region, RegionSpec
+
+
+def two_phase_dataset():
+    """Rows 0-9 have a=1 (normal); rows 10-19 have a=10 (abnormal)."""
+    values = np.asarray([1.0] * 10 + [10.0] * 10)
+    return (
+        Dataset(np.arange(20, dtype=float), numeric={"a": values},
+                categorical={"c": ["lo"] * 10 + ["hi"] * 10}),
+        RegionSpec(abnormal=[Region(10.0, 19.0)]),
+    )
+
+
+class TestSeparationPower:
+    def test_perfect_separator_scores_one(self):
+        ds, spec = two_phase_dataset()
+        assert separation_power(NumericPredicate("a", lower=5.0), ds, spec) == 1.0
+
+    def test_anti_separator_scores_minus_one(self):
+        ds, spec = two_phase_dataset()
+        assert separation_power(NumericPredicate("a", upper=5.0), ds, spec) == -1.0
+
+    def test_useless_predicate_scores_zero(self):
+        ds, spec = two_phase_dataset()
+        assert separation_power(NumericPredicate("a", lower=0.0), ds, spec) == 0.0
+
+    def test_partial_separation(self):
+        ds, spec = two_phase_dataset()
+        # matches all abnormal and half of normal: values >0.5 cover all...
+        # use a bound inside the normal cluster instead
+        values = np.asarray([1.0] * 5 + [6.0] * 5 + [10.0] * 10)
+        ds2 = Dataset(np.arange(20, dtype=float), numeric={"a": values})
+        power = separation_power(NumericPredicate("a", lower=5.0), ds2, spec)
+        assert power == pytest.approx(1.0 - 0.5)
+
+    def test_categorical_predicate(self):
+        ds, spec = two_phase_dataset()
+        pred = CategoricalPredicate.of("c", ["hi"])
+        assert separation_power(pred, ds, spec) == 1.0
+
+    def test_empty_region_rejected(self):
+        ds, _ = two_phase_dataset()
+        empty = RegionSpec(abnormal=[Region(500.0, 600.0)])
+        with pytest.raises(ValueError):
+            separation_power(NumericPredicate("a", lower=5.0), ds, empty)
+
+
+class TestNormalization:
+    def test_unit_interval(self):
+        out = normalize_values(np.asarray([2.0, 4.0, 6.0]))
+        assert list(out) == [0.0, 0.5, 1.0]
+
+    def test_constant_maps_to_zero(self):
+        out = normalize_values(np.asarray([3.0, 3.0]))
+        assert list(out) == [0.0, 0.0]
+
+    def test_empty_passthrough(self):
+        assert normalize_values(np.asarray([])).size == 0
+
+    def test_negative_values(self):
+        out = normalize_values(np.asarray([-10.0, 0.0, 10.0]))
+        assert list(out) == [0.0, 0.5, 1.0]
+
+
+class TestNormalizedDifference:
+    def test_step_has_large_difference(self):
+        ds, spec = two_phase_dataset()
+        assert normalized_difference("a", ds, spec) == pytest.approx(1.0)
+
+    def test_flat_attribute_has_zero_difference(self):
+        ds, spec = two_phase_dataset()
+        flat = Dataset(ds.timestamps, numeric={"a": np.ones(20)})
+        assert normalized_difference("a", flat, spec) == 0.0
+
+    def test_categorical_rejected(self):
+        ds, spec = two_phase_dataset()
+        with pytest.raises(TypeError):
+            normalized_difference("c", ds, spec)
+
+    def test_region_means(self):
+        values = np.asarray([0.0, 0.0, 1.0, 1.0])
+        abnormal = np.asarray([False, False, True, True])
+        mu_a, mu_n = region_means(values, abnormal, ~abnormal)
+        assert (mu_a, mu_n) == (1.0, 0.0)
+
+    def test_region_means_empty_rejected(self):
+        values = np.asarray([1.0, 2.0])
+        with pytest.raises(ValueError):
+            region_means(values, np.asarray([False, False]),
+                         np.asarray([True, True]))

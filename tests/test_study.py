@@ -1,0 +1,91 @@
+"""Unit tests for the simulated user study (Table 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.causal import CausalModel
+from repro.core.predicates import NumericPredicate
+from repro.data.dataset import Dataset
+from repro.data.regions import Region, RegionSpec
+from repro.eval.study import COHORTS, Cohort, StudyQuestion, UserStudy
+
+
+def question(correct="X", seed=0):
+    values = np.asarray([1.0] * 60 + [10.0] * 30 + [1.0] * 30)
+    ds = Dataset(np.arange(120, dtype=float), numeric={"m": values})
+    spec = RegionSpec(abnormal=[Region(60.0, 89.0)])
+    return StudyQuestion(
+        dataset=ds,
+        spec=spec,
+        correct_cause=correct,
+        options=[correct, "W1", "W2", "W3"],
+    )
+
+
+def models():
+    return {
+        "X": CausalModel("X", [NumericPredicate("m", lower=5.0)]),
+        "W1": CausalModel("W1", [NumericPredicate("m", upper=5.0)]),
+    }
+
+
+class TestStudyQuestion:
+    def test_correct_must_be_an_option(self):
+        with pytest.raises(ValueError):
+            StudyQuestion(
+                dataset=question().dataset,
+                spec=question().spec,
+                correct_cause="Z",
+                options=["A", "B", "C", "D"],
+            )
+
+    def test_options_distinct(self):
+        q = question()
+        with pytest.raises(ValueError):
+            StudyQuestion(q.dataset, q.spec, "X", ["X", "X", "B", "C"])
+
+
+class TestUserStudy:
+    def test_zero_noise_reader_is_optimal(self):
+        study = UserStudy(models(), [question() for _ in range(5)])
+        score = study.simulate_participant(0.0, np.random.default_rng(0))
+        assert score == 5
+
+    def test_high_noise_reader_is_random(self):
+        study = UserStudy(models(), [question() for _ in range(10)])
+        rng = np.random.default_rng(1)
+        scores = [study.simulate_participant(1000.0, rng) for _ in range(200)]
+        assert np.mean(scores) == pytest.approx(2.5, abs=0.5)
+
+    def test_competence_ordering(self):
+        study = UserStudy(models(), [question() for _ in range(10)])
+        rng = np.random.default_rng(2)
+        low = np.mean([study.simulate_participant(5.0, rng) for _ in range(100)])
+        high = np.mean([study.simulate_participant(0.1, rng) for _ in range(100)])
+        assert high > low
+
+    def test_random_baseline(self):
+        study = UserStudy(models(), [question() for _ in range(10)])
+        assert study.random_baseline() == pytest.approx(2.5)
+
+    def test_run_cohort_shape(self):
+        study = UserStudy(models(), [question() for _ in range(10)])
+        mean, raw = study.run_cohort(Cohort("test", 7, 0.2), seed=3)
+        assert len(raw) == 7
+        assert 0.0 <= mean <= 10.0
+
+    def test_empty_questions_rejected(self):
+        with pytest.raises(ValueError):
+            UserStudy(models(), [])
+
+    def test_paper_cohorts_defined(self):
+        names = [c.name for c in COHORTS]
+        assert len(COHORTS) == 3
+        assert names[0].startswith("Preliminary")
+        assert [c.n_participants for c in COHORTS] == [20, 15, 13]
+
+    def test_unknown_option_reads_zero_evidence(self):
+        # distractors without models never outrank the evidenced answer
+        study = UserStudy(models(), [question()])
+        score = study.simulate_participant(0.0, np.random.default_rng(4))
+        assert score == 1
