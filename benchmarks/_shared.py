@@ -15,7 +15,7 @@ doubles as the experiment log for EXPERIMENTS.md.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +32,8 @@ from repro.eval.metrics import (
     score_predicates_mean,
     topk_contains,
 )
+from repro.perf.cache import LabeledSpaceCache
+from repro.perf.parallel import parallel_map
 
 #: Bench scale: 4 anomaly durations per class (the paper uses 11).
 BENCH_DURATIONS: Tuple[int, ...] = (30, 45, 60, 75)
@@ -54,12 +56,21 @@ def suite(workload: str = "tpcc"):
     )
 
 
+def _build_single_model(run):
+    """Top-level builder so :func:`parallel_map` can pickle it."""
+    return build_model(run, SINGLE_THETA)
+
+
 @lru_cache(maxsize=None)
 def single_models(workload: str = "tpcc") -> Tuple[Tuple[str, tuple], ...]:
-    """One θ=0.2 model per dataset, keyed by cause (cached, hashable)."""
+    """One θ=0.2 model per dataset, keyed by cause (cached, hashable).
+
+    Model builds fan out via ``parallel_map`` (``REPRO_JOBS`` processes,
+    serial by default) — each model depends only on its own run.
+    """
     result = []
     for cause, runs in suite(workload).items():
-        models = tuple(build_model(run, SINGLE_THETA) for run in runs)
+        models = tuple(parallel_map(_build_single_model, runs))
         result.append((cause, models))
     return tuple(result)
 
@@ -100,11 +111,17 @@ def evaluate_topk(
     models: Sequence[CausalModel],
     test_runs: Sequence[AnomalyDataset],
     ks: Sequence[int] = (1, 2),
+    cache: Optional[LabeledSpaceCache] = None,
 ) -> Dict[int, float]:
-    """Fraction of test runs whose correct cause is in the top-k ranking."""
+    """Fraction of test runs whose correct cause is in the top-k ranking.
+
+    One labeled-space cache spans the whole sweep, so each test dataset
+    is discretized once regardless of how many models are ranked.
+    """
+    cache = cache if cache is not None else LabeledSpaceCache()
     hits = {k: 0 for k in ks}
     for run in test_runs:
-        scores = rank_models(models, run.dataset, run.spec)
+        scores = rank_models(models, run.dataset, run.spec, cache=cache)
         for k in ks:
             hits[k] += int(topk_contains(scores, run.cause, k))
     return {k: hits[k] / len(test_runs) for k in ks}

@@ -40,36 +40,54 @@ DEFAULT_CONFIDENCE_PARTITIONS = 250
 def _predicate_on_partitions(
     predicate: Predicate,
     dataset: Dataset,
-    spec: RegionSpec,
+    abnormal: np.ndarray,
+    normal: np.ndarray,
     n_partitions: int,
     apply_filtering: bool,
+    entry: Optional[object] = None,
 ) -> Optional[float]:
     """Separation power of one predicate in the partition space (Eq. 3 term).
 
-    Returns ``None`` when the attribute is missing or either region has no
-    labeled partitions (the predicate then contributes zero confidence).
+    Region masks are computed once by the caller; *entry* optionally
+    supplies a cached labeled space (see
+    :class:`repro.perf.cache.LabeledSpaceCache`).  Returns ``None`` when
+    the attribute is missing or either region has no labeled partitions
+    (the predicate then contributes zero confidence).
     """
     attr = predicate.attr
     if attr not in dataset:
         return None
-    values = dataset.column(attr)
-    abnormal = spec.abnormal_mask(dataset)
-    normal = spec.normal_mask(dataset)
-    if dataset.is_numeric(attr):
-        space = NumericPartitionSpace(attr, values, n_partitions)
-        labels = space.label(values, abnormal, normal)
-        if apply_filtering:
-            labels = filter_partitions(labels)
-        representatives = np.asarray(
-            [space.midpoint(i) for i in range(space.n_partitions)]
+    if entry is not None:
+        # Fast path: evaluate only on the cached Abnormal/Normal partition
+        # representatives — the counts (hence the ratios) are identical to
+        # masking a full-space evaluation.
+        regions = entry.region_partitions(apply_filtering)
+        if regions is None:
+            return None
+        reps_abnormal, reps_normal, n_abnormal, n_normal = regions
+        ratio_abnormal = (
+            float(np.count_nonzero(predicate.evaluate_values(reps_abnormal)))
+            / n_abnormal
         )
-        satisfied = predicate.evaluate_values(representatives)
+        ratio_normal = (
+            float(np.count_nonzero(predicate.evaluate_values(reps_normal)))
+            / n_normal
+        )
+        return ratio_abnormal - ratio_normal
     else:
-        space = CategoricalPartitionSpace(attr, values)
-        labels = space.label(values, abnormal, normal)
-        satisfied = predicate.evaluate_values(
-            np.asarray(space.categories, dtype=object)
-        )
+        values = dataset.column(attr)
+        if dataset.is_numeric(attr):
+            space = NumericPartitionSpace(attr, values, n_partitions)
+            labels = space.label(values, abnormal, normal)
+            if apply_filtering:
+                labels = filter_partitions(labels)
+            satisfied = predicate.evaluate_values(space.midpoints())
+        else:
+            space = CategoricalPartitionSpace(attr, values)
+            labels = space.label(values, abnormal, normal)
+            satisfied = predicate.evaluate_values(
+                np.asarray(space.categories, dtype=object)
+            )
     abnormal_parts = labels == int(Label.ABNORMAL)
     normal_parts = labels == int(Label.NORMAL)
     n_abnormal = int(abnormal_parts.sum())
@@ -87,14 +105,30 @@ def model_confidence(
     spec: RegionSpec,
     n_partitions: int = DEFAULT_CONFIDENCE_PARTITIONS,
     apply_filtering: bool = True,
+    cache: Optional[object] = None,
 ) -> float:
-    """Equation 3: mean partition-space separation power of *predicates*."""
+    """Equation 3: mean partition-space separation power of *predicates*.
+
+    The region masks are computed once for the whole model (not per
+    predicate); passing a :class:`repro.perf.cache.LabeledSpaceCache`
+    additionally shares each attribute's labeled partition space across
+    predicates, models, and repeated rankings of the same anomaly.
+    """
     if not predicates:
         return 0.0
+    if cache is not None:
+        abnormal, normal = cache.masks(dataset, spec)
+    else:
+        abnormal = spec.abnormal_mask(dataset)
+        normal = spec.normal_mask(dataset)
     total = 0.0
     for predicate in predicates:
+        entry = None
+        if cache is not None and predicate.attr in dataset:
+            entry = cache.entry(dataset, spec, predicate.attr, n_partitions)
         power = _predicate_on_partitions(
-            predicate, dataset, spec, n_partitions, apply_filtering
+            predicate, dataset, abnormal, normal, n_partitions,
+            apply_filtering, entry,
         )
         total += power if power is not None else 0.0
     return total / len(predicates)
@@ -135,10 +169,12 @@ class CausalModel:
         spec: RegionSpec,
         n_partitions: int = DEFAULT_CONFIDENCE_PARTITIONS,
         apply_filtering: bool = True,
+        cache: Optional[object] = None,
     ) -> float:
         """Fitness of this model for the given anomaly (Equation 3)."""
         return model_confidence(
-            self.predicates, dataset, spec, n_partitions, apply_filtering
+            self.predicates, dataset, spec, n_partitions, apply_filtering,
+            cache=cache,
         )
 
     def merge(self, other: "CausalModel") -> "CausalModel":
@@ -220,12 +256,24 @@ class CausalModelStore:
         spec: RegionSpec,
         n_partitions: int = DEFAULT_CONFIDENCE_PARTITIONS,
         apply_filtering: bool = True,
+        cache: Optional[object] = None,
     ) -> List[Tuple[str, float]]:
-        """All causes with their confidence, highest first."""
+        """All causes with their confidence, highest first.
+
+        A :class:`repro.perf.cache.LabeledSpaceCache` is created for the
+        call when none is supplied, so ranking K models labels each
+        attribute of *dataset* once instead of once per model.
+        """
+        if cache is None:
+            from repro.perf.cache import LabeledSpaceCache
+
+            cache = LabeledSpaceCache()
         scored = [
             (
                 model.cause,
-                model.confidence(dataset, spec, n_partitions, apply_filtering),
+                model.confidence(
+                    dataset, spec, n_partitions, apply_filtering, cache=cache
+                ),
             )
             for model in self._models.values()
         ]

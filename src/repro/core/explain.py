@@ -95,8 +95,14 @@ class DBSherlock:
         lambda_threshold: float = DEFAULT_LAMBDA,
         detector: Optional[AnomalyDetector] = None,
     ) -> None:
+        from repro.perf.cache import LabeledSpaceCache
+
         self.config = config or GeneratorConfig()
-        self.generator = PredicateGenerator(self.config)
+        # One shared labeled-space cache: explain() generates predicates
+        # and ranks stored models on the same (dataset, spec), so each
+        # attribute is discretized and labeled exactly once per anomaly.
+        self.cache = LabeledSpaceCache()
+        self.generator = PredicateGenerator(self.config, cache=self.cache)
         self.rules = list(rules)
         self.kappa_threshold = kappa_threshold
         self.lambda_threshold = lambda_threshold
@@ -126,7 +132,8 @@ class DBSherlock:
             conjunction.predicates, dataset, self.rules, self.kappa_threshold
         )
         scores = self.store.rank(
-            dataset, spec, n_partitions=self.config.n_partitions
+            dataset, spec, n_partitions=self.config.n_partitions,
+            cache=self.cache,
         )
         visible = [
             (cause, confidence)
@@ -162,7 +169,8 @@ class DBSherlock:
     ) -> List[Tuple[str, float]]:
         """The ``top_k`` most likely known causes for an anomaly."""
         return self.store.rank(
-            dataset, spec, n_partitions=self.config.n_partitions
+            dataset, spec, n_partitions=self.config.n_partitions,
+            cache=self.cache,
         )[:top_k]
 
     # ------------------------------------------------------------------

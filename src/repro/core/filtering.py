@@ -23,21 +23,23 @@ __all__ = ["filter_partitions", "fill_gaps"]
 def _nearest_non_empty(labels: np.ndarray) -> tuple:
     """Per-partition index of the nearest non-Empty partition on each side.
 
-    Returns ``(left, right)`` int arrays; -1 where no such partition exists.
+    Returns ``(left, right)`` int arrays; -1 where no such partition
+    exists.  Vectorized via prefix max / suffix min scans.
     """
     n = labels.shape[0]
-    left = np.full(n, -1, dtype=np.int64)
-    last = -1
-    for i in range(n):
-        left[i] = last
-        if labels[i] != int(Label.EMPTY):
-            last = i
-    right = np.full(n, -1, dtype=np.int64)
-    nxt = -1
-    for i in range(n - 1, -1, -1):
-        right[i] = nxt
-        if labels[i] != int(Label.EMPTY):
-            nxt = i
+    nonempty = labels != int(Label.EMPTY)
+    idx = np.arange(n, dtype=np.int64)
+    last = np.where(nonempty, idx, -1)
+    left = np.empty(n, dtype=np.int64)
+    left[0] = -1
+    if n > 1:
+        left[1:] = np.maximum.accumulate(last)[:-1]
+    nxt = np.where(nonempty, idx, n)
+    right = np.empty(n, dtype=np.int64)
+    right[-1] = -1
+    if n > 1:
+        right[:-1] = np.minimum.accumulate(nxt[::-1])[::-1][1:]
+        right[right == n] = -1
     return left, right
 
 
@@ -54,22 +56,15 @@ def filter_partitions(labels: np.ndarray) -> np.ndarray:
     labels = np.asarray(labels, dtype=np.int64)
     result = labels.copy()
     left, right = _nearest_non_empty(labels)
-    lone_abnormal = int((labels == int(Label.ABNORMAL)).sum()) == 1
-    lone_normal = int((labels == int(Label.NORMAL)).sum()) == 1
-    for i in range(labels.shape[0]):
-        label = labels[i]
-        if label == int(Label.EMPTY):
-            continue
-        if label == int(Label.ABNORMAL) and lone_abnormal:
-            continue
-        if label == int(Label.NORMAL) and lone_normal:
-            continue
-        li, ri = left[i], right[i]
-        if li < 0 or ri < 0:
-            # End of the non-Empty run: only one neighbour, never filtered.
-            continue
-        if labels[li] != label or labels[ri] != label:
-            result[i] = int(Label.EMPTY)
+    eligible = (labels != int(Label.EMPTY)) & (left >= 0) & (right >= 0)
+    if int((labels == int(Label.ABNORMAL)).sum()) == 1:
+        eligible &= labels != int(Label.ABNORMAL)
+    if int((labels == int(Label.NORMAL)).sum()) == 1:
+        eligible &= labels != int(Label.NORMAL)
+    left_label = labels[np.clip(left, 0, None)]
+    right_label = labels[np.clip(right, 0, None)]
+    disagree = (left_label != labels) | (right_label != labels)
+    result[eligible & disagree] = int(Label.EMPTY)
     return result
 
 
@@ -107,49 +102,40 @@ def fill_gaps(
 
     left, right = _nearest_non_empty(labels)
     filled = labels.copy()
-    for i in range(labels.shape[0]):
-        if labels[i] != int(Label.EMPTY):
-            continue
-        li, ri = left[i], right[i]
-        if li < 0 and ri < 0:
-            continue
-        if li < 0:
-            filled[i] = labels[ri]
-            continue
-        if ri < 0:
-            filled[i] = labels[li]
-            continue
-        left_label, right_label = labels[li], labels[ri]
-        if left_label == right_label:
-            filled[i] = left_label
-            continue
-        dist_left = float(i - li)
-        dist_right = float(ri - i)
-        if left_label == int(Label.ABNORMAL):
-            dist_abnormal, dist_normal = dist_left, dist_right
-            abnormal_label, normal_label = left_label, right_label
-        else:
-            dist_abnormal, dist_normal = dist_right, dist_left
-            abnormal_label, normal_label = right_label, left_label
-        if dist_abnormal * delta < dist_normal:
-            filled[i] = abnormal_label
-        else:
-            filled[i] = normal_label
+    empty = labels == int(Label.EMPTY)
+    left_label = labels[np.clip(left, 0, None)]
+    right_label = labels[np.clip(right, 0, None)]
+
+    only_left = empty & (left >= 0) & (right < 0)
+    filled[only_left] = left_label[only_left]
+    only_right = empty & (left < 0) & (right >= 0)
+    filled[only_right] = right_label[only_right]
+
+    both = empty & (left >= 0) & (right >= 0)
+    agree = both & (left_label == right_label)
+    filled[agree] = left_label[agree]
+
+    idx = np.arange(labels.shape[0], dtype=np.int64)
+    dist_left = (idx - left).astype(np.float64)
+    dist_right = (right - idx).astype(np.float64)
+    left_is_abnormal = left_label == int(Label.ABNORMAL)
+    dist_abnormal = np.where(left_is_abnormal, dist_left, dist_right)
+    dist_normal = np.where(left_is_abnormal, dist_right, dist_left)
+    abnormal_label = np.where(left_is_abnormal, left_label, right_label)
+    normal_label = np.where(left_is_abnormal, right_label, left_label)
+    chosen = np.where(dist_abnormal * delta < dist_normal, abnormal_label, normal_label)
+    disagree = both & (left_label != right_label)
+    filled[disagree] = chosen[disagree]
     return filled
 
 
 def abnormal_blocks(labels: np.ndarray) -> list:
     """Contiguous runs of Abnormal partitions as ``(start, end)`` inclusive."""
     labels = np.asarray(labels, dtype=np.int64)
-    blocks = []
-    start = None
-    for i, label in enumerate(labels):
-        if label == int(Label.ABNORMAL):
-            if start is None:
-                start = i
-        elif start is not None:
-            blocks.append((start, i - 1))
-            start = None
-    if start is not None:
-        blocks.append((start, labels.shape[0] - 1))
-    return blocks
+    abnormal = np.concatenate(
+        [[False], labels == int(Label.ABNORMAL), [False]]
+    ).astype(np.int8)
+    edges = np.diff(abnormal)
+    starts = np.nonzero(edges == 1)[0]
+    ends = np.nonzero(edges == -1)[0] - 1
+    return list(zip(starts.tolist(), ends.tolist()))

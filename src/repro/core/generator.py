@@ -13,6 +13,7 @@ switches used by the Appendix D step-contribution study (Table 6).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -65,15 +66,7 @@ class GeneratorConfig:
 
     def replace(self, **kwargs) -> "GeneratorConfig":
         """Return a copy with the given fields overridden."""
-        values = {
-            "n_partitions": self.n_partitions,
-            "delta": self.delta,
-            "theta": self.theta,
-            "enable_filtering": self.enable_filtering,
-            "enable_fill": self.enable_fill,
-        }
-        values.update(kwargs)
-        return GeneratorConfig(**values)
+        return dataclasses.replace(self, **kwargs)
 
 
 @dataclass
@@ -96,10 +89,24 @@ class AttributeArtifacts:
 
 
 class PredicateGenerator:
-    """Generates a conjunction of explanatory predicates (Algorithm 1)."""
+    """Generates a conjunction of explanatory predicates (Algorithm 1).
 
-    def __init__(self, config: Optional[GeneratorConfig] = None) -> None:
+    Numeric attributes are labeled in one batched pass (all columns
+    stacked into a single matrix, one offset-bincount per region) rather
+    than attribute by attribute; the output is bitwise-identical to the
+    serial path.  An optional :class:`repro.perf.cache.LabeledSpaceCache`
+    shares labeled partition spaces (and region masks / normalized means)
+    with confidence scoring, so explain-then-diagnose on the same anomaly
+    labels each attribute only once.
+    """
+
+    def __init__(
+        self,
+        config: Optional[GeneratorConfig] = None,
+        cache: Optional[object] = None,
+    ) -> None:
         self.config = config or GeneratorConfig()
+        self.cache = cache
 
     # ------------------------------------------------------------------
     def generate(
@@ -122,14 +129,37 @@ class PredicateGenerator:
     ) -> Dict[str, AttributeArtifacts]:
         """Like :meth:`generate` but returns per-attribute artifacts."""
         spec.validate(dataset)
-        abnormal = spec.abnormal_mask(dataset)
-        normal = spec.normal_mask(dataset)
+        cache = self.cache
+        if cache is not None:
+            abnormal, normal = cache.masks(dataset, spec)
+        else:
+            abnormal = spec.abnormal_mask(dataset)
+            normal = spec.normal_mask(dataset)
         names = list(attributes) if attributes is not None else dataset.attributes
+        numeric_names = [a for a in names if dataset.is_numeric(a)]
+        entries: Dict[str, object] = {}
+        if cache is not None:
+            entries = cache.entries(
+                dataset, spec, numeric_names, self.config.n_partitions
+            )
+            labeled = {
+                attr: (entry.space, entry.labels_initial)
+                for attr, entry in entries.items()
+            }
+        else:
+            from repro.perf.batch import label_numeric_batch
+
+            labeled = label_numeric_batch(
+                dataset, numeric_names, abnormal, normal,
+                self.config.n_partitions,
+            )
         artifacts: Dict[str, AttributeArtifacts] = {}
         for attr in names:
             if dataset.is_numeric(attr):
+                space, labels = labeled[attr]
                 artifacts[attr] = self._numeric_attribute(
-                    dataset, attr, abnormal, normal
+                    dataset, spec, attr, abnormal, normal,
+                    space, labels, entries.get(attr),
                 )
             else:
                 artifacts[attr] = self._categorical_attribute(
@@ -143,20 +173,25 @@ class PredicateGenerator:
     def _numeric_attribute(
         self,
         dataset: Dataset,
+        spec: RegionSpec,
         attr: str,
         abnormal: np.ndarray,
         normal: np.ndarray,
+        space: NumericPartitionSpace,
+        labels: np.ndarray,
+        entry: Optional[object] = None,
     ) -> AttributeArtifacts:
         values = dataset.column(attr)
-        space = NumericPartitionSpace(attr, values, self.config.n_partitions)
-        labels = space.label(values, abnormal, normal)
         art = AttributeArtifacts(
             attr=attr, is_numeric=True, space=space, labels_initial=labels
         )
 
-        filtered = (
-            filter_partitions(labels) if self.config.enable_filtering else labels
-        )
+        if not self.config.enable_filtering:
+            filtered = labels
+        elif entry is not None:
+            filtered = entry.filtered_labels()
+        else:
+            filtered = filter_partitions(labels)
         art.labels_filtered = filtered
 
         if not (filtered == int(Label.ABNORMAL)).any():
@@ -177,8 +212,13 @@ class PredicateGenerator:
             filled = filtered
         art.labels_filled = filled
 
-        normalized = normalize_values(values)
-        mu_abnormal, mu_normal = region_means(normalized, abnormal, normal)
+        if self.cache is not None:
+            mu_abnormal, mu_normal = self.cache.normalized_means(
+                dataset, spec, attr
+            )
+        else:
+            normalized = normalize_values(values)
+            mu_abnormal, mu_normal = region_means(normalized, abnormal, normal)
         art.normalized_difference = abs(mu_abnormal - mu_normal)
 
         blocks = abnormal_blocks(filled)

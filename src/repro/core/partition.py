@@ -77,6 +77,20 @@ class NumericPartitionSpace:
             return self.minimum
         return self.lower_bound(index) + self.width / 2.0
 
+    def midpoints(self) -> np.ndarray:
+        """Representative values of every partition, vectorized.
+
+        Bitwise-identical to ``[midpoint(i) for i in range(n_partitions)]``
+        (same association order: ``(minimum + i*width) + width/2``).
+        """
+        if self.width == 0:
+            return np.full(self.n_partitions, self.minimum, dtype=np.float64)
+        lowers = (
+            self.minimum
+            + np.arange(self.n_partitions, dtype=np.float64) * self.width
+        )
+        return lowers + self.width / 2.0
+
     def _check_index(self, index: int) -> None:
         if not 0 <= index < self.n_partitions:
             raise IndexError(f"partition index {index} out of range")
@@ -116,6 +130,29 @@ class NumericPartitionSpace:
         """Build the partition space over all rows of *dataset*."""
         return cls(attr, dataset.column(attr), n_partitions)
 
+    @classmethod
+    def from_stats(
+        cls, attr: str, minimum: float, maximum: float, n_partitions: int
+    ) -> "NumericPartitionSpace":
+        """Build a space from precomputed min/max (the batched labeler).
+
+        Applies exactly the constructor's rules (constant range collapses
+        to one partition; ``width = (max - min) / n_partitions``) without
+        re-scanning the value vector.
+        """
+        if n_partitions < 1:
+            raise ValueError("n_partitions must be at least 1")
+        space = cls.__new__(cls)
+        space.attr = attr
+        space.minimum = float(minimum)
+        space.maximum = float(maximum)
+        if space.maximum > space.minimum:
+            space.n_partitions = int(n_partitions)
+        else:
+            space.n_partitions = 1
+        space.width = (space.maximum - space.minimum) / space.n_partitions
+        return space
+
     def labeled_from_spec(
         self, dataset: Dataset, spec: RegionSpec
     ) -> np.ndarray:
@@ -136,7 +173,9 @@ class CategoricalPartitionSpace:
             raise ValueError("cannot partition an empty attribute")
         self.attr = attr
         self.categories: List[str] = sorted({str(v) for v in values})
-        self._index = {c: i for i, c in enumerate(self.categories)}
+        # Sorted unicode array for vectorized searchsorted lookups; numpy's
+        # codepoint ordering matches Python's str ordering.
+        self._categories_arr = np.asarray(self.categories)
 
     @property
     def n_partitions(self) -> int:
@@ -144,10 +183,22 @@ class CategoricalPartitionSpace:
         return len(self.categories)
 
     def partition_indices(self, values: np.ndarray) -> np.ndarray:
-        """Partition index of each value; unseen categories map to -1."""
-        return np.asarray(
-            [self._index.get(str(v), -1) for v in values], dtype=np.int64
-        )
+        """Partition index of each value; unseen categories map to -1.
+
+        Vectorized: the distinct input values (usually few) are located in
+        the sorted category array via ``searchsorted``, then scattered
+        back through ``np.unique``'s inverse mapping.
+        """
+        values = np.asarray(values, dtype=object)
+        if values.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        strings = values.astype(str)
+        distinct, inverse = np.unique(strings, return_inverse=True)
+        pos = np.searchsorted(self._categories_arr, distinct)
+        pos = np.clip(pos, 0, self.n_partitions - 1)
+        found = self._categories_arr[pos] == distinct
+        mapped = np.where(found, pos, -1).astype(np.int64)
+        return mapped[inverse.reshape(strings.shape)]
 
     def label(
         self,

@@ -32,6 +32,8 @@ from repro.data.dataset import Dataset
 from repro.data.regions import RegionSpec
 from repro.engine.collector import simulate_telemetry
 from repro.eval.metrics import margin_of_confidence, topk_contains
+from repro.perf.cache import LabeledSpaceCache
+from repro.perf.parallel import parallel_map
 from repro.workload.spec import WorkloadSpec
 from repro.workload.tpcc import tpcc_workload
 from repro.workload.tpce import tpce_workload
@@ -120,6 +122,27 @@ def simulate_run(
     return dataset, spec, injector.cause
 
 
+def _simulate_suite_task(task: tuple) -> AnomalyDataset:
+    """One suite run (top-level so :func:`parallel_map` can pickle it)."""
+    key, duration, run_seed, workload, normal_s, noise_scale = task
+    dataset, spec, cause = simulate_run(
+        key,
+        duration_s=duration,
+        workload=workload,
+        seed=run_seed,
+        normal_s=normal_s,
+        noise_scale=noise_scale,
+    )
+    return AnomalyDataset(
+        dataset=dataset,
+        spec=spec,
+        cause=cause,
+        anomaly_key=key,
+        duration_s=duration,
+        seed=run_seed,
+    )
+
+
 def build_suite(
     workload: str = "tpcc",
     durations: Sequence[int] = DEFAULT_DURATIONS,
@@ -127,37 +150,31 @@ def build_suite(
     seed: int = 0,
     normal_s: int = DEFAULT_NORMAL_S,
     noise_scale: float = 1.0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, List[AnomalyDataset]]:
     """The paper's dataset suite: per anomaly class, one run per duration.
 
     Returns a mapping ``cause → [AnomalyDataset, ...]``.  With the default
     durations and all 10 classes this is the paper's 110-dataset corpus.
+
+    Runs simulate independently: per-run seeds are assigned serially up
+    front, then the simulations fan out over ``jobs`` processes (default
+    ``REPRO_JOBS``, serial fallback) with identical results either way.
     """
     keys = list(anomaly_keys) if anomaly_keys is not None else list(ANOMALY_CAUSES)
-    suite: Dict[str, List[AnomalyDataset]] = {}
+    durations = [int(d) for d in durations]
+    tasks = []
     run_seed = seed
     for key in keys:
-        runs: List[AnomalyDataset] = []
         for duration in durations:
             run_seed += 1
-            dataset, spec, cause = simulate_run(
-                key,
-                duration_s=int(duration),
-                workload=workload,
-                seed=run_seed,
-                normal_s=normal_s,
-                noise_scale=noise_scale,
+            tasks.append(
+                (key, duration, run_seed, workload, normal_s, noise_scale)
             )
-            runs.append(
-                AnomalyDataset(
-                    dataset=dataset,
-                    spec=spec,
-                    cause=cause,
-                    anomaly_key=key,
-                    duration_s=int(duration),
-                    seed=run_seed,
-                )
-            )
+    all_runs = parallel_map(_simulate_suite_task, tasks, jobs=jobs)
+    suite: Dict[str, List[AnomalyDataset]] = {}
+    for i, key in enumerate(keys):
+        runs = all_runs[i * len(durations) : (i + 1) * len(durations)]
         suite[runs[0].cause] = runs
     return suite
 
@@ -180,13 +197,30 @@ def rank_models(
     dataset: Dataset,
     spec: RegionSpec,
     n_partitions: int = 250,
+    cache: Optional[LabeledSpaceCache] = None,
 ) -> List[Tuple[str, float]]:
-    """Confidence of every model on one anomaly, highest first."""
+    """Confidence of every model on one anomaly, highest first.
+
+    With no *cache*, a per-call :class:`LabeledSpaceCache` still shares
+    each attribute's labeled partition space across the K models; passing
+    a long-lived cache additionally amortizes repeated rankings of the
+    same dataset (the evaluation protocols rank every test dataset many
+    times).
+    """
+    if cache is None:
+        cache = LabeledSpaceCache()
     scored = [
-        (m.cause, m.confidence(dataset, spec, n_partitions)) for m in models
+        (m.cause, m.confidence(dataset, spec, n_partitions, cache=cache))
+        for m in models
     ]
     scored.sort(key=lambda item: item[1], reverse=True)
     return scored
+
+
+def _build_model_task(task: tuple) -> CausalModel:
+    """One model build (top-level so :func:`parallel_map` can pickle it)."""
+    run, theta, config = task
+    return build_model(run, theta, config)
 
 
 def build_merged_models(
@@ -194,13 +228,28 @@ def build_merged_models(
     train_indices: Dict[str, Sequence[int]],
     theta: float = MERGED_MODEL_THETA,
     config: Optional[GeneratorConfig] = None,
+    jobs: Optional[int] = None,
 ) -> List[CausalModel]:
-    """One merged model per cause from the given training datasets."""
+    """One merged model per cause from the given training datasets.
+
+    Per-dataset models build independently (fanned out over ``jobs``
+    processes); the merge itself stays sequential in training order, so
+    the result is identical to the serial path.
+    """
+    causes = list(suite)
+    tasks = [
+        (suite[cause][index], theta, config)
+        for cause in causes
+        for index in train_indices[cause]
+    ]
+    built = parallel_map(_build_model_task, tasks, jobs=jobs)
     models: List[CausalModel] = []
-    for cause, runs in suite.items():
+    position = 0
+    for cause in causes:
         merged: Optional[CausalModel] = None
-        for index in train_indices[cause]:
-            model = build_model(runs[index], theta, config)
+        for _ in train_indices[cause]:
+            model = built[position]
+            position += 1
             merged = model if merged is None else merged.merge(model)
         if merged is not None:
             models.append(merged)
@@ -222,6 +271,7 @@ def evaluate_single_models(
     theta: float = SINGLE_MODEL_THETA,
     config: Optional[GeneratorConfig] = None,
     max_models_per_cause: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> List[SingleModelResult]:
     """Section 8.3: single-dataset models evaluated on all other datasets.
 
@@ -229,15 +279,38 @@ def evaluate_single_models(
     datasets' models on each remaining dataset of its own cause; we record
     the margin of the correct model over the best incorrect one, the
     correct model's mean per-predicate F1, and whether it ranked first.
+
+    Model building fans out over ``jobs`` processes; the scoring sweep
+    shares one :class:`LabeledSpaceCache`, so each test dataset's
+    attributes are labeled once for the whole cross-product rather than
+    once per ranking.
     """
     from repro.eval.metrics import score_predicates_mean
 
     # one representative model per (cause, dataset index)
+    causes = list(suite)
+    runs_used_by_cause = {
+        cause: (
+            suite[cause][:max_models_per_cause]
+            if max_models_per_cause
+            else suite[cause]
+        )
+        for cause in causes
+    }
+    tasks = [
+        (run, theta, config)
+        for cause in causes
+        for run in runs_used_by_cause[cause]
+    ]
+    built = parallel_map(_build_model_task, tasks, jobs=jobs)
     models_by_cause: Dict[str, List[CausalModel]] = {}
-    for cause, runs in suite.items():
-        runs_used = runs[:max_models_per_cause] if max_models_per_cause else runs
-        models_by_cause[cause] = [build_model(r, theta, config) for r in runs_used]
+    position = 0
+    for cause in causes:
+        count = len(runs_used_by_cause[cause])
+        models_by_cause[cause] = built[position : position + count]
+        position += count
 
+    cache = LabeledSpaceCache()
     results: List[SingleModelResult] = []
     for cause, runs in suite.items():
         margins: List[float] = []
@@ -256,7 +329,7 @@ def evaluate_single_models(
                 if test_idx == model_idx:
                     continue  # never score a model on its training dataset
                 scores = rank_models(
-                    competitors, test_run.dataset, test_run.spec
+                    competitors, test_run.dataset, test_run.spec, cache=cache
                 )
                 margins.append(margin_of_confidence(scores, cause))
                 top1.append(topk_contains(scores, cause, 1))

@@ -1,0 +1,299 @@
+"""LabeledSpaceCache: the shared partition-space representation.
+
+Ranking K causal models over one anomaly (Equation 3) labels the same
+dataset columns into the same partitions once per predicate occurrence —
+O(models x predicates) redundant discretizations.  This cache memoizes,
+per ``(dataset, region-spec, attribute, n_partitions)``:
+
+* the partition space (numeric or categorical),
+* the initial partition labels,
+* the Section 4.3 filtered labels (lazily, on first request),
+* the partition representatives (midpoints / category values, lazily),
+
+plus, keyed per ``(dataset, region-spec)``, the abnormal/normal row masks
+and, per ``(dataset, region-spec, attribute)``, the normalized region
+means used by the θ gate — so the predicate generator and confidence
+scoring share one labeling of each attribute.
+
+Keying and invalidation
+-----------------------
+Datasets are keyed by identity (``id``) and held via ``weakref`` so that
+entries are evicted automatically when a dataset is garbage-collected;
+region specs are keyed *structurally* (their interval bounds), so two
+equal specs share entries.  Datasets are treated as immutable — call
+:meth:`LabeledSpaceCache.invalidate` after mutating one in place.  Cached
+label arrays are shared with callers and must not be written to.
+
+``hits``/``misses`` counters (and :meth:`stats`) make cache behavior
+observable in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LabeledAttribute", "LabeledSpaceCache"]
+
+_UNSET = object()
+
+
+class LabeledAttribute:
+    """One attribute's labeled partition space, with lazy derived forms."""
+
+    __slots__ = (
+        "attr",
+        "is_numeric",
+        "space",
+        "labels_initial",
+        "_labels_filtered",
+        "_representatives",
+        "_regions_filtered",
+        "_regions_initial",
+    )
+
+    def __init__(self, attr, is_numeric, space, labels_initial) -> None:
+        self.attr = attr
+        self.is_numeric = is_numeric
+        self.space = space
+        self.labels_initial = labels_initial
+        self._labels_filtered: Optional[np.ndarray] = None
+        self._representatives: Optional[np.ndarray] = None
+        self._regions_filtered = _UNSET
+        self._regions_initial = _UNSET
+
+    def filtered_labels(self) -> np.ndarray:
+        """Section 4.3 filtered labels (categorical spaces are never filtered)."""
+        if self._labels_filtered is None:
+            if self.is_numeric:
+                from repro.core.filtering import filter_partitions
+
+                self._labels_filtered = filter_partitions(self.labels_initial)
+            else:
+                self._labels_filtered = self.labels_initial
+        return self._labels_filtered
+
+    def representatives(self) -> np.ndarray:
+        """Per-partition representative values (midpoints / categories)."""
+        if self._representatives is None:
+            if self.is_numeric:
+                self._representatives = self.space.midpoints()
+            else:
+                self._representatives = np.asarray(
+                    self.space.categories, dtype=object
+                )
+        return self._representatives
+
+    def region_partitions(self, apply_filtering: bool = True):
+        """Representatives and counts of the Abnormal/Normal partitions.
+
+        Returns ``(reps_abnormal, reps_normal, n_abnormal, n_normal)``, or
+        ``None`` when either region has no labeled partitions.  Evaluating
+        a predicate on just these subsets yields the exact same satisfied
+        counts as masking a full-space evaluation, so the Equation 3 term
+        is bitwise-identical while touching far fewer partitions.
+        """
+        slot = "_regions_filtered" if apply_filtering else "_regions_initial"
+        regions = getattr(self, slot)
+        if regions is _UNSET:
+            from repro.core.partition import Label
+
+            labels = (
+                self.filtered_labels() if apply_filtering else self.labels_initial
+            )
+            abnormal_idx = np.flatnonzero(labels == int(Label.ABNORMAL))
+            normal_idx = np.flatnonzero(labels == int(Label.NORMAL))
+            if abnormal_idx.size == 0 or normal_idx.size == 0:
+                regions = None
+            else:
+                reps = self.representatives()
+                regions = (
+                    reps[abnormal_idx],
+                    reps[normal_idx],
+                    int(abnormal_idx.size),
+                    int(normal_idx.size),
+                )
+            setattr(self, slot, regions)
+        return regions
+
+
+def _spec_key(spec) -> tuple:
+    """Structural key of a RegionSpec: its interval bounds."""
+    normal = (
+        None
+        if spec.normal is None
+        else tuple((r.start, r.end) for r in spec.normal)
+    )
+    return (tuple((r.start, r.end) for r in spec.abnormal), normal)
+
+
+class LabeledSpaceCache:
+    """Memoized partition spaces, labels, masks, and region statistics."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[tuple, LabeledAttribute] = {}
+        self._masks: Dict[tuple, Tuple[np.ndarray, np.ndarray]] = {}
+        self._norm_means: Dict[tuple, Tuple[float, float]] = {}
+        self._dataset_refs: Dict[int, Optional[weakref.ref]] = {}
+        self._by_dataset: Dict[int, set] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Keying and eviction
+    # ------------------------------------------------------------------
+    def _token(self, dataset) -> int:
+        token = id(dataset)
+        if token not in self._dataset_refs:
+            try:
+                self._dataset_refs[token] = weakref.ref(
+                    dataset, lambda _ref, t=token: self._evict(t)
+                )
+            except TypeError:  # un-weakref-able object: no auto-eviction
+                self._dataset_refs[token] = None
+            self._by_dataset[token] = set()
+        return token
+
+    def _register(self, token: int, table: str, key: tuple) -> None:
+        self._by_dataset[token].add((table, key))
+
+    def _evict(self, token: int) -> None:
+        for table, key in self._by_dataset.pop(token, ()):
+            getattr(self, table).pop(key, None)
+        self._dataset_refs.pop(token, None)
+
+    def invalidate(self, dataset=None) -> None:
+        """Drop entries for *dataset* (all entries when omitted)."""
+        if dataset is None:
+            self.clear()
+        else:
+            self._evict(id(dataset))
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+        self._masks.clear()
+        self._norm_means.clear()
+        self._dataset_refs.clear()
+        self._by_dataset.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Observable cache state, for tests and bench reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "mask_entries": len(self._masks),
+            "datasets": len(self._by_dataset),
+        }
+
+    # ------------------------------------------------------------------
+    # Cached computations
+    # ------------------------------------------------------------------
+    def masks(self, dataset, spec) -> Tuple[np.ndarray, np.ndarray]:
+        """The (abnormal, normal) row masks of *spec* on *dataset*."""
+        token = self._token(dataset)
+        key = (token, _spec_key(spec))
+        cached = self._masks.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        cached = (spec.abnormal_mask(dataset), spec.normal_mask(dataset))
+        self._masks[key] = cached
+        self._register(token, "_masks", key)
+        return cached
+
+    def entries(
+        self,
+        dataset,
+        spec,
+        attrs: Sequence[str],
+        n_partitions: int,
+    ) -> Dict[str, LabeledAttribute]:
+        """Labeled spaces for *attrs*, batch-computing the missing ones."""
+        token = self._token(dataset)
+        skey = _spec_key(spec)
+        found: Dict[str, LabeledAttribute] = {}
+        missing_numeric: List[str] = []
+        missing_categorical: List[str] = []
+        for attr in attrs:
+            key = (token, skey, attr, int(n_partitions))
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                found[attr] = entry
+            elif dataset.is_numeric(attr):
+                missing_numeric.append(attr)
+            else:
+                missing_categorical.append(attr)
+        if missing_numeric or missing_categorical:
+            self.misses += len(missing_numeric) + len(missing_categorical)
+            abnormal, normal = self.masks(dataset, spec)
+            if missing_numeric:
+                from repro.perf.batch import label_numeric_batch
+
+                labeled = label_numeric_batch(
+                    dataset, missing_numeric, abnormal, normal, n_partitions
+                )
+                for attr, (space, labels) in labeled.items():
+                    found[attr] = self._store(
+                        token, skey, attr, n_partitions,
+                        LabeledAttribute(attr, True, space, labels),
+                    )
+            for attr in missing_categorical:
+                from repro.core.partition import CategoricalPartitionSpace
+
+                values = dataset.column(attr)
+                space = CategoricalPartitionSpace(attr, values)
+                labels = space.label(values, abnormal, normal)
+                found[attr] = self._store(
+                    token, skey, attr, n_partitions,
+                    LabeledAttribute(attr, False, space, labels),
+                )
+        return found
+
+    def entry(
+        self, dataset, spec, attr: str, n_partitions: int
+    ) -> LabeledAttribute:
+        """Labeled space for a single attribute (direct-hit fast path)."""
+        key = (id(dataset), _spec_key(spec), attr, int(n_partitions))
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        return self.entries(dataset, spec, [attr], n_partitions)[attr]
+
+    def _store(
+        self, token, skey, attr, n_partitions, entry: LabeledAttribute
+    ) -> LabeledAttribute:
+        key = (token, skey, attr, int(n_partitions))
+        self._entries[key] = entry
+        self._register(token, "_entries", key)
+        return entry
+
+    def normalized_means(
+        self, dataset, spec, attr: str
+    ) -> Tuple[float, float]:
+        """Normalized abnormal/normal region means of a numeric attribute.
+
+        Independent of ``n_partitions`` (Equation 2 operates on rows), so
+        keyed without it.
+        """
+        token = self._token(dataset)
+        key = (token, _spec_key(spec), attr)
+        cached = self._norm_means.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        from repro.core.separation import normalize_values, region_means
+
+        abnormal, normal = self.masks(dataset, spec)
+        normalized = normalize_values(dataset.column(attr))
+        cached = region_means(normalized, abnormal, normal)
+        self._norm_means[key] = cached
+        self._register(token, "_norm_means", key)
+        return cached

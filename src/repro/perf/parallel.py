@@ -1,0 +1,80 @@
+"""Deterministic process-level parallelism with a serial fallback.
+
+:func:`parallel_map` is the single fan-out primitive used by the suite
+simulator and the evaluation protocols.  Design constraints:
+
+* **Determinism** — results are returned in input order, and no RNG state
+  lives in this module: every work item must carry its own seed (the
+  harness assigns per-run seeds serially before fanning out), so the
+  parallel and serial paths produce identical outputs.
+* **Serial fallback** — with one job (the default), no pool is created;
+  if pool creation or dispatch fails (restricted sandboxes, unpicklable
+  work), the map silently re-runs serially.  Work functions must
+  therefore be pure.
+* **Override** — the ``REPRO_JOBS`` environment variable sets the default
+  worker count; an explicit ``jobs=`` argument wins over it.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+__all__ = ["parallel_map", "resolve_jobs", "JOBS_ENV"]
+
+#: Environment variable naming the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: explicit argument, else ``REPRO_JOBS``, else 1."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get(JOBS_ENV, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            return 1
+    return 1
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits loaded modules) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[R]:
+    """Map *fn* over *items*, preserving order; parallel when ``jobs > 1``.
+
+    *fn* must be a picklable top-level callable and must be pure: on any
+    pool failure (or a worker exception) the whole map is re-run serially,
+    which re-raises genuine errors from *fn* in the caller's process.
+    """
+    items = list(items)
+    n_workers = min(resolve_jobs(jobs), len(items))
+    if n_workers <= 1:
+        return [fn(item) for item in items]
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=n_workers, mp_context=_pool_context()
+        ) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))
+    except Exception:
+        # Restricted environments (no fork/sem support) or unpicklable
+        # work items land here; a deterministic fn makes the serial re-run
+        # equivalent, and a genuinely failing fn re-raises its own error.
+        return [fn(item) for item in items]

@@ -1,0 +1,474 @@
+"""Equivalence and behavior tests for the repro.perf subsystem.
+
+The perf layer (shared LabeledSpaceCache, batched numeric labeling,
+parallel_map) must be **bitwise-identical** to the serial seed
+implementations it replaces — these tests compare every fast path against
+the frozen golden copies in ``repro.perf.golden`` with exact ``==``
+comparisons, no tolerances.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.causal import CausalModel, CausalModelStore, model_confidence
+from repro.core.generator import GeneratorConfig, PredicateGenerator
+from repro.core.partition import (
+    CategoricalPartitionSpace,
+    NumericPartitionSpace,
+)
+from repro.core.predicates import CategoricalPredicate, NumericPredicate
+from repro.data.dataset import Dataset
+from repro.data.regions import RegionSpec
+from repro.eval.harness import build_suite, evaluate_single_models, rank_models
+from repro.perf.batch import label_numeric_batch
+from repro.perf.cache import LabeledSpaceCache
+from repro.core.filtering import abnormal_blocks, fill_gaps, filter_partitions
+from repro.perf.golden import (
+    golden_abnormal_blocks,
+    golden_fill_gaps,
+    golden_filter_partitions,
+    golden_generate_with_artifacts,
+    golden_model_confidence,
+    golden_rank,
+)
+from repro.perf.parallel import parallel_map, resolve_jobs
+
+
+def _synthetic_dataset(seed: int = 11, n_rows: int = 120) -> Dataset:
+    """A small mixed dataset with a step anomaly and awkward attributes."""
+    rng = np.random.default_rng(seed)
+    timestamps = np.arange(n_rows, dtype=float)
+    abnormal = (timestamps >= 40) & (timestamps <= 69)
+    step = rng.normal(10.0, 1.0, n_rows)
+    step[abnormal] += 35.0
+    drop = rng.normal(50.0, 2.0, n_rows)
+    drop[abnormal] -= 30.0
+    noise = rng.normal(0.0, 1.0, n_rows)
+    constant = np.full(n_rows, 3.25)  # the width == 0 edge case
+    near_constant = np.where(abnormal, 1.0, 0.0)
+    modes = np.where(abnormal, "spike", "steady").astype(object)
+    return Dataset(
+        timestamps,
+        numeric={
+            "step": step,
+            "drop": drop,
+            "noise": noise,
+            "constant": constant,
+            "near_constant": near_constant,
+        },
+        categorical={"mode": modes},
+    )
+
+
+SPEC = RegionSpec.from_bounds([(40, 69)])
+
+
+def _assert_artifacts_equal(ours, golden):
+    assert set(ours) == set(golden)
+    for attr in ours:
+        a, b = ours[attr], golden[attr]
+        assert a.is_numeric == b.is_numeric, attr
+        assert np.array_equal(a.labels_initial, b.labels_initial), attr
+        for name in ("labels_filtered", "labels_filled"):
+            left, right = getattr(a, name), getattr(b, name)
+            assert (left is None) == (right is None), (attr, name)
+            if left is not None:
+                assert np.array_equal(left, right), (attr, name)
+        # exact float equality, not approx: the batch path must be bitwise
+        assert a.normalized_difference == b.normalized_difference, attr
+        assert a.predicate == b.predicate, attr
+        assert a.rejection == b.rejection, attr
+        if a.is_numeric:
+            assert a.space.minimum == b.space.minimum, attr
+            assert a.space.maximum == b.space.maximum, attr
+            assert a.space.width == b.space.width, attr
+            assert a.space.n_partitions == b.space.n_partitions, attr
+        else:
+            assert a.space.categories == b.space.categories, attr
+
+
+class TestBatchedLabeling:
+    def test_batch_matches_serial_per_attribute(self):
+        ds = _synthetic_dataset()
+        abnormal, normal = SPEC.abnormal_mask(ds), SPEC.normal_mask(ds)
+        batched = label_numeric_batch(
+            ds, ds.numeric_attributes, abnormal, normal, 250
+        )
+        for attr in ds.numeric_attributes:
+            values = ds.column(attr)
+            serial_space = NumericPartitionSpace(attr, values, 250)
+            serial_labels = serial_space.label(values, abnormal, normal)
+            space, labels = batched[attr]
+            assert space.minimum == serial_space.minimum
+            assert space.maximum == serial_space.maximum
+            assert space.width == serial_space.width
+            assert space.n_partitions == serial_space.n_partitions
+            assert labels.dtype == serial_labels.dtype
+            assert np.array_equal(labels, serial_labels)
+
+    def test_constant_attribute_collapses_to_one_partition(self):
+        ds = _synthetic_dataset()
+        abnormal, normal = SPEC.abnormal_mask(ds), SPEC.normal_mask(ds)
+        batched = label_numeric_batch(ds, ["constant"], abnormal, normal, 250)
+        space, labels = batched["constant"]
+        assert space.n_partitions == 1
+        assert space.width == 0
+        assert labels.shape == (1,)
+
+    def test_empty_attribute_list(self):
+        ds = _synthetic_dataset()
+        abnormal, normal = SPEC.abnormal_mask(ds), SPEC.normal_mask(ds)
+        assert label_numeric_batch(ds, [], abnormal, normal, 250) == {}
+
+    def test_midpoints_matches_scalar_loop_bitwise(self):
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            values = rng.normal(size=80) * float(rng.uniform(0.01, 5000))
+            space = NumericPartitionSpace("x", values, 250)
+            scalar = np.asarray(
+                [space.midpoint(i) for i in range(space.n_partitions)]
+            )
+            assert np.array_equal(space.midpoints(), scalar)
+
+    def test_midpoints_width_zero(self):
+        space = NumericPartitionSpace("c", np.full(7, 2.5), 250)
+        assert space.width == 0
+        assert np.array_equal(space.midpoints(), np.asarray([2.5]))
+
+    def test_from_stats_matches_constructor(self):
+        values = np.linspace(-3.0, 17.0, 50)
+        built = NumericPartitionSpace("x", values, 250)
+        stats = NumericPartitionSpace.from_stats("x", -3.0, 17.0, 250)
+        assert (built.minimum, built.maximum, built.width, built.n_partitions) == (
+            stats.minimum, stats.maximum, stats.width, stats.n_partitions
+        )
+
+
+class TestCategoricalVectorization:
+    def test_indices_match_dict_lookup_reference(self):
+        rng = np.random.default_rng(5)
+        cats = np.asarray(
+            [f"c{int(i)}" for i in rng.integers(0, 12, 300)], dtype=object
+        )
+        space = CategoricalPartitionSpace("m", cats)
+        queries = np.asarray(
+            list(cats[:50]) + ["unseen", "c999", ""], dtype=object
+        )
+        reference = {c: i for i, c in enumerate(space.categories)}
+        expected = np.asarray(
+            [reference.get(str(v), -1) for v in queries], dtype=np.int64
+        )
+        got = space.partition_indices(queries)
+        assert got.dtype == np.int64
+        assert np.array_equal(got, expected)
+
+    def test_empty_query(self):
+        space = CategoricalPartitionSpace("m", np.asarray(["a"], dtype=object))
+        assert space.partition_indices(np.asarray([], dtype=object)).shape == (0,)
+
+    def test_non_string_values_coerced(self):
+        space = CategoricalPartitionSpace("m", np.asarray([1, 2, 2], dtype=object))
+        got = space.partition_indices(np.asarray([2, 1, 3], dtype=object))
+        assert got.tolist() == [space.categories.index("2"),
+                                space.categories.index("1"), -1]
+
+
+class TestGeneratorEquivalence:
+    def test_batched_generator_matches_golden(self):
+        ds = _synthetic_dataset()
+        config = GeneratorConfig(theta=0.05)
+        ours = PredicateGenerator(config).generate_with_artifacts(ds, SPEC)
+        golden = golden_generate_with_artifacts(ds, SPEC, config)
+        _assert_artifacts_equal(ours, golden)
+
+    def test_cached_generator_matches_golden(self):
+        ds = _synthetic_dataset()
+        config = GeneratorConfig(theta=0.05)
+        cache = LabeledSpaceCache()
+        generator = PredicateGenerator(config, cache=cache)
+        first = generator.generate_with_artifacts(ds, SPEC)
+        golden = golden_generate_with_artifacts(ds, SPEC, config)
+        _assert_artifacts_equal(first, golden)
+        # a second run is served from cache and still identical
+        second = generator.generate_with_artifacts(ds, SPEC)
+        _assert_artifacts_equal(second, golden)
+        assert cache.hits > 0
+
+    def test_ablation_switches_match_golden(self):
+        ds = _synthetic_dataset()
+        for kwargs in (
+            {"enable_filtering": False},
+            {"enable_fill": False},
+            {"enable_filtering": False, "enable_fill": False},
+        ):
+            config = GeneratorConfig(theta=0.05, **kwargs)
+            ours = PredicateGenerator(config).generate_with_artifacts(ds, SPEC)
+            golden = golden_generate_with_artifacts(ds, SPEC, config)
+            _assert_artifacts_equal(ours, golden)
+
+
+class TestConfidenceEquivalence:
+    def _model(self):
+        ds = _synthetic_dataset()
+        conjunction = PredicateGenerator(GeneratorConfig(theta=0.05)).generate(
+            ds, SPEC
+        )
+        predicates = conjunction.predicates + [
+            NumericPredicate("missing_attr", lower=1.0)
+        ]
+        return ds, CausalModel("Synthetic Cause", predicates)
+
+    def test_confidence_matches_golden_bitwise(self):
+        ds, model = self._model()
+        other = _synthetic_dataset(seed=99)
+        cache = LabeledSpaceCache()
+        for dataset in (ds, other):
+            for apply_filtering in (True, False):
+                golden = golden_model_confidence(
+                    model.predicates, dataset, SPEC,
+                    apply_filtering=apply_filtering,
+                )
+                serial = model_confidence(
+                    model.predicates, dataset, SPEC,
+                    apply_filtering=apply_filtering,
+                )
+                cached = model_confidence(
+                    model.predicates, dataset, SPEC,
+                    apply_filtering=apply_filtering, cache=cache,
+                )
+                assert golden == serial == cached
+
+    def test_confidence_on_constant_attribute(self):
+        ds = _synthetic_dataset()
+        predicate = NumericPredicate("constant", lower=1.0)
+        golden = golden_model_confidence([predicate], ds, SPEC)
+        assert model_confidence([predicate], ds, SPEC) == golden
+        assert (
+            model_confidence([predicate], ds, SPEC, cache=LabeledSpaceCache())
+            == golden
+        )
+
+    def test_confidence_with_categorical_predicate(self):
+        ds = _synthetic_dataset()
+        predicate = CategoricalPredicate.of("mode", ["spike"])
+        golden = golden_model_confidence([predicate], ds, SPEC)
+        assert golden == 1.0
+        assert model_confidence([predicate], ds, SPEC) == golden
+        assert (
+            model_confidence([predicate], ds, SPEC, cache=LabeledSpaceCache())
+            == golden
+        )
+
+    def test_store_rank_matches_golden(self):
+        ds, model = self._model()
+        decoy = CausalModel("Decoy", [NumericPredicate("noise", lower=100.0)])
+        store = CausalModelStore()
+        store.add(model)
+        store.add(decoy)
+        assert store.rank(ds, SPEC) == golden_rank([model, decoy], ds, SPEC)
+        shared = LabeledSpaceCache()
+        assert store.rank(ds, SPEC, cache=shared) == golden_rank(
+            [model, decoy], ds, SPEC
+        )
+        assert rank_models([model, decoy], ds, SPEC) == golden_rank(
+            [model, decoy], ds, SPEC
+        )
+
+
+class TestLabeledSpaceCache:
+    def test_hit_and_miss_counters(self):
+        ds = _synthetic_dataset()
+        cache = LabeledSpaceCache()
+        cache.entry(ds, SPEC, "step", 250)
+        # masks miss + entry miss
+        assert cache.misses == 2 and cache.hits == 0
+        cache.entry(ds, SPEC, "step", 250)
+        assert cache.hits == 1
+        cache.masks(ds, SPEC)
+        assert cache.hits == 2
+
+    def test_ranking_k_models_labels_each_attribute_once(self):
+        ds = _synthetic_dataset()
+        cache = LabeledSpaceCache()
+        predicate = NumericPredicate("step", lower=20.0)
+        models = [CausalModel(f"cause {i}", [predicate]) for i in range(8)]
+        rank_models(models, ds, SPEC, cache=cache)
+        labeled_misses = cache.stats()["entries"]
+        assert labeled_misses == 1  # one attribute labeled once, not 8x
+        assert cache.hits >= 7
+
+    def test_distinct_n_partitions_are_distinct_entries(self):
+        ds = _synthetic_dataset()
+        cache = LabeledSpaceCache()
+        a = cache.entry(ds, SPEC, "step", 250)
+        b = cache.entry(ds, SPEC, "step", 50)
+        assert a.space.n_partitions == 250
+        assert b.space.n_partitions == 50
+
+    def test_structurally_equal_specs_share_entries(self):
+        ds = _synthetic_dataset()
+        cache = LabeledSpaceCache()
+        cache.entry(ds, RegionSpec.from_bounds([(40, 69)]), "step", 250)
+        before = cache.misses
+        cache.entry(ds, RegionSpec.from_bounds([(40, 69)]), "step", 250)
+        assert cache.misses == before and cache.hits >= 1
+
+    def test_invalidate_dataset(self):
+        ds = _synthetic_dataset()
+        other = _synthetic_dataset(seed=42)
+        cache = LabeledSpaceCache()
+        cache.entry(ds, SPEC, "step", 250)
+        cache.entry(other, SPEC, "step", 250)
+        assert cache.stats()["datasets"] == 2
+        cache.invalidate(ds)
+        assert cache.stats()["datasets"] == 1
+        misses = cache.misses
+        cache.entry(ds, SPEC, "step", 250)  # re-computed after invalidation
+        assert cache.misses > misses
+        cache.invalidate()
+        assert cache.stats()["entries"] == 0
+        assert cache.stats()["mask_entries"] == 0
+
+    def test_garbage_collected_dataset_is_evicted(self):
+        import gc
+
+        cache = LabeledSpaceCache()
+        ds = _synthetic_dataset()
+        cache.entry(ds, SPEC, "step", 250)
+        assert cache.stats()["datasets"] == 1
+        del ds
+        gc.collect()
+        assert cache.stats()["datasets"] == 0
+        assert cache.stats()["entries"] == 0
+
+
+def _square(x):  # top-level: must be picklable for the process pool
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_default(self):
+        assert parallel_map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(23))
+        assert parallel_map(_square, items, jobs=4) == [x * x for x in items]
+
+    def test_order_preserved(self):
+        items = [5, 1, 4, 1, 3]
+        assert parallel_map(_square, items, jobs=2) == [25, 1, 16, 1, 9]
+
+    def test_unpicklable_work_falls_back_serially(self):
+        assert parallel_map(lambda x: x + 1, [1, 2], jobs=2) == [2, 3]
+
+    def test_resolve_jobs_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert resolve_jobs() == 4
+        assert resolve_jobs(2) == 2  # explicit argument wins
+        monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+        assert resolve_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert resolve_jobs() == 1
+
+
+class TestGeneratorConfigReplace:
+    def test_replace_overrides_and_preserves(self):
+        config = GeneratorConfig(n_partitions=100, delta=5.0)
+        replaced = config.replace(theta=0.5)
+        assert replaced.theta == 0.5
+        assert replaced.n_partitions == 100
+        assert replaced.delta == 5.0
+        assert replaced.enable_filtering is config.enable_filtering
+
+    def test_replace_rejects_unknown_field(self):
+        # the hand-rolled dict silently ignored typos; dataclasses.replace
+        # raises, and will carry any future config field automatically
+        with pytest.raises(TypeError):
+            GeneratorConfig().replace(no_such_field=1)
+
+
+class TestHarnessParallelEquivalence:
+    """Parallel suite simulation is bit-identical to the serial path."""
+
+    KWARGS = dict(
+        durations=[20, 30],
+        anomaly_keys=["cpu_saturation", "network_congestion"],
+        seed=321,
+        normal_s=40,
+    )
+
+    def test_build_suite_parallel_identical(self):
+        serial = build_suite(jobs=1, **self.KWARGS)
+        parallel = build_suite(jobs=2, **self.KWARGS)
+        assert list(serial) == list(parallel)
+        for cause in serial:
+            for a, b in zip(serial[cause], parallel[cause]):
+                assert a.cause == b.cause and a.seed == b.seed
+                assert np.array_equal(a.dataset.timestamps, b.dataset.timestamps)
+                assert a.dataset.attributes == b.dataset.attributes
+                for attr in a.dataset.numeric_attributes:
+                    assert np.array_equal(
+                        a.dataset.column(attr), b.dataset.column(attr)
+                    ), attr
+                assert [(r.start, r.end) for r in a.spec.abnormal] == [
+                    (r.start, r.end) for r in b.spec.abnormal
+                ]
+
+    def test_evaluate_single_models_parallel_identical(self):
+        suite = build_suite(jobs=1, **self.KWARGS)
+        serial = evaluate_single_models(suite, jobs=1)
+        parallel = evaluate_single_models(suite, jobs=2)
+        assert [
+            (r.cause, r.mean_margin, r.mean_f1, r.top1_accuracy)
+            for r in serial
+        ] == [
+            (r.cause, r.mean_margin, r.mean_f1, r.top1_accuracy)
+            for r in parallel
+        ]
+
+
+class TestVectorizedFiltering:
+    """Scan-based filtering/gap-filling match the seed Python loops exactly."""
+
+    @staticmethod
+    def _random_labels(rng, n):
+        # Weight Empty heavily so left/right scans hit long gaps.
+        return rng.choice([0, 1, 2], size=n, p=[0.5, 0.25, 0.25]).astype(np.int64)
+
+    def test_filter_partitions_matches_golden(self):
+        rng = np.random.default_rng(42)
+        for n in (1, 2, 3, 7, 50, 250):
+            for _ in range(20):
+                labels = self._random_labels(rng, n)
+                assert np.array_equal(
+                    filter_partitions(labels), golden_filter_partitions(labels)
+                ), labels
+
+    def test_fill_gaps_matches_golden(self):
+        rng = np.random.default_rng(43)
+        for n in (1, 2, 3, 7, 50, 250):
+            for delta in (1.0, 5.0, 10.0):
+                for _ in range(10):
+                    labels = self._random_labels(rng, n)
+                    normal_mean = int(rng.integers(0, n))
+                    assert np.array_equal(
+                        fill_gaps(labels, delta, normal_mean),
+                        golden_fill_gaps(labels, delta, normal_mean),
+                    ), (labels, delta)
+
+    def test_abnormal_blocks_matches_golden(self):
+        rng = np.random.default_rng(44)
+        for n in (1, 2, 5, 250):
+            for _ in range(20):
+                labels = self._random_labels(rng, n)
+                assert abnormal_blocks(labels) == golden_abnormal_blocks(labels)
+
+    def test_lone_label_kept(self):
+        labels = np.asarray([1, 2, 1, 1], dtype=np.int64)
+        assert np.array_equal(
+            filter_partitions(labels), golden_filter_partitions(labels)
+        )
