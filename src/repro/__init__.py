@@ -32,6 +32,7 @@ from repro.core import (
 )
 from repro.data import Dataset, Region, RegionSpec
 from repro.eval.harness import simulate_run
+from repro.stream import RingBufferWindow, StreamingDetector, StreamingDiagnoser
 
 __all__ = [
     "DBSherlock",
@@ -49,6 +50,9 @@ __all__ = [
     "Dataset",
     "Region",
     "RegionSpec",
+    "RingBufferWindow",
+    "StreamingDetector",
+    "StreamingDiagnoser",
     "simulate_run",
 ]
 

@@ -4,12 +4,26 @@ DBSherlock's automatic anomaly detector (Section 7) clusters normalized
 telemetry points with DBSCAN, fixing ``minPts = 3`` and deriving ``ε`` from
 the k-dist curve: ``ε = max(Lk) / 4`` where ``Lk`` lists each point's
 distance to its k-th nearest neighbour.
+
+The fit path is built for the streaming engine's always-on re-clustering:
+
+* ``k_distances`` evaluates the distance matrix in row chunks (no dense
+  O(n²) materialization) and extracts the k-th column with
+  ``np.partition``;
+* neighbourhoods come from a uniform-grid index with cell size ε over the
+  highest-spread dimensions — each cell's points are compared only against
+  the 3^g adjacent cells, block by block;
+* cluster expansion is a vectorized BFS: the whole frontier is labeled,
+  visited, and expanded with array operations instead of a per-point
+  ``deque`` walk.
+
+The dense path is kept (``index="dense"``) as the equivalence baseline;
+``index="auto"`` switches to the grid above ``_GRID_MIN_POINTS`` points.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -17,6 +31,20 @@ __all__ = ["DBSCAN", "NOISE", "k_distances"]
 
 #: Cluster id assigned to noise points.
 NOISE = -1
+
+#: Row-chunk size for blocked distance evaluation (bounds peak memory at
+#: ``chunk × n`` floats instead of ``n × n``).
+DEFAULT_CHUNK = 2048
+
+#: Below this the grid bookkeeping costs more than the dense matrix.
+_GRID_MIN_POINTS = 64
+
+#: The grid bins on at most this many dimensions — in high-dimensional
+#: telemetry 3^d adjacent cells is intractable, and binning on the
+#: widest-spread axes already prunes most candidate pairs (any true
+#: ε-neighbour is within ε along every axis, so adjacent cells along the
+#: projection are a superset of the true neighbourhood).
+_GRID_MAX_DIMS = 3
 
 
 def _pairwise_distances(points: np.ndarray) -> np.ndarray:
@@ -27,11 +55,15 @@ def _pairwise_distances(points: np.ndarray) -> np.ndarray:
     return np.sqrt(d2)
 
 
-def k_distances(points: np.ndarray, k: int) -> np.ndarray:
+def k_distances(
+    points: np.ndarray, k: int, chunk_size: int = DEFAULT_CHUNK
+) -> np.ndarray:
     """Distance from each point to its k-th nearest neighbour (k-dist list).
 
     ``k`` counts neighbours excluding the point itself, following the
-    original DBSCAN paper's sorted k-dist graph heuristic.
+    original DBSCAN paper's sorted k-dist graph heuristic.  Distances are
+    evaluated ``chunk_size`` rows at a time and the k-th order statistic
+    taken with ``np.partition``, so peak memory is O(chunk × n).
     """
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2:
@@ -44,10 +76,73 @@ def k_distances(points: np.ndarray, k: int) -> np.ndarray:
     k = min(k, n - 1)
     if k == 0:
         return np.zeros(n)
+    sq = np.sum(points * points, axis=1)
+    out = np.empty(n)
+    for start in range(0, n, max(int(chunk_size), 1)):
+        stop = min(start + max(int(chunk_size), 1), n)
+        d2 = sq[start:stop, None] + sq[None, :] - 2.0 * points[start:stop] @ points.T
+        np.maximum(d2, 0.0, out=d2)
+        rows = np.sqrt(d2)
+        # Column 0 of the sorted row is the self-distance (0); the k-th
+        # neighbour is order statistic k, which partition finds directly.
+        out[start:stop] = np.partition(rows, k, axis=1)[:, k]
+    return out
+
+
+def _grid_neighbours(
+    points: np.ndarray, eps: float
+) -> List[np.ndarray]:
+    """ε-neighbour lists via uniform-grid binning + blocked distances.
+
+    Points are binned into cells of side ε along the (at most
+    ``_GRID_MAX_DIMS``) widest-spread dimensions; each cell block is
+    compared against the union of its 3^g adjacent cells in one small
+    matrix product.  Neighbour lists come back in ascending index order,
+    matching the dense ``np.flatnonzero`` path.
+    """
+    n, d = points.shape
+    spans = points.max(axis=0) - points.min(axis=0)
+    order = np.argsort(-spans, kind="stable")
+    dims = order[: min(d, _GRID_MAX_DIMS)]
+    proj = points[:, dims]
+    mins = proj.min(axis=0)
+    coords = np.floor((proj - mins) / eps).astype(np.int64)
+
+    cells: Dict[Tuple[int, ...], List[int]] = {}
+    for i, key in enumerate(map(tuple, coords)):
+        cells.setdefault(key, []).append(i)
+    cell_index = {key: np.asarray(idx, dtype=np.int64) for key, idx in cells.items()}
+
+    g = len(dims)
+    offsets = np.stack(
+        np.meshgrid(*([np.arange(-1, 2)] * g), indexing="ij"), axis=-1
+    ).reshape(-1, g)
+
+    sq = np.sum(points * points, axis=1)
+    neighbours: List[np.ndarray] = [None] * n  # type: ignore[list-item]
+    for key, members in cell_index.items():
+        cand_blocks = []
+        base = np.asarray(key, dtype=np.int64)
+        for off in offsets:
+            block = cell_index.get(tuple(base + off))
+            if block is not None:
+                cand_blocks.append(block)
+        cand = np.sort(np.concatenate(cand_blocks))
+        d2 = (
+            sq[members][:, None]
+            + sq[cand][None, :]
+            - 2.0 * points[members] @ points[cand].T
+        )
+        np.maximum(d2, 0.0, out=d2)
+        within = np.sqrt(d2) <= eps
+        for row, i in enumerate(members):
+            neighbours[i] = cand[within[row]]
+    return neighbours
+
+
+def _dense_neighbours(points: np.ndarray, eps: float) -> List[np.ndarray]:
     distances = _pairwise_distances(points)
-    sorted_rows = np.sort(distances, axis=1)
-    # Column 0 is the self-distance (0); the k-th neighbour is column k.
-    return sorted_rows[:, k]
+    return [np.flatnonzero(distances[i] <= eps) for i in range(points.shape[0])]
 
 
 class DBSCAN:
@@ -61,15 +156,39 @@ class DBSCAN:
     min_pts:
         Minimum neighbourhood size (including the point itself) for a core
         point.  DBSherlock fixes this to 3.
+    index:
+        Neighbour-search backend: ``"grid"`` (uniform-grid binning),
+        ``"dense"`` (full distance matrix), or ``"auto"`` (grid once the
+        input outgrows the dense crossover).  Both backends produce the
+        same neighbour sets; the grid is the production path for the
+        streaming detector's per-tick re-clustering.
     """
 
-    def __init__(self, eps: Optional[float] = None, min_pts: int = 3) -> None:
+    def __init__(
+        self,
+        eps: Optional[float] = None,
+        min_pts: int = 3,
+        index: str = "auto",
+    ) -> None:
         if min_pts < 1:
             raise ValueError("min_pts must be at least 1")
+        if index not in ("auto", "grid", "dense"):
+            raise ValueError("index must be 'auto', 'grid', or 'dense'")
         self.eps = eps
         self.min_pts = min_pts
+        self.index = index
         self.labels_: Optional[np.ndarray] = None
         self.eps_: Optional[float] = None
+
+    def _neighbour_lists(
+        self, points: np.ndarray, eps: float
+    ) -> List[np.ndarray]:
+        use_grid = self.index == "grid" or (
+            self.index == "auto" and points.shape[0] >= _GRID_MIN_POINTS
+        )
+        if use_grid:
+            return _grid_neighbours(points, eps)
+        return _dense_neighbours(points, eps)
 
     def fit(self, points: np.ndarray) -> "DBSCAN":
         """Cluster *points*; labels land in ``labels_`` (NOISE = -1)."""
@@ -100,10 +219,8 @@ class DBSCAN:
             return self
         self.eps_ = eps
 
-        distances = _pairwise_distances(points)
-        neighbours: List[np.ndarray] = [
-            np.flatnonzero(distances[i] <= eps) for i in range(n)
-        ]
+        neighbours = self._neighbour_lists(points, eps)
+        counts = np.asarray([nb.size for nb in neighbours], dtype=np.int64)
         labels = np.full(n, NOISE, dtype=np.int64)
         visited = np.zeros(n, dtype=bool)
         cluster_id = 0
@@ -111,20 +228,26 @@ class DBSCAN:
             if visited[i]:
                 continue
             visited[i] = True
-            if neighbours[i].size < self.min_pts:
+            if counts[i] < self.min_pts:
                 continue  # stays noise unless captured as a border point
             labels[i] = cluster_id
-            queue = deque(neighbours[i])
-            while queue:
-                j = queue.popleft()
-                if labels[j] == NOISE:
-                    labels[j] = cluster_id  # border point
-                if visited[j]:
-                    continue
-                visited[j] = True
-                labels[j] = cluster_id
-                if neighbours[j].size >= self.min_pts:
-                    queue.extend(neighbours[j])
+            frontier = neighbours[i]
+            while frontier.size:
+                # Label every still-noise frontier point (core or border).
+                # A point already owned by an earlier cluster keeps its
+                # label — border points belong to the first cluster that
+                # reaches them.
+                unclaimed = frontier[labels[frontier] == NOISE]
+                labels[unclaimed] = cluster_id
+                fresh = frontier[~visited[frontier]]
+                visited[fresh] = True
+                cores = fresh[counts[fresh] >= self.min_pts]
+                if cores.size:
+                    frontier = np.unique(
+                        np.concatenate([neighbours[c] for c in cores])
+                    )
+                else:
+                    break
             cluster_id += 1
         self.labels_ = labels
         return self
@@ -139,9 +262,6 @@ class DBSCAN:
         """Mapping of cluster id → size (noise excluded)."""
         if self.labels_ is None:
             raise RuntimeError("fit() has not been called")
-        sizes = {}
-        for label in self.labels_:
-            if label == NOISE:
-                continue
-            sizes[int(label)] = sizes.get(int(label), 0) + 1
-        return sizes
+        members = self.labels_[self.labels_ != NOISE]
+        ids, counts = np.unique(members, return_counts=True)
+        return {int(i): int(c) for i, c in zip(ids, counts)}

@@ -33,6 +33,11 @@ def potential_power(values: np.ndarray, window: int = DEFAULT_WINDOW) -> float:
     *values* should already be normalized to [0, 1] so the result is
     comparable across attributes; windows longer than the series degrade to
     a single whole-series window (power 0).
+
+    All window medians are taken in one ``sliding_window_view`` +
+    ``np.median(axis=1)`` pass; per-window values are identical to the
+    per-slice medians the seed loop computed (same elements, same
+    median), so the result is bitwise-unchanged.
     """
     values = np.asarray(values, dtype=np.float64)
     n = values.shape[0]
@@ -40,30 +45,28 @@ def potential_power(values: np.ndarray, window: int = DEFAULT_WINDOW) -> float:
         return 0.0
     window = max(min(int(window), n), 1)
     overall = float(np.median(values))
-    best = 0.0
-    for start in range(0, n - window + 1):
-        local = float(np.median(values[start : start + window]))
-        best = max(best, abs(overall - local))
-    return best
+    windows = np.lib.stride_tricks.sliding_window_view(values, window)
+    locals_ = np.median(windows, axis=1)
+    return float(np.max(np.abs(overall - locals_)))
 
 
 def mask_to_regions(timestamps: np.ndarray, mask: np.ndarray) -> List[Region]:
-    """Convert a boolean row mask into contiguous time regions."""
-    regions: List[Region] = []
-    start_idx: Optional[int] = None
-    for i, flagged in enumerate(mask):
-        if flagged and start_idx is None:
-            start_idx = i
-        elif not flagged and start_idx is not None:
-            regions.append(
-                Region(float(timestamps[start_idx]), float(timestamps[i - 1]))
-            )
-            start_idx = None
-    if start_idx is not None:
-        regions.append(
-            Region(float(timestamps[start_idx]), float(timestamps[-1]))
-        )
-    return regions
+    """Convert a boolean row mask into contiguous time regions.
+
+    Run boundaries come from one ``np.flatnonzero(np.diff(...))`` edge
+    detection over the padded mask instead of a per-row Python loop.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.size == 0 or not mask.any():
+        return []
+    padded = np.concatenate(([False], mask, [False]))
+    edges = np.flatnonzero(np.diff(padded.astype(np.int8)))
+    starts = edges[0::2]
+    ends = edges[1::2] - 1  # last flagged row of each run
+    return [
+        Region(float(timestamps[s]), float(timestamps[e]))
+        for s, e in zip(starts, ends)
+    ]
 
 
 @dataclass
@@ -115,18 +118,25 @@ class AnomalyDetector:
     def select_attributes(
         self, dataset: Dataset, attributes: Optional[Sequence[str]] = None
     ) -> List[str]:
-        """Numeric attributes whose potential power exceeds the threshold."""
+        """Numeric attributes whose potential power exceeds the threshold.
+
+        All candidate columns are normalized, stacked, and scored in one
+        :func:`repro.perf.batch.potential_power_batch` call.
+        """
+        from repro.perf.batch import potential_power_batch
+
         names = (
             [a for a in attributes if dataset.is_numeric(a)]
             if attributes is not None
             else dataset.numeric_attributes
         )
-        selected = []
-        for attr in names:
-            normalized = normalize_values(dataset.column(attr))
-            if potential_power(normalized, self.window) > self.pp_threshold:
-                selected.append(attr)
-        return selected
+        if not names or dataset.n_rows == 0:
+            return []
+        matrix = np.stack(
+            [normalize_values(dataset.column(a)) for a in names]
+        )
+        powers = potential_power_batch(matrix, self.window)
+        return [a for a, p in zip(names, powers) if p > self.pp_threshold]
 
     def detect(
         self, dataset: Dataset, attributes: Optional[Sequence[str]] = None
@@ -144,6 +154,23 @@ class AnomalyDetector:
         matrix = np.column_stack(
             [normalize_values(dataset.column(a)) for a in selected]
         )
+        return self._cluster_and_mask(matrix, dataset.timestamps, selected)
+
+    def _cluster_and_mask(
+        self,
+        matrix: np.ndarray,
+        timestamps: np.ndarray,
+        selected: List[str],
+    ) -> DetectionResult:
+        """Cluster the normalized attribute matrix and build the result.
+
+        Shared verbatim by :class:`repro.stream.StreamingDetector`, which
+        swaps only the attribute-selection stage for its incremental
+        Equation 4 trackers — everything downstream of selection runs
+        through this single code path, so batch and streaming results can
+        only diverge at selection.
+        """
+        n = matrix.shape[0]
         clusterer = DBSCAN(eps=None, min_pts=self.min_pts)
         labels = clusterer.fit_predict(matrix)
         sizes = clusterer.cluster_sizes()
@@ -152,10 +179,10 @@ class AnomalyDetector:
         mask = np.isin(labels, sorted(abnormal_clusters))
         if self.include_noise:
             mask |= labels == NOISE
-        mask = self._smooth_mask(mask, dataset.timestamps)
+        mask = self._smooth_mask(mask, timestamps)
         return DetectionResult(
             mask=mask,
-            regions=mask_to_regions(dataset.timestamps, mask),
+            regions=mask_to_regions(timestamps, mask),
             selected_attributes=selected,
             eps=float(clusterer.eps_ or 0.0),
         )

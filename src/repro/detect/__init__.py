@@ -7,6 +7,11 @@ Every detector shares the Section 7 pipeline's front end (normalization +
 potential-power attribute selection) and the ``DetectionResult`` output,
 so they are drop-in replacements for the DBSCAN strategy inside
 :class:`repro.core.anomaly.AnomalyDetector`-based workflows.
+
+For *online* detection over a live telemetry feed, use
+:class:`repro.stream.StreamingDetector` (re-exported here): it produces
+the same ``DetectionResult`` per tick from a ring-buffer window with
+incremental potential power instead of re-running a batch pass.
 """
 
 from repro.detect.strategies import (
@@ -16,6 +21,7 @@ from repro.detect.strategies import (
     RobustZScoreDetector,
     ThroughputDipDetector,
 )
+from repro.stream import StreamingDetector
 
 __all__ = [
     "BaseDetector",
@@ -23,4 +29,5 @@ __all__ = [
     "RobustZScoreDetector",
     "ThroughputDipDetector",
     "EnsembleDetector",
+    "StreamingDetector",
 ]

@@ -8,7 +8,15 @@ as the ground-truth region spec.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -38,6 +46,34 @@ class TelemetryCollector:
         self.server = DatabaseServer(workload, config)
         self.catalog = MetricCatalog(workload.type_names, noise_scale)
 
+    def stream(
+        self,
+        duration_s: float,
+        anomalies: Sequence["ScheduledAnomaly"] = (),
+        seed: Optional[int] = None,
+        warmup_s: float = 5.0,
+    ) -> Iterator[Tuple[float, Dict[str, float], Dict[str, str]]]:
+        """Yield ``(t, numeric_row, categorical_row)`` one tick at a time.
+
+        The online feed for :class:`repro.stream.StreamingDetector`'s
+        ring buffer; :meth:`run` is this generator drained into a
+        :class:`Dataset`, so streaming and batch consumers observe the
+        identical row sequence for identical seeds.
+        """
+        rng = np.random.default_rng(seed)
+        self.server.warm_up(warmup_s, rng)
+        for second in range(int(duration_s)):
+            t = float(second)
+            modifiers = TickModifiers()
+            for anomaly in anomalies:
+                modifiers = modifiers.combine(anomaly.modifiers(t, rng))
+            state = self.server.tick(t, modifiers, rng)
+            yield (
+                t,
+                self.catalog.emit_numeric(state, rng),
+                self.catalog.emit_categorical(state),
+            )
+
     def run(
         self,
         duration_s: float,
@@ -52,10 +88,6 @@ class TelemetryCollector:
         steady state (dirty-page backlog, latency fixed point) rather than
         cold-start transients that would look like an anomaly at the origin.
         """
-        rng = np.random.default_rng(seed)
-        for i in range(int(warmup_s)):
-            self.server.tick(-warmup_s + i, TickModifiers(), rng)
-
         timestamps: List[float] = []
         numeric: Dict[str, List[float]] = {
             n: [] for n in self.catalog.numeric_names
@@ -63,14 +95,9 @@ class TelemetryCollector:
         categorical: Dict[str, List[str]] = {
             n: [] for n in self.catalog.categorical_names
         }
-        for second in range(int(duration_s)):
-            t = float(second)
-            modifiers = TickModifiers()
-            for anomaly in anomalies:
-                modifiers = modifiers.combine(anomaly.modifiers(t, rng))
-            state = self.server.tick(t, modifiers, rng)
-            row = self.catalog.emit_numeric(state, rng)
-            cats = self.catalog.emit_categorical(state)
+        for t, row, cats in self.stream(
+            duration_s, anomalies, seed=seed, warmup_s=warmup_s
+        ):
             timestamps.append(t)
             for attr, value in row.items():
                 numeric[attr].append(value)

@@ -180,6 +180,23 @@ class DatabaseServer:
         self._prev_latency_ms = 5.0
 
     # ------------------------------------------------------------------
+    def warm_up(
+        self,
+        seconds: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """Run ``seconds`` unmodified ticks before ``t = 0``.
+
+        Settles the dirty-page backlog and the latency fixed point so a
+        collection (batch or streaming) starts from steady state rather
+        than cold-start transients that would read as an anomaly at the
+        origin.
+        """
+        rng = rng or np.random.default_rng()
+        for i in range(int(seconds)):
+            self.tick(-float(seconds) + i, TickModifiers(), rng)
+
+    # ------------------------------------------------------------------
     def tick(
         self,
         time: float,

@@ -45,6 +45,7 @@ __all__ = [
     "evaluate_single_models",
     "build_merged_models",
     "rank_models",
+    "replay_rows",
     "DEFAULT_DURATIONS",
 ]
 
@@ -177,6 +178,27 @@ def build_suite(
         runs = all_runs[i * len(durations) : (i + 1) * len(durations)]
         suite[runs[0].cause] = runs
     return suite
+
+
+def replay_rows(dataset: Dataset):
+    """Yield ``(t, numeric_row, categorical_row)`` ticks from a dataset.
+
+    Replays an already-simulated run through the streaming interface —
+    the equivalence tests and ``benchmarks/bench_online_detect.py`` feed
+    these rows to :class:`repro.stream.StreamingDetector` and compare
+    every shared window against the batch detector on the identical
+    contents.
+    """
+    numeric = dataset.numeric_attributes
+    categorical = dataset.categorical_attributes
+    num_cols = {a: dataset.column(a) for a in numeric}
+    cat_cols = {a: dataset.column(a) for a in categorical}
+    for i, t in enumerate(dataset.timestamps):
+        yield (
+            float(t),
+            {a: float(num_cols[a][i]) for a in numeric},
+            {a: cat_cols[a][i] for a in categorical},
+        )
 
 
 # ----------------------------------------------------------------------

@@ -19,7 +19,7 @@ Every fast path is bitwise-identical to the serial one it replaces;
 ``tests/test_perf_engine.py`` enforces that.
 """
 
-from repro.perf.batch import label_numeric_batch
+from repro.perf.batch import label_numeric_batch, potential_power_batch
 from repro.perf.cache import LabeledSpaceCache
 from repro.perf.parallel import parallel_map, resolve_jobs
 
@@ -27,5 +27,6 @@ __all__ = [
     "LabeledSpaceCache",
     "label_numeric_batch",
     "parallel_map",
+    "potential_power_batch",
     "resolve_jobs",
 ]

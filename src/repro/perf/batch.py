@@ -21,7 +21,33 @@ from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["label_numeric_batch"]
+__all__ = ["label_numeric_batch", "potential_power_batch"]
+
+
+def potential_power_batch(matrix: np.ndarray, window: int) -> np.ndarray:
+    """Equation 4 for many attributes at once.
+
+    *matrix* is ``(n_attrs, n_rows)`` with each row already normalized to
+    [0, 1].  Returns the per-attribute potential power vector.  The
+    sliding windows are materialized as one ``(n_attrs, n_windows, w)``
+    stride-tricks view and their medians taken in a single
+    ``np.median(axis=2)`` call, so the result is bitwise-identical to
+    calling the scalar :func:`repro.core.anomaly.potential_power` on each
+    row (same window elements, same median reduction).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be (n_attrs, n_rows)")
+    n_attrs, n = matrix.shape
+    if n_attrs == 0:
+        return np.zeros(0)
+    if n == 0:
+        return np.zeros(n_attrs)
+    window = max(min(int(window), n), 1)
+    overall = np.median(matrix, axis=1)
+    windows = np.lib.stride_tricks.sliding_window_view(matrix, window, axis=1)
+    locals_ = np.median(windows, axis=2)
+    return np.max(np.abs(overall[:, None] - locals_), axis=1)
 
 
 def label_numeric_batch(

@@ -1,0 +1,471 @@
+"""Online anomaly detection: the Section 7 pipeline at O(1)-ish per tick.
+
+The batch :class:`~repro.core.anomaly.AnomalyDetector` recomputes
+everything from scratch per call — Equation 4 costs O(n·w log w) per
+attribute, across all ~190 telemetry attributes, every tick.
+:class:`StreamingDetector` keeps the pipeline's state live instead:
+
+* telemetry rows land in a :class:`~repro.stream.window.RingBufferWindow`;
+* each attribute owns an :class:`_AttributeTracker` — a whole-buffer
+  sliding median, a ``w``-sample sliding median producing the stream of
+  window medians, and monotonic extrema over those medians — so the
+  Equation 4 potential power updates in O(log n) per tick.  Powers are
+  computed in *raw* value space and divided by the normalization span:
+  normalization (Equation 2) is a monotone affine map, so
+  ``|med(norm) − med_w(norm)| = |med(raw) − med_w(raw)| / span``;
+* clustering + mask building runs through the *same*
+  ``AnomalyDetector._cluster_and_mask`` code path as the batch detector
+  (grid-indexed DBSCAN, cluster-fraction thresholding, temporal
+  smoothing), so in the default ``mode="exact"`` the per-tick
+  :class:`DetectionResult` is equal to ``AnomalyDetector.detect`` on the
+  identical window — the equivalence suite in ``tests/test_stream.py``
+  asserts mask, regions, selected attributes, and ε all match.
+
+``mode="incremental"`` additionally skips re-clustering while the ring
+buffer's membership is stable: a full re-cluster runs only when the
+selected-attribute set changes, the normalization bounds of a selected
+attribute drift enough to move ε, or more than ``recluster_fraction`` of
+the buffer has turned over.  Between re-clusters, new points inherit the
+abnormality of their nearest clustered neighbour within ε (noise when
+none), which is approximate but bounded by the re-cluster cadence.
+
+:class:`StreamingDiagnoser` closes the loop with the PR-1 diagnosis path:
+when a flagged region can no longer be extended (the gap behind it
+exceeds ``gap_fill_s``), it is handed to ``DBSherlock.explain`` — which
+shares one :class:`~repro.perf.cache.LabeledSpaceCache` between predicate
+generation and ``CausalModelStore.rank``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.anomaly import (
+    AnomalyDetector,
+    DetectionResult,
+    mask_to_regions,
+)
+from repro.core.separation import normalize_values
+from repro.data.regions import Region, RegionSpec
+from repro.stream.median import SlidingExtrema, SlidingMedian
+from repro.stream.window import RingBufferWindow
+
+__all__ = ["StreamTick", "StreamingDetector", "StreamingDiagnoser"]
+
+
+class _AttributeTracker:
+    """Incremental Equation 4 state for one numeric attribute."""
+
+    __slots__ = ("window", "_overall", "_win_med", "_recent", "_med_extrema")
+
+    def __init__(self, window: int) -> None:
+        self.window = int(window)
+        self._overall = SlidingMedian()  # whole-buffer median
+        self._win_med = SlidingMedian()  # median of the trailing w samples
+        self._recent: Deque[float] = deque()  # the trailing w raw samples
+        self._med_extrema = SlidingExtrema()  # min/max of live window medians
+
+    def push(self, value: float, seq: int, oldest_seq: int) -> None:
+        """Ingest the sample with sequence number *seq*."""
+        self._overall.add(value)
+        self._recent.append(value)
+        self._win_med.add(value)
+        if len(self._recent) > self.window:
+            self._win_med.remove(self._recent.popleft())
+        if len(self._recent) == self.window:
+            # the window ending at *seq* is complete; key its median by
+            # the end sequence so expiry follows the buffer's oldest row
+            self._med_extrema.push(seq, self._win_med.median())
+        # a window median stays valid while its *start* row is retained:
+        # end seq ≥ oldest + w − 1
+        self._med_extrema.expire(oldest_seq + self.window - 1)
+
+    def evict(self, value: float) -> None:
+        """The buffer dropped *value* (its oldest row)."""
+        self._overall.remove(value)
+
+    def potential_power(self, lo: float, hi: float, n: int) -> float:
+        """Equation 4 over the current buffer, in normalized units.
+
+        Zero while the buffer holds at most one full window (the single
+        window median equals the overall median) or when the attribute is
+        constant (span 0 normalizes to all-zeros), matching the batch
+        :func:`~repro.core.anomaly.potential_power` degenerate cases.
+        """
+        if n <= self.window or len(self._med_extrema) == 0:
+            return 0.0
+        span = hi - lo
+        if span <= 0:
+            return 0.0
+        overall = self._overall.median()
+        deviation = max(
+            abs(overall - self._med_extrema.min()),
+            abs(overall - self._med_extrema.max()),
+        )
+        return deviation / span
+
+
+@dataclass
+class StreamTick:
+    """What the streaming detector emits for one telemetry tick."""
+
+    time: float
+    result: DetectionResult
+    #: abnormal regions that can no longer grow (gap behind them exceeds
+    #: the gap-fill horizon) — ready for diagnosis; each emitted once.
+    closed_regions: List[Region] = field(default_factory=list)
+    #: True when this tick ran a full DBSCAN re-cluster.
+    reclustered: bool = False
+
+
+class _ClusterState:
+    """Snapshot of the last full re-cluster (incremental mode)."""
+
+    __slots__ = (
+        "selected",
+        "eps",
+        "bounds",
+        "points",
+        "raw_flags",
+        "appended_at",
+        "reclustered_at",
+    )
+
+    def __init__(self, selected, eps, bounds, points, raw_flags, appended_at):
+        self.selected: Tuple[str, ...] = selected
+        self.eps: float = eps
+        self.bounds: Dict[str, Tuple[float, float]] = bounds
+        self.points: np.ndarray = points  # normalized rows at snapshot time
+        self.raw_flags: np.ndarray = raw_flags  # pre-smoothing abnormal flags
+        self.appended_at: int = appended_at  # window.appended at last sync
+        self.reclustered_at: int = appended_at  # ... at last full re-cluster
+
+
+class StreamingDetector:
+    """Amortized-O(1)-per-tick automatic anomaly detection.
+
+    Parameters mirror :class:`~repro.core.anomaly.AnomalyDetector`; the
+    extras control the streaming machinery.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer length — the detection window, in rows/seconds.
+    attributes:
+        Optional subset of numeric attributes to consider for selection
+        (all numeric attributes are still buffered for diagnosis).
+    mode:
+        ``"exact"`` re-clusters every tick (output identical to the batch
+        detector on the same window); ``"incremental"`` re-clusters only
+        on membership/ε drift and approximates in between.
+    recluster_fraction:
+        Incremental mode: force a re-cluster once this fraction of the
+        buffer has turned over since the last one.
+    bounds_drift:
+        Incremental mode: force a re-cluster when a selected attribute's
+        min/max moved by more than this fraction of its span (the
+        normalized geometry — and hence ε — has shifted).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 120,
+        window: int = 20,
+        pp_threshold: float = 0.3,
+        min_pts: int = 3,
+        cluster_fraction: float = 0.2,
+        include_noise: bool = True,
+        min_region_s: float = 5.0,
+        gap_fill_s: float = 3.0,
+        attributes: Optional[Sequence[str]] = None,
+        mode: str = "exact",
+        recluster_fraction: float = 0.05,
+        bounds_drift: float = 0.02,
+    ) -> None:
+        if mode not in ("exact", "incremental"):
+            raise ValueError("mode must be 'exact' or 'incremental'")
+        if capacity < 2:
+            raise ValueError("capacity must be at least 2")
+        self.capacity = int(capacity)
+        self.mode = mode
+        self.recluster_fraction = float(recluster_fraction)
+        self.bounds_drift = float(bounds_drift)
+        self._attr_filter = list(attributes) if attributes is not None else None
+        # the batch twin: supplies _cluster_and_mask / _smooth_mask so the
+        # post-selection pipeline is literally the same code
+        self.batch = AnomalyDetector(
+            window=window,
+            pp_threshold=pp_threshold,
+            min_pts=min_pts,
+            cluster_fraction=cluster_fraction,
+            include_noise=include_noise,
+            min_region_s=min_region_s,
+            gap_fill_s=gap_fill_s,
+        )
+        self._window: Optional[RingBufferWindow] = None
+        self._trackers: Dict[str, _AttributeTracker] = {}
+        self._tracked: List[str] = []
+        self._cluster_state: Optional[_ClusterState] = None
+        self._emitted_ends: Set[float] = set()
+        self.recluster_count = 0
+        self.tick_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def window(self) -> Optional[RingBufferWindow]:
+        """The live telemetry ring buffer (None before the first row)."""
+        return self._window
+
+    def _ensure_window(
+        self,
+        numeric_row: Mapping[str, float],
+        categorical_row: Optional[Mapping[str, str]],
+    ) -> RingBufferWindow:
+        if self._window is None:
+            self._window = RingBufferWindow(
+                self.capacity,
+                numeric=list(numeric_row),
+                categorical=list(categorical_row or {}),
+            )
+            self._tracked = (
+                [a for a in self._attr_filter if a in numeric_row]
+                if self._attr_filter is not None
+                else list(numeric_row)
+            )
+            self._trackers = {
+                attr: _AttributeTracker(self.batch.window)
+                for attr in self._tracked
+            }
+        return self._window
+
+    def observe(
+        self,
+        time: float,
+        numeric_row: Mapping[str, float],
+        categorical_row: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Ingest one telemetry row (no detection)."""
+        window = self._ensure_window(numeric_row, categorical_row)
+        evicted = window.append(time, numeric_row, categorical_row)
+        if evicted is not None:
+            for attr in self._tracked:
+                self._trackers[attr].evict(evicted.numeric[attr])
+        oldest = window.oldest_seq
+        seq = window.appended - 1
+        for attr in self._tracked:
+            self._trackers[attr].push(
+                float(numeric_row[attr]), seq, oldest
+            )
+
+    # ------------------------------------------------------------------
+    def _select(self) -> List[str]:
+        """Attributes whose incremental potential power clears PPt."""
+        assert self._window is not None
+        n = self._window.n_rows
+        selected = []
+        for attr in self._tracked:
+            lo, hi = self._window.bounds(attr)
+            power = self._trackers[attr].potential_power(lo, hi, n)
+            if power > self.batch.pp_threshold:
+                selected.append(attr)
+        return selected
+
+    def _empty_result(self) -> DetectionResult:
+        n = self._window.n_rows if self._window is not None else 0
+        return DetectionResult(
+            mask=np.zeros(n, dtype=bool),
+            regions=[],
+            selected_attributes=[],
+            eps=0.0,
+        )
+
+    def detect(self) -> DetectionResult:
+        """Run detection on the current window contents."""
+        self.tick_count += 1
+        if self._window is None or self._window.n_rows == 0:
+            return self._empty_result()
+        selected = self._select()
+        if not selected:
+            self._cluster_state = None
+            return self._empty_result()
+        if self.mode == "exact":
+            return self._full_cluster(selected)
+        return self._incremental_cluster(selected)
+
+    def tick(
+        self,
+        time: float,
+        numeric_row: Mapping[str, float],
+        categorical_row: Optional[Mapping[str, str]] = None,
+    ) -> StreamTick:
+        """Ingest one row, detect, and emit deltas."""
+        self.observe(time, numeric_row, categorical_row)
+        before = self.recluster_count
+        result = self.detect()
+        closed = self._closed_regions(result)
+        return StreamTick(
+            time=float(time),
+            result=result,
+            closed_regions=closed,
+            reclustered=self.recluster_count > before,
+        )
+
+    # ------------------------------------------------------------------
+    def _full_cluster(self, selected: List[str]) -> DetectionResult:
+        assert self._window is not None
+        window = self._window
+        matrix = np.column_stack(
+            [normalize_values(window.column(a)) for a in selected]
+        )
+        result = self.batch._cluster_and_mask(
+            matrix, window.timestamps, selected
+        )
+        self.recluster_count += 1
+        if self.mode == "incremental":
+            raw = self._raw_flags(result)
+            self._cluster_state = _ClusterState(
+                selected=tuple(selected),
+                eps=result.eps,
+                bounds={a: window.bounds(a) for a in selected},
+                points=matrix,
+                raw_flags=raw,
+                appended_at=window.appended,
+            )
+        return result
+
+    def _raw_flags(self, result: DetectionResult) -> np.ndarray:
+        """Recover pre-smoothing abnormality flags from a fresh result.
+
+        The smoothed mask is what the result carries; for the incremental
+        carry-forward we re-derive per-point flags from the smoothed mask
+        itself — smoothing is idempotent, so re-smoothing these flags on a
+        slid window reproduces the batch behaviour up to boundary effects.
+        """
+        return result.mask.copy()
+
+    def _incremental_cluster(self, selected: List[str]) -> DetectionResult:
+        assert self._window is not None
+        window = self._window
+        state = self._cluster_state
+        if state is None or tuple(selected) != state.selected:
+            return self._full_cluster(selected)
+        since_recluster = window.appended - state.reclustered_at
+        if since_recluster >= max(
+            1, int(self.recluster_fraction * self.capacity)
+        ):
+            return self._full_cluster(selected)
+        turned_over = window.appended - state.appended_at
+        for attr in selected:
+            lo0, hi0 = state.bounds[attr]
+            span0 = max(hi0 - lo0, 1e-12)
+            lo, hi = window.bounds(attr)
+            if (
+                abs(lo - lo0) > self.bounds_drift * span0
+                or abs(hi - hi0) > self.bounds_drift * span0
+            ):
+                return self._full_cluster(selected)
+
+        # carry the previous clustering forward: drop evicted rows, then
+        # flag each new row by its nearest clustered neighbour within ε
+        n = window.n_rows
+        evicted = max(state.raw_flags.shape[0] + turned_over - n, 0)
+        flags = state.raw_flags[evicted:]
+        points = state.points[evicted:] if evicted else state.points
+        new_rows = n - flags.shape[0]
+        if new_rows > 0:
+            lows = np.asarray([state.bounds[a][0] for a in selected])
+            spans = np.asarray(
+                [max(state.bounds[a][1] - state.bounds[a][0], 1e-12)
+                 for a in selected]
+            )
+            fresh = np.column_stack(
+                [window.column(a)[-new_rows:] for a in selected]
+            )
+            fresh = (fresh - lows[None, :]) / spans[None, :]
+            new_flags = np.empty(new_rows, dtype=bool)
+            for row in range(new_rows):
+                d = np.sqrt(
+                    np.maximum(
+                        np.sum((points - fresh[row]) ** 2, axis=1), 0.0
+                    )
+                )
+                j = int(np.argmin(d)) if d.size else -1
+                if j < 0 or d[j] > state.eps:
+                    # density outlier: noise
+                    new_flags[row] = self.batch.include_noise
+                else:
+                    new_flags[row] = bool(flags[j]) if j < flags.shape[0] else False
+                points = np.vstack([points, fresh[row : row + 1]])
+                flags = np.append(flags, new_flags[row])
+            state.points = points
+            state.raw_flags = flags
+            state.appended_at = window.appended
+        mask = self.batch._smooth_mask(flags.copy(), window.timestamps)
+        return DetectionResult(
+            mask=mask,
+            regions=mask_to_regions(window.timestamps, mask),
+            selected_attributes=list(selected),
+            eps=state.eps,
+        )
+
+    # ------------------------------------------------------------------
+    def _closed_regions(self, result: DetectionResult) -> List[Region]:
+        """Regions that can no longer be extended by future ticks.
+
+        A flagged region is *closed* once the unflagged gap between its
+        end and the window tail exceeds ``gap_fill_s`` — no future row
+        can bridge into it.  Each closed region is emitted exactly once,
+        keyed by its end timestamp (ends never shift; starts can, when
+        eviction truncates a region).
+        """
+        if self._window is None or self._window.n_rows == 0:
+            return []
+        tail = float(self._window.timestamps[-1])
+        oldest = float(self._window.timestamps[0])
+        # forget keys that have left the buffer entirely
+        self._emitted_ends = {e for e in self._emitted_ends if e >= oldest}
+        closed = []
+        for region in result.regions:
+            if tail - region.end > self.batch.gap_fill_s and (
+                region.end not in self._emitted_ends
+            ):
+                self._emitted_ends.add(region.end)
+                closed.append(region)
+        return closed
+
+
+class StreamingDiagnoser:
+    """Feed closed abnormal regions into the DBSherlock diagnosis path.
+
+    Wraps a :class:`StreamingDetector` and a
+    :class:`~repro.core.explain.DBSherlock` facade; every region the
+    detector closes is explained (predicates + ranked known causes) on
+    the current window snapshot.  The facade's shared
+    :class:`~repro.perf.cache.LabeledSpaceCache` makes consecutive
+    diagnoses on overlapping windows cheap.
+    """
+
+    def __init__(self, sherlock, detector: Optional[StreamingDetector] = None):
+        self.sherlock = sherlock
+        self.detector = detector or StreamingDetector()
+        #: ``(region, explanation)`` pairs, most recent last.
+        self.diagnoses: List[Tuple[Region, object]] = []
+
+    def tick(
+        self,
+        time: float,
+        numeric_row: Mapping[str, float],
+        categorical_row: Optional[Mapping[str, str]] = None,
+    ) -> StreamTick:
+        """Ingest one row; diagnose any regions that closed this tick."""
+        update = self.detector.tick(time, numeric_row, categorical_row)
+        for region in update.closed_regions:
+            dataset = self.detector.window.to_dataset(name="stream-window")
+            spec = RegionSpec(abnormal=[region], normal=None)
+            explanation = self.sherlock.explain(dataset, spec)
+            self.diagnoses.append((region, explanation))
+        return update

@@ -1,0 +1,172 @@
+"""Order-statistic structures for the streaming detector.
+
+The incremental Equation 4 needs, per attribute and per tick, (i) the
+median of everything in the telemetry ring buffer, (ii) the median of the
+most recent ``w`` samples, and (iii) the min/max of the window medians
+currently alive in the buffer.  Recomputing those from scratch is what
+makes the batch detector O(n·w log w) per attribute per tick; the
+structures here update them in O(log n) / amortized O(1):
+
+* :class:`SlidingMedian` — the classic two-heap median with lazy
+  deletion, supporting ``add``/``remove`` of arbitrary values.  Its
+  ``median()`` reproduces ``np.median`` exactly (the middle element, or
+  the mean ``(a + b) / 2`` of the two middle elements).
+* :class:`SlidingExtrema` — paired monotonic deques tracking the min and
+  max of a FIFO stream whose entries expire by sequence number.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, List, Tuple
+
+__all__ = ["SlidingMedian", "SlidingExtrema"]
+
+
+class SlidingMedian:
+    """Median of a multiset under arbitrary ``add``/``remove``.
+
+    Two heaps split the values around the median (``_low`` holds the
+    smaller half as a negated max-heap, ``_high`` the larger half);
+    removals are lazy — marked in ``_delayed`` and physically dropped
+    only when they surface at a heap top.  Both operations are O(log n)
+    amortized.
+    """
+
+    __slots__ = (
+        "_low",
+        "_high",
+        "_low_size",
+        "_high_size",
+        "_delayed_low",
+        "_delayed_high",
+    )
+
+    def __init__(self) -> None:
+        self._low: List[float] = []  # negated values (max-heap)
+        self._high: List[float] = []  # min-heap
+        self._low_size = 0  # live (non-deleted) entries per side
+        self._high_size = 0
+        # Deletions are tracked per side: every copy of a value strictly
+        # below the low-top lives in the low heap, and a value equal to
+        # the low-top has a live copy there, so the side a removal debits
+        # is unambiguous — and a pending deletion can then never be
+        # consumed by the other heap's prune (which would desync the
+        # logical sizes from the physical heaps).
+        self._delayed_low: Dict[float, int] = {}
+        self._delayed_high: Dict[float, int] = {}
+
+    def __len__(self) -> int:
+        return self._low_size + self._high_size
+
+    def _prune_low(self) -> None:
+        while self._low:
+            count = self._delayed_low.get(-self._low[0], 0)
+            if not count:
+                break
+            value = -heapq.heappop(self._low)
+            if count == 1:
+                del self._delayed_low[value]
+            else:
+                self._delayed_low[value] = count - 1
+
+    def _prune_high(self) -> None:
+        while self._high:
+            count = self._delayed_high.get(self._high[0], 0)
+            if not count:
+                break
+            value = heapq.heappop(self._high)
+            if count == 1:
+                del self._delayed_high[value]
+            else:
+                self._delayed_high[value] = count - 1
+
+    def _rebalance(self) -> None:
+        if self._low_size > self._high_size + 1:
+            self._prune_low()
+            heapq.heappush(self._high, -heapq.heappop(self._low))
+            self._low_size -= 1
+            self._high_size += 1
+            self._prune_low()
+        elif self._low_size < self._high_size:
+            self._prune_high()
+            heapq.heappush(self._low, -heapq.heappop(self._high))
+            self._high_size -= 1
+            self._low_size += 1
+            self._prune_high()
+
+    def add(self, value: float) -> None:
+        """Insert *value* into the multiset."""
+        self._prune_low()
+        if self._low and value <= -self._low[0]:
+            heapq.heappush(self._low, -value)
+            self._low_size += 1
+        else:
+            heapq.heappush(self._high, value)
+            self._high_size += 1
+        self._rebalance()
+
+    def remove(self, value: float) -> None:
+        """Remove one occurrence of *value* (which must be present)."""
+        if not len(self):
+            raise ValueError("remove from empty SlidingMedian")
+        self._prune_low()
+        if self._low and value <= -self._low[0]:
+            self._delayed_low[value] = self._delayed_low.get(value, 0) + 1
+            self._low_size -= 1
+            self._prune_low()
+        else:
+            self._delayed_high[value] = self._delayed_high.get(value, 0) + 1
+            self._high_size -= 1
+            self._prune_high()
+        self._rebalance()
+
+    def median(self) -> float:
+        """The ``np.median`` of the current multiset."""
+        if not len(self):
+            raise ValueError("median of empty SlidingMedian")
+        self._prune_low()
+        self._prune_high()
+        if self._low_size > self._high_size:
+            return float(-self._low[0])
+        return (float(-self._low[0]) + float(self._high[0])) / 2.0
+
+
+class SlidingExtrema:
+    """Min/max of a FIFO stream with expiry by monotone sequence number."""
+
+    __slots__ = ("_min", "_max")
+
+    def __init__(self) -> None:
+        self._min: Deque[Tuple[int, float]] = deque()
+        self._max: Deque[Tuple[int, float]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._min)
+
+    def push(self, seq: int, value: float) -> None:
+        """Record *value* at sequence *seq* (seq must be increasing)."""
+        while self._min and self._min[-1][1] >= value:
+            self._min.pop()
+        self._min.append((seq, value))
+        while self._max and self._max[-1][1] <= value:
+            self._max.pop()
+        self._max.append((seq, value))
+
+    def expire(self, oldest_seq: int) -> None:
+        """Drop entries with ``seq < oldest_seq``."""
+        while self._min and self._min[0][0] < oldest_seq:
+            self._min.popleft()
+        while self._max and self._max[0][0] < oldest_seq:
+            self._max.popleft()
+
+    def min(self) -> float:
+        if not self._min:
+            raise ValueError("min of empty SlidingExtrema")
+        return self._min[0][1]
+
+    def max(self) -> float:
+        if not self._max:
+            raise ValueError("max of empty SlidingExtrema")
+        return self._max[0][1]

@@ -1,0 +1,187 @@
+"""Fixed-capacity ring-buffer telemetry window.
+
+The streaming engine's working set: the most recent ``capacity`` telemetry
+rows, appended one per tick by :class:`repro.engine.collector.TelemetryCollector`
+(or any other per-second source).  Columns are stored in a double-write
+buffer of length ``2 × capacity`` — every sample is written at its
+physical slot *and* at ``slot + capacity`` — so ``timestamps`` and
+``column`` are zero-copy contiguous numpy views regardless of where the
+ring has wrapped.
+
+Per-attribute min/max are maintained incrementally with monotonic deques
+(:class:`repro.stream.median.SlidingExtrema`), so normalization bounds —
+Equation 2's ``[min, max]`` — cost amortized O(1) per tick instead of an
+O(n) scan per attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.stream.median import SlidingExtrema
+
+__all__ = ["EvictedRow", "RingBufferWindow"]
+
+
+@dataclass(frozen=True)
+class EvictedRow:
+    """The row pushed out of the window by an append at capacity."""
+
+    time: float
+    numeric: Dict[str, float]
+    categorical: Dict[str, str]
+
+
+class RingBufferWindow:
+    """A sliding window of telemetry rows with O(1) append/evict.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of rows retained; the oldest row is evicted once
+        the window is full.
+    numeric:
+        Numeric attribute names, in the column order downstream consumers
+        (the detector, ``to_dataset``) will see.
+    categorical:
+        Categorical attribute names.
+    name:
+        Label forwarded to :meth:`to_dataset`.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        numeric: Iterable[str],
+        categorical: Iterable[str] = (),
+        name: str = "",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = int(capacity)
+        self.name = name
+        self._ts = np.empty(2 * self.capacity, dtype=np.float64)
+        self._numeric: Dict[str, np.ndarray] = {
+            attr: np.empty(2 * self.capacity, dtype=np.float64)
+            for attr in numeric
+        }
+        self._categorical: Dict[str, np.ndarray] = {
+            attr: np.empty(2 * self.capacity, dtype=object)
+            for attr in categorical
+        }
+        if not self._numeric and not self._categorical:
+            raise ValueError("window needs at least one attribute")
+        self._start = 0  # physical slot of the oldest row, in [0, capacity)
+        self._size = 0
+        self._appended = 0  # total rows ever appended (sequence counter)
+        self._extrema: Dict[str, SlidingExtrema] = {
+            attr: SlidingExtrema() for attr in self._numeric
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Rows currently in the window."""
+        return self._size
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def full(self) -> bool:
+        return self._size == self.capacity
+
+    @property
+    def appended(self) -> int:
+        """Total rows ever appended (monotone tick counter)."""
+        return self._appended
+
+    @property
+    def oldest_seq(self) -> int:
+        """Sequence number of the oldest retained row."""
+        return self._appended - self._size
+
+    @property
+    def numeric_attributes(self):
+        return list(self._numeric)
+
+    @property
+    def categorical_attributes(self):
+        return list(self._categorical)
+
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        time: float,
+        numeric_row: Mapping[str, float],
+        categorical_row: Optional[Mapping[str, str]] = None,
+    ) -> Optional[EvictedRow]:
+        """Append one row; returns the evicted row once at capacity."""
+        evicted: Optional[EvictedRow] = None
+        if self._size == self.capacity:
+            idx = self._start
+            evicted = EvictedRow(
+                time=float(self._ts[idx]),
+                numeric={a: float(v[idx]) for a, v in self._numeric.items()},
+                categorical={
+                    a: v[idx] for a, v in self._categorical.items()
+                },
+            )
+            self._start = (self._start + 1) % self.capacity
+            self._size -= 1
+
+        slot = (self._start + self._size) % self.capacity
+        self._ts[slot] = time
+        self._ts[slot + self.capacity] = time
+        for attr, buf in self._numeric.items():
+            value = float(numeric_row[attr])
+            buf[slot] = value
+            buf[slot + self.capacity] = value
+            self._extrema[attr].push(self._appended, value)
+        row_cat = categorical_row or {}
+        for attr, buf in self._categorical.items():
+            value = row_cat[attr]
+            buf[slot] = value
+            buf[slot + self.capacity] = value
+        self._size += 1
+        self._appended += 1
+        oldest = self._appended - self._size
+        for tracker in self._extrema.values():
+            tracker.expire(oldest)
+        return evicted
+
+    # ------------------------------------------------------------------
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Zero-copy view of the retained timestamps, oldest first."""
+        return self._ts[self._start : self._start + self._size]
+
+    def column(self, attr: str) -> np.ndarray:
+        """Zero-copy view of one attribute column, oldest first."""
+        if attr in self._numeric:
+            return self._numeric[attr][self._start : self._start + self._size]
+        if attr in self._categorical:
+            return self._categorical[attr][
+                self._start : self._start + self._size
+            ]
+        raise KeyError(attr)
+
+    def bounds(self, attr: str) -> Tuple[float, float]:
+        """Incrementally-tracked ``(min, max)`` of a numeric column."""
+        tracker = self._extrema[attr]
+        if self._size == 0:
+            return 0.0, 0.0
+        return tracker.min(), tracker.max()
+
+    def to_dataset(self, name: str = "") -> Dataset:
+        """Materialize the window as an immutable :class:`Dataset` copy."""
+        return Dataset(
+            self.timestamps.copy(),
+            numeric={a: self.column(a).copy() for a in self._numeric},
+            categorical={a: self.column(a).copy() for a in self._categorical},
+            name=name or self.name,
+        )

@@ -10,6 +10,7 @@ from repro.core.anomaly import (
 )
 from repro.core.separation import normalize_values
 from repro.data.dataset import Dataset
+from repro.perf.batch import potential_power_batch
 
 
 def step_series(n=200, start=100, width=40, lo=0.0, hi=1.0, noise=0.0, seed=0):
@@ -146,3 +147,69 @@ class TestDetection:
         result = detector.detect(self.dataset(width=50))
         # the 50 s anomaly itself is filtered at this threshold
         assert all(r.duration + 1.0 > 60.0 for r in result.regions)
+
+    def test_empty_dataset(self):
+        ds = Dataset(np.zeros(0), numeric={"a": np.zeros(0)})
+        result = AnomalyDetector().detect(ds)
+        assert not result.found
+        assert result.mask.shape == (0,)
+        assert result.regions == []
+        assert result.eps == 0.0
+
+    def test_window_longer_than_dataset(self):
+        # Equation 4 clamps the window to the series length: a single
+        # whole-series window has zero power, so nothing is selected
+        ds = Dataset(
+            np.arange(10.0),
+            numeric={"a": np.r_[np.zeros(5), np.ones(5)]},
+        )
+        result = AnomalyDetector(window=50).detect(ds)
+        assert not result.found
+        assert result.selected_attributes == []
+
+    def test_two_level_attribute_eps_zero_one_cluster(self):
+        # an attribute taking exactly two values normalizes to {0, 1}:
+        # every point has >= min_pts identical companions, the k-dist list
+        # is all zeros, eps degenerates to 0 and everything is one big
+        # (normal) cluster
+        n = 100
+        values = np.zeros(n)
+        values[40:70] = 1.0
+        ds = Dataset(np.arange(n, dtype=float), numeric={"a": values})
+        result = AnomalyDetector(window=20).detect(ds)
+        assert result.selected_attributes == ["a"]
+        assert result.eps == 0.0
+        assert not result.found
+
+    def test_include_noise_false_masks_subset(self):
+        ds = self.dataset()
+        loose = AnomalyDetector(include_noise=True).detect(ds)
+        strict = AnomalyDetector(include_noise=False).detect(ds)
+        assert strict.selected_attributes == loose.selected_attributes
+        # dropping noise can only unflag rows (before smoothing), and the
+        # clustered anomaly window must survive either way
+        assert strict.found
+        assert int(strict.mask.sum()) <= int(loose.mask.sum())
+
+
+class TestPotentialPowerBatch:
+    def test_matches_scalar_on_random_series(self):
+        rng = np.random.default_rng(31)
+        for _ in range(25):
+            n = int(rng.integers(1, 120))
+            window = int(rng.integers(1, 40))
+            matrix = rng.normal(size=(int(rng.integers(1, 6)), n))
+            matrix = np.vstack(
+                [normalize_values(row)[None, :] for row in matrix]
+            )
+            batch = potential_power_batch(matrix, window)
+            for i, row in enumerate(matrix):
+                assert batch[i] == potential_power(row, window)
+
+    def test_matches_scalar_on_step(self):
+        values = normalize_values(step_series())
+        batch = potential_power_batch(values[None, :], 20)
+        assert batch[0] == potential_power(values, window=20)
+
+    def test_empty_matrix(self):
+        assert potential_power_batch(np.zeros((0, 50)), 10).shape == (0,)

@@ -113,3 +113,85 @@ class TestDBSCAN:
         l1 = DBSCAN(eps=1.0, min_pts=3).fit_predict(pts)
         l2 = DBSCAN(eps=1.0, min_pts=3).fit_predict(pts)
         assert np.array_equal(l1, l2)
+
+    def test_single_point_min_pts_one_is_cluster(self):
+        # regression: a lone point with min_pts=1 is its own (trivially
+        # dense) cluster, not noise
+        labels = DBSCAN(eps=1.0, min_pts=1).fit_predict(np.asarray([[0.0]]))
+        assert list(labels) == [0]
+        labels = DBSCAN(eps=None, min_pts=1).fit_predict(np.asarray([[3.0]]))
+        assert list(labels) == [0]
+
+    def test_border_point_keeps_first_cluster(self):
+        # a border point within eps of two clusters' cores belongs to the
+        # cluster that expands first (no later relabeling)
+        cluster_a = np.asarray([[0.0], [0.1], [0.2], [0.3]])
+        cluster_b = np.asarray([[2.0], [2.1], [2.2], [2.3]])
+        border = np.asarray([[1.15]])
+        pts = np.vstack([cluster_a, cluster_b, border])
+        labels = DBSCAN(eps=0.9, min_pts=4).fit_predict(pts)
+        assert labels[8] == labels[0]
+        assert labels[0] != labels[4]
+
+    def test_no_redundant_core_relabeling(self):
+        # every point's final label comes from the first cluster that
+        # claims it — run twice with point order reversed and check the
+        # partition (not the ids) is identical
+        pts = two_blobs(n=40, separation=4.0, seed=8)
+        forward = DBSCAN(eps=1.0, min_pts=3).fit_predict(pts)
+        backward = DBSCAN(eps=1.0, min_pts=3).fit_predict(pts[::-1])[::-1]
+        for labels in (forward, backward):
+            assert set(labels[:40]) == {labels[0]}
+            assert set(labels[40:]) == {labels[40]}
+
+
+class TestGridIndex:
+    def random_points(self, n, d, seed):
+        rng = np.random.default_rng(seed)
+        return np.vstack(
+            [
+                rng.normal(0.0, 0.5, size=(n // 2, d)),
+                rng.normal(3.0, 0.5, size=(n - n // 2, d)),
+            ]
+        )
+
+    @pytest.mark.parametrize("d", [1, 2, 5])
+    def test_grid_matches_dense_labels(self, d):
+        for seed in range(5):
+            pts = self.random_points(120, d, seed)
+            grid = DBSCAN(eps=0.8, min_pts=3, index="grid").fit_predict(pts)
+            dense = DBSCAN(eps=0.8, min_pts=3, index="dense").fit_predict(pts)
+            assert np.array_equal(grid, dense)
+
+    def test_grid_matches_dense_with_auto_eps(self):
+        pts = self.random_points(150, 3, seed=42)
+        grid = DBSCAN(eps=None, min_pts=3, index="grid").fit(pts)
+        dense = DBSCAN(eps=None, min_pts=3, index="dense").fit(pts)
+        assert grid.eps_ == dense.eps_
+        assert np.array_equal(grid.labels_, dense.labels_)
+
+    def test_auto_uses_grid_above_crossover(self):
+        from repro.cluster.dbscan import _GRID_MIN_POINTS
+
+        small = self.random_points(_GRID_MIN_POINTS - 4, 2, seed=1)
+        large = self.random_points(_GRID_MIN_POINTS + 40, 2, seed=1)
+        for pts in (small, large):
+            auto = DBSCAN(eps=0.8, min_pts=3, index="auto").fit_predict(pts)
+            dense = DBSCAN(eps=0.8, min_pts=3, index="dense").fit_predict(pts)
+            assert np.array_equal(auto, dense)
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(ValueError):
+            DBSCAN(index="kdtree")
+
+
+class TestChunkedKDistances:
+    def test_chunked_matches_unchunked(self):
+        from repro.stream.golden import golden_k_distances
+
+        pts = two_blobs(n=50, seed=6)
+        golden = golden_k_distances(pts, 3)
+        for chunk in (1, 7, 64, 10_000):
+            np.testing.assert_allclose(
+                k_distances(pts, 3, chunk_size=chunk), golden, atol=1e-9
+            )
