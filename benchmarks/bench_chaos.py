@@ -1,0 +1,246 @@
+"""Chaos bench: diagnosis robustness under degraded telemetry.
+
+Two legs, both asserted before any number is reported:
+
+* **accuracy-degradation** — :func:`repro.eval.chaos.run_chaos_suite`
+  replays the anomaly scenario suite under the graded fault-profile
+  ladder (clean / light / moderate / heavy).  Under the *moderate*
+  profile (5 % dropped ticks, 2 % NaN cells, one stuck-at attribute)
+  every scenario must complete with zero exceptions, and at full bench
+  scale the mean correct-cause confidence margin may degrade by at most
+  ``MAX_MODERATE_MARGIN_DROP`` and top-1 accuracy by at most
+  ``MAX_MODERATE_TOP1_DROP`` relative to the clean profile;
+* **crash-recovery** — one scenario is streamed through a
+  :class:`repro.stream.StreamSupervisor` whose source crashes mid-run
+  (:class:`repro.faults.CollectorCrash`).  The supervisor must recover
+  via backoff + checkpoint restore and emit closed regions identical to
+  an uninterrupted detector on the same rows.
+
+Results land in ``BENCH_chaos.json`` at the repo root.
+
+Run standalone (``PERF_BENCH_SCALE=tiny`` is the CI smoke scale):
+
+    python benchmarks/bench_chaos.py
+
+or via ``pytest benchmarks/ --benchmark-only`` (tiny scale, no JSON).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+if __name__ == "__main__":  # allow `python benchmarks/bench_chaos.py`
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.eval.chaos import PROFILES, run_chaos_suite  # noqa: E402
+from repro.eval.harness import replay_rows, simulate_run  # noqa: E402
+from repro.faults import CollectorCrash, FaultPlan  # noqa: E402
+from repro.stream import StreamingDetector, StreamSupervisor  # noqa: E402
+
+#: Bench scales; "tiny" is the CI smoke (seconds), "bench" the recorded
+#: run over all 10 anomaly classes and the full profile ladder.
+SCALES = {
+    "tiny": dict(
+        anomaly_keys=["cpu_saturation", "workload_spike"],
+        durations=(30, 40),
+        normal_s=60,
+        profile_names=["clean", "moderate"],
+        crash_scenario=("cpu_saturation", 17),
+        crash_duration_s=30,
+        crash_normal_s=60,
+        capacity=40,
+        crash_at_tick=45,
+    ),
+    "bench": dict(
+        anomaly_keys=None,  # all 10 causes
+        durations=(40, 60),
+        normal_s=90,
+        profile_names=["clean", "light", "moderate", "heavy"],
+        crash_scenario=("network_congestion", 17),
+        crash_duration_s=40,
+        crash_normal_s=90,
+        capacity=60,
+        crash_at_tick=70,
+    ),
+}
+
+#: Acceptance floors.  Zero moderate-profile errors is enforced at every
+#: scale; the degradation bounds only at full bench scale (tiny runs too
+#: few scenarios for stable means).  Both bounds are *relative to the
+#: clean profile* — the chaos bench measures robustness (how much the
+#: faults cost), not the protocol's absolute accuracy, which the
+#: accuracy benches already pin down.  Recorded full-scale run: moderate
+#: margin delta +0.001, top-1 delta 0.0 (no degradation); heavy margin
+#: delta −0.027, top-1 delta −0.10.
+MAX_MODERATE_MARGIN_DROP = 0.02
+MAX_MODERATE_TOP1_DROP = 0.10
+
+
+def _run_crash_recovery(params: dict, seed: int = 29) -> dict:
+    """Stream one scenario through a crashing source; compare regions."""
+    anomaly_key, sim_seed = params["crash_scenario"]
+    dataset, _, _ = simulate_run(
+        anomaly_key,
+        duration_s=params["crash_duration_s"],
+        seed=sim_seed,
+        normal_s=params["crash_normal_s"],
+    )
+    capacity = params["capacity"]
+
+    baseline = StreamingDetector(capacity=capacity)
+    uninterrupted = []
+    for t, numeric_row, categorical_row in replay_rows(dataset):
+        update = baseline.tick(t, numeric_row, categorical_row)
+        uninterrupted.extend(update.closed_regions)
+
+    crash_plan = FaultPlan(
+        [CollectorCrash(at_tick=params["crash_at_tick"])], seed=seed
+    )
+
+    def source_factory(attempt: int):
+        ticks = replay_rows(dataset)
+        # only the first attempt crashes; the restarted collector is clean
+        return crash_plan.wrap(ticks) if attempt == 0 else ticks
+
+    supervisor = StreamSupervisor(
+        StreamingDetector(capacity=capacity),
+        source_factory,
+        checkpoint_every=10,
+        sleep=lambda s: None,  # don't actually wait in a bench
+    )
+    report = supervisor.run()
+
+    recovered = [
+        {"start": r.start, "end": r.end} for r in report.closed_regions
+    ]
+    expected = [{"start": r.start, "end": r.end} for r in uninterrupted]
+    return {
+        "scenario": anomaly_key,
+        "crash_at_tick": params["crash_at_tick"],
+        "restarts": report.restarts,
+        "backoff_waits_s": report.backoff_waits,
+        "checkpoints": report.checkpoints,
+        "ticks_processed": report.ticks_processed,
+        "closed_regions": recovered,
+        "regions_match_uninterrupted": recovered == expected,
+    }
+
+
+def run_bench(scale: str = "bench", write_json: bool = True) -> dict:
+    params = SCALES[scale]
+    profiles = {name: PROFILES[name] for name in params["profile_names"]}
+
+    start = time.perf_counter()
+    chaos = run_chaos_suite(
+        anomaly_keys=params["anomaly_keys"],
+        durations=params["durations"],
+        normal_s=params["normal_s"],
+        profiles=profiles,
+        seed=11,
+    )
+    chaos_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    recovery = _run_crash_recovery(params)
+    recovery_s = time.perf_counter() - start
+
+    summary = {
+        "scale": scale,
+        "n_causes": len(chaos["causes"]),
+        "elapsed_s": {
+            "chaos_suite": round(chaos_s, 2),
+            "crash_recovery": round(recovery_s, 2),
+        },
+        "degradation": {
+            name: {
+                "mean_margin": entry["mean_margin"],
+                "top1_accuracy": entry["top1_accuracy"],
+                "errors": entry["errors"],
+                "margin_delta_vs_clean": entry.get("margin_delta_vs_clean"),
+                "top1_delta_vs_clean": entry.get("top1_delta_vs_clean"),
+            }
+            for name, entry in chaos["profiles"].items()
+        },
+        "chaos_report": chaos,
+        "crash_recovery": recovery,
+    }
+
+    if write_json:
+        out = _REPO_ROOT / "BENCH_chaos.json"
+        out.write_text(json.dumps(summary, indent=2) + "\n")
+        summary["json"] = str(out)
+    return summary
+
+
+def _report(summary: dict) -> None:
+    print(f"\n=== chaos bench ({summary['scale']} scale) ===")
+    print(
+        f"{summary['n_causes']} anomaly classes | suite "
+        f"{summary['elapsed_s']['chaos_suite']}s, recovery "
+        f"{summary['elapsed_s']['crash_recovery']}s"
+    )
+    print(f"{'profile':10s} {'margin':>8s} {'top1':>6s} {'errors':>7s} {'Δclean':>8s}")
+    for name, row in summary["degradation"].items():
+        delta = row["margin_delta_vs_clean"]
+        print(
+            f"{name:10s} {row['mean_margin']:8.4f} "
+            f"{row['top1_accuracy']:6.2f} {row['errors']:7d} "
+            f"{0.0 if delta is None else delta:8.4f}"
+        )
+    rec = summary["crash_recovery"]
+    print(
+        f"crash-recovery: {rec['scenario']} crashed@tick "
+        f"{rec['crash_at_tick']}, {rec['restarts']} restart(s), "
+        f"regions match uninterrupted: {rec['regions_match_uninterrupted']}"
+    )
+
+
+def _check(summary: dict) -> None:
+    degradation = summary["degradation"]
+    # every scale: the moderate profile (the acceptance profile) must
+    # complete every scenario without an exception
+    moderate = degradation["moderate"]
+    assert moderate["errors"] == 0, (
+        f"moderate profile raised in {moderate['errors']} scenario(s): "
+        f"{list(summary['chaos_report']['profiles']['moderate']['error_details'])}"
+    )
+    assert degradation["clean"]["errors"] == 0
+    # every scale: the supervisor must recover and reproduce the
+    # uninterrupted region output exactly
+    recovery = summary["crash_recovery"]
+    assert recovery["restarts"] >= 1, "crash never happened"
+    assert recovery["regions_match_uninterrupted"], (
+        f"recovered regions diverge: {recovery['closed_regions']}"
+    )
+    if summary["scale"] == "bench":
+        margin_drop = moderate["margin_delta_vs_clean"]
+        assert margin_drop >= -MAX_MODERATE_MARGIN_DROP, (
+            f"moderate-profile margin degraded by {-margin_drop:.4f} "
+            f"(bound {MAX_MODERATE_MARGIN_DROP})"
+        )
+        top1_drop = moderate["top1_delta_vs_clean"]
+        assert top1_drop >= -MAX_MODERATE_TOP1_DROP, (
+            f"moderate-profile top-1 degraded by {-top1_drop:.2f} "
+            f"(bound {MAX_MODERATE_TOP1_DROP})"
+        )
+
+
+def test_chaos(benchmark):
+    summary = benchmark.pedantic(
+        lambda: run_bench("tiny", write_json=False), rounds=1, iterations=1
+    )
+    _report(summary)
+    _check(summary)
+
+
+if __name__ == "__main__":
+    chosen = os.environ.get("PERF_BENCH_SCALE", "bench")
+    bench_summary = run_bench(chosen)
+    _report(bench_summary)
+    _check(bench_summary)
+    print(f"wrote {bench_summary['json']}")

@@ -10,6 +10,7 @@ data as abnormal, under the assumption that anomalies are rare.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -20,7 +21,12 @@ from repro.core.separation import normalize_values
 from repro.data.dataset import Dataset
 from repro.data.regions import Region, RegionSpec
 
-__all__ = ["potential_power", "AnomalyDetector", "mask_to_regions"]
+__all__ = [
+    "potential_power",
+    "impute_missing",
+    "AnomalyDetector",
+    "mask_to_regions",
+]
 
 DEFAULT_WINDOW = 20
 DEFAULT_PP_THRESHOLD = 0.3
@@ -44,10 +50,39 @@ def potential_power(values: np.ndarray, window: int = DEFAULT_WINDOW) -> float:
     if n == 0:
         return 0.0
     window = max(min(int(window), n), 1)
-    overall = float(np.median(values))
     windows = np.lib.stride_tricks.sliding_window_view(values, window)
+    if np.isnan(values).any():
+        # degraded telemetry: medians over valid samples only; an
+        # attribute (or window) with no valid samples has zero power.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            overall = np.nanmedian(values)
+            locals_ = np.nanmedian(windows, axis=1)
+            power = np.nanmax(np.abs(overall - locals_))
+        return float(power) if np.isfinite(power) else 0.0
+    overall = float(np.median(values))
     locals_ = np.median(windows, axis=1)
     return float(np.max(np.abs(overall - locals_)))
+
+
+def impute_missing(matrix: np.ndarray) -> np.ndarray:
+    """Replace NaN cells with their column's valid median (0.5 if none).
+
+    Used before distance-based stages (DBSCAN) that cannot tolerate NaN;
+    returns the input untouched when it is already clean.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    nan = np.isnan(matrix)
+    if not nan.any():
+        return matrix
+    out = matrix.copy()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        fill = np.nanmedian(out, axis=0)
+    fill = np.nan_to_num(fill, nan=0.5)
+    cols = np.nonzero(nan)[1]
+    out[nan] = fill[cols]
+    return out
 
 
 def mask_to_regions(timestamps: np.ndarray, mask: np.ndarray) -> List[Region]:
@@ -151,8 +186,10 @@ class AnomalyDetector:
                 selected_attributes=[],
                 eps=0.0,
             )
-        matrix = np.column_stack(
-            [normalize_values(dataset.column(a)) for a in selected]
+        matrix = impute_missing(
+            np.column_stack(
+                [normalize_values(dataset.column(a)) for a in selected]
+            )
         )
         return self._cluster_and_mask(matrix, dataset.timestamps, selected)
 

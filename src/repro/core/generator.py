@@ -56,6 +56,11 @@ class GeneratorConfig:
         building models that will be merged).
     enable_filtering / enable_fill:
         Ablation switches for the Table 6 step-contribution study.
+    min_valid_fraction:
+        Degraded-telemetry gate: a numeric attribute is rejected when
+        fewer than this fraction of its in-region samples are valid
+        (non-NaN).  Clean datasets have a valid fraction of 1.0, so the
+        gate is a no-op on the paper's original workloads.
     """
 
     n_partitions: int = 250
@@ -63,6 +68,7 @@ class GeneratorConfig:
     theta: float = 0.2
     enable_filtering: bool = True
     enable_fill: bool = True
+    min_valid_fraction: float = 0.25
 
     def replace(self, **kwargs) -> "GeneratorConfig":
         """Return a copy with the given fields overridden."""
@@ -186,6 +192,18 @@ class PredicateGenerator:
             attr=attr, is_numeric=True, space=space, labels_initial=labels
         )
 
+        nan = np.isnan(values)
+        if nan.any():
+            considered = abnormal | normal
+            n_considered = int(considered.sum())
+            n_valid = int((considered & ~nan).sum())
+            if n_valid < self.config.min_valid_fraction * n_considered:
+                art.rejection = (
+                    f"degraded telemetry: only {n_valid}/{n_considered} "
+                    "region samples valid"
+                )
+                return art
+
         if not self.config.enable_filtering:
             filtered = labels
         elif entry is not None:
@@ -201,10 +219,14 @@ class PredicateGenerator:
         if self.config.enable_fill:
             normal_mean_partition = None
             if not (filtered == int(Label.NORMAL)).any():
-                mean_normal = float(values[normal].mean())
-                normal_mean_partition = int(
-                    space.partition_indices(np.asarray([mean_normal]))[0]
-                )
+                normal_values = values[normal]
+                if nan.any():
+                    normal_values = normal_values[~np.isnan(normal_values)]
+                if normal_values.size:
+                    mean_normal = float(normal_values.mean())
+                    normal_mean_partition = int(
+                        space.partition_indices(np.asarray([mean_normal]))[0]
+                    )
             filled = fill_gaps(
                 filtered, self.config.delta, normal_mean_partition
             )
@@ -220,6 +242,10 @@ class PredicateGenerator:
             normalized = normalize_values(values)
             mu_abnormal, mu_normal = region_means(normalized, abnormal, normal)
         art.normalized_difference = abs(mu_abnormal - mu_normal)
+        if not np.isfinite(art.normalized_difference):
+            # a region with no valid samples yields a NaN mean: no evidence
+            art.rejection = "degraded telemetry: region mean undefined"
+            return art
 
         blocks = abnormal_blocks(filled)
         if len(blocks) != 1:

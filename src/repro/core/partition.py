@@ -11,6 +11,14 @@ distinct value.  Each partition is then labeled:
   tuples fall in it, ``Normal`` for the converse, ``Empty`` on ties.
 
 Tuples outside both regions are ignored (Section 4).
+
+Degraded telemetry: NaN cells (dropped samples, dead probes) are treated
+as *absent* — the value range is taken over the valid samples only, NaN
+values map to partition index ``-1``, and labeling counts only valid
+tuples.  An attribute with no valid samples (or a constant one) collapses
+to a single neutral partition rather than producing NaN/inf bounds.  The
+clean path is bitwise-unchanged: every NaN branch is gated on a NaN
+actually being present.
 """
 
 from __future__ import annotations
@@ -49,8 +57,17 @@ class NumericPartitionSpace:
         if values.size == 0:
             raise ValueError("cannot partition an empty attribute")
         self.attr = attr
-        self.minimum = float(values.min())
-        self.maximum = float(values.max())
+        if np.isnan(values).any():
+            valid = values[~np.isnan(values)]
+            if valid.size:
+                self.minimum = float(valid.min())
+                self.maximum = float(valid.max())
+            else:
+                # no valid samples at all: a neutral single partition
+                self.minimum = self.maximum = 0.0
+        else:
+            self.minimum = float(values.min())
+            self.maximum = float(values.max())
         if self.maximum > self.minimum:
             self.n_partitions = int(n_partitions)
         else:
@@ -96,12 +113,25 @@ class NumericPartitionSpace:
             raise IndexError(f"partition index {index} out of range")
 
     def partition_indices(self, values: np.ndarray) -> np.ndarray:
-        """Partition index of each value (max value maps to the last one)."""
+        """Partition index of each value (max value maps to the last one).
+
+        NaN values map to ``-1`` (no partition); callers that count
+        tuples must ignore negative indices.
+        """
         values = np.asarray(values, dtype=np.float64)
+        nan_mask = np.isnan(values)
+        has_nan = bool(nan_mask.any())
         if self.width == 0:
-            return np.zeros(values.shape, dtype=np.int64)
-        idx = np.floor((values - self.minimum) / self.width).astype(np.int64)
-        return np.clip(idx, 0, self.n_partitions - 1)
+            idx = np.zeros(values.shape, dtype=np.int64)
+        else:
+            with np.errstate(invalid="ignore"):
+                raw = np.floor((values - self.minimum) / self.width)
+            if has_nan:
+                raw = np.where(nan_mask, 0.0, raw)
+            idx = np.clip(raw.astype(np.int64), 0, self.n_partitions - 1)
+        if has_nan:
+            idx[nan_mask] = -1
+        return idx
 
     def label(
         self,
@@ -112,8 +142,13 @@ class NumericPartitionSpace:
         """Label every partition from the region masks (Section 4.2).
 
         Returns an ``int`` array of :class:`Label` values, one per partition.
+        NaN tuples (partition index ``-1``) are ignored on both sides.
         """
         idx = self.partition_indices(values)
+        if (idx < 0).any():
+            valid = idx >= 0
+            abnormal_mask = abnormal_mask & valid
+            normal_mask = normal_mask & valid
         counts_abnormal = np.bincount(
             idx[abnormal_mask], minlength=self.n_partitions
         )
@@ -146,6 +181,9 @@ class NumericPartitionSpace:
         space.attr = attr
         space.minimum = float(minimum)
         space.maximum = float(maximum)
+        if not (np.isfinite(space.minimum) and np.isfinite(space.maximum)):
+            # degenerate stats (e.g. an all-NaN column): neutral space
+            space.minimum = space.maximum = 0.0
         if space.maximum > space.minimum:
             space.n_partitions = int(n_partitions)
         else:

@@ -8,6 +8,7 @@ for predicates maximising it.  Normalization maps each numeric attribute to
 
 from __future__ import annotations
 
+import warnings
 from typing import Tuple
 
 import numpy as np
@@ -41,10 +42,28 @@ def separation_power(
 
 
 def normalize_values(values: np.ndarray) -> np.ndarray:
-    """Equation 2: map values to [0, 1]; constant vectors map to zeros."""
+    """Equation 2: map values to [0, 1]; constant vectors map to zeros.
+
+    NaN cells (degraded telemetry) are ignored when computing the range
+    and stay NaN in the output; downstream consumers either gate on them
+    (Equation 4) or impute them (the detector's clustering stage).
+    """
     values = np.asarray(values, dtype=np.float64)
     if values.size == 0:
         return values.copy()
+    nan_mask = np.isnan(values)
+    if nan_mask.any():
+        valid = values[~nan_mask]
+        if valid.size == 0:
+            return values.copy()  # all-NaN stays all-NaN
+        lo = float(valid.min())
+        hi = float(valid.max())
+        span = hi - lo
+        if span <= 0:
+            out = np.zeros_like(values)
+            out[nan_mask] = np.nan
+            return out
+        return (values - lo) / span
     lo = float(values.min())
     hi = float(values.max())
     span = hi - lo
@@ -56,9 +75,21 @@ def normalize_values(values: np.ndarray) -> np.ndarray:
 def region_means(
     values: np.ndarray, abnormal: np.ndarray, normal: np.ndarray
 ) -> Tuple[float, float]:
-    """Mean of *values* over the abnormal and normal row masks."""
+    """Mean of *values* over the abnormal and normal row masks.
+
+    NaN cells are excluded; a region with no valid samples yields a NaN
+    mean, which callers treat as "no evidence" (the θ gate rejects it).
+    """
     if not abnormal.any() or not normal.any():
         raise ValueError("both regions must contain tuples")
+    values = np.asarray(values, dtype=np.float64)
+    if np.isnan(values).any():
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            return (
+                float(np.nanmean(values[abnormal])),
+                float(np.nanmean(values[normal])),
+            )
     return float(values[abnormal].mean()), float(values[normal].mean())
 
 

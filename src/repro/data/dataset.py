@@ -191,15 +191,36 @@ class Dataset:
         """Boolean mask of rows whose timestamp lies in ``[start, end]``."""
         return (self.timestamps >= start) & (self.timestamps <= end)
 
+    def valid_mask(self, attr: str) -> np.ndarray:
+        """Boolean mask of rows where *attr* has a valid (non-NaN) value.
+
+        Categorical attributes are always fully valid (missing samples are
+        represented by carried-forward labels, never NaN).
+        """
+        values = self.column(attr)
+        if not self.is_numeric(attr):
+            return np.ones(self.n_rows, dtype=bool)
+        return ~np.isnan(values)
+
+    def n_valid(self, attr: str) -> int:
+        """Number of rows where *attr* has a valid (non-NaN) value."""
+        return int(self.valid_mask(attr).sum())
+
     def normalized(self, attr: str) -> np.ndarray:
         """Normalize a numeric attribute to [0, 1] (Equation 2 of the paper).
 
         An attribute with zero range normalizes to all-zeros, matching the
         convention that constant attributes carry no separation power.
+        NaN cells (degraded telemetry) are excluded from the range and
+        stay NaN in the output.
         """
         values = self.column(attr)
         if not self.is_numeric(attr):
             raise TypeError(f"attribute {attr!r} is categorical")
+        if np.isnan(values).any():
+            from repro.core.separation import normalize_values
+
+            return normalize_values(values)
         lo = float(np.min(values)) if values.size else 0.0
         hi = float(np.max(values)) if values.size else 0.0
         span = hi - lo

@@ -21,6 +21,9 @@ __all__ = [
     "aggregate_transactions",
     "align_logs",
     "AlignedLogBuilder",
+    "GapReport",
+    "find_gaps",
+    "regularize_dataset",
 ]
 
 
@@ -129,6 +132,136 @@ def align_logs(
             values = np.asarray(values)
             aligned[f"{source_name}.{attr}"] = values[order][idx]
     return aligned
+
+
+@dataclass(frozen=True)
+class GapReport:
+    """Summary of the repairs :func:`regularize_dataset` performed.
+
+    Attributes
+    ----------
+    n_expected:
+        Rows the regular grid should contain.
+    n_observed:
+        Rows the raw dataset actually delivered (after snapping).
+    n_filled:
+        Missing rows repaired by forward fill.
+    n_nan:
+        Missing rows left as NaN (gap longer than ``max_ffill``).
+    gaps:
+        ``(start, end)`` timestamp pairs of every missing stretch.
+    """
+
+    n_expected: int
+    n_observed: int
+    n_filled: int
+    n_nan: int
+    gaps: Tuple[Tuple[float, float], ...]
+
+    @property
+    def n_missing(self) -> int:
+        """Total missing rows (filled + NaN)."""
+        return self.n_filled + self.n_nan
+
+
+def find_gaps(
+    timestamps: np.ndarray,
+    interval: float = 1.0,
+    tolerance: float = 0.5,
+) -> List[Tuple[float, float]]:
+    """Locate stretches of missing samples in a nominally regular series.
+
+    A gap is reported as ``(start, end)`` — the first and last *missing*
+    grid times — whenever consecutive observed timestamps are more than
+    ``interval * (1 + tolerance)`` apart.
+    """
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    timestamps = np.asarray(timestamps, dtype=np.float64)
+    gaps: List[Tuple[float, float]] = []
+    if timestamps.size < 2:
+        return gaps
+    deltas = np.diff(timestamps)
+    for i in np.flatnonzero(deltas > interval * (1.0 + tolerance)):
+        n_missing = int(round(deltas[i] / interval)) - 1
+        if n_missing < 1:
+            continue
+        first = timestamps[i] + interval
+        gaps.append((float(first), float(first + (n_missing - 1) * interval)))
+    return gaps
+
+
+def regularize_dataset(
+    dataset: Dataset,
+    interval: float = 1.0,
+    max_ffill: int = 5,
+) -> Tuple[Dataset, GapReport]:
+    """Re-grid a gappy dataset onto a regular timestamp grid.
+
+    Observed rows are snapped to the nearest grid point (within half an
+    interval).  Missing rows are forward-filled from the last observed row
+    for runs of at most ``max_ffill``; longer runs become NaN for numeric
+    attributes (categorical attributes always carry forward, since they
+    have no NaN representation).  Returns the repaired dataset and a
+    :class:`GapReport` describing what was done.
+    """
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    if max_ffill < 0:
+        raise ValueError("max_ffill must be non-negative")
+    ts = dataset.timestamps
+    if ts.size == 0:
+        return dataset, GapReport(0, 0, 0, 0, ())
+
+    n_grid = int(round((float(ts[-1]) - float(ts[0])) / interval)) + 1
+    grid = float(ts[0]) + interval * np.arange(n_grid)
+
+    # nearest observed row per grid point, accepted within interval/2
+    pos = np.searchsorted(ts, grid)
+    left = np.clip(pos - 1, 0, ts.size - 1)
+    right = np.clip(pos, 0, ts.size - 1)
+    take_right = np.abs(ts[right] - grid) < np.abs(ts[left] - grid)
+    nearest = np.where(take_right, right, left)
+    observed = np.abs(ts[nearest] - grid) <= interval / 2.0
+
+    # source row per grid point: the observed row, else the most recent
+    # observed one (cummax of the observed rows' own indices)
+    src = np.maximum.accumulate(np.where(observed, nearest, -1))
+    run = np.arange(n_grid) - np.maximum.accumulate(
+        np.where(observed, np.arange(n_grid), -1)
+    )
+    fillable = observed | ((src >= 0) & (run <= max_ffill))
+    safe_src = np.clip(src, 0, ts.size - 1)
+
+    numeric = {}
+    for attr in dataset.numeric_attributes:
+        col = dataset.column(attr)[safe_src]
+        col = np.where(fillable, col, np.nan)
+        numeric[attr] = col
+    categorical = {}
+    for attr in dataset.categorical_attributes:
+        categorical[attr] = dataset.column(attr)[safe_src].copy()
+
+    missing = ~observed
+    n_filled = int((missing & fillable).sum())
+    n_nan = int((missing & ~fillable).sum())
+    gap_bounds: List[Tuple[float, float]] = []
+    if missing.any():
+        padded = np.concatenate(([False], missing, [False]))
+        edges = np.flatnonzero(np.diff(padded.astype(np.int8)))
+        for s, e in zip(edges[0::2], edges[1::2] - 1):
+            gap_bounds.append((float(grid[s]), float(grid[e])))
+    report = GapReport(
+        n_expected=n_grid,
+        n_observed=int(observed.sum()),
+        n_filled=n_filled,
+        n_nan=n_nan,
+        gaps=tuple(gap_bounds),
+    )
+    repaired = Dataset(
+        grid, numeric=numeric, categorical=categorical, name=dataset.name
+    )
+    return repaired, report
 
 
 class AlignedLogBuilder:

@@ -39,6 +39,10 @@ class Region:
         """Boolean mask of timestamps inside the interval."""
         return (timestamps >= self.start) & (timestamps <= self.end)
 
+    def intersects(self, other: "Region") -> bool:
+        """True when the two closed intervals share at least one point."""
+        return self.start <= other.end and other.start <= self.end
+
     def widened(self, fraction: float) -> "Region":
         """Return the interval widened (or shrunk, if negative) on both ends.
 
@@ -106,11 +110,62 @@ class RegionSpec:
         return mask & ~abnormal
 
     def validate(self, dataset: Dataset) -> None:
-        """Raise ``ValueError`` when either region is empty on *dataset*."""
+        """Raise ``ValueError`` on empty, out-of-bounds, or overlapping regions.
+
+        Checks, in order: every abnormal interval must intersect the
+        dataset's time span; explicit normal intervals must not overlap
+        any abnormal interval; and both effective region masks must be
+        non-empty.
+        """
+        if dataset.n_rows:
+            lo = float(dataset.timestamps[0])
+            hi = float(dataset.timestamps[-1])
+            span = Region(lo, hi)
+            for region in self.abnormal:
+                if not region.intersects(span):
+                    raise ValueError(
+                        f"abnormal region [{region.start}, {region.end}] lies "
+                        f"outside the dataset time span [{lo}, {hi}]"
+                    )
+        if self.normal is not None:
+            for normal in self.normal:
+                for abnormal in self.abnormal:
+                    if normal.intersects(abnormal):
+                        raise ValueError(
+                            f"normal region [{normal.start}, {normal.end}] "
+                            f"overlaps abnormal region "
+                            f"[{abnormal.start}, {abnormal.end}]"
+                        )
         if not self.abnormal_mask(dataset).any():
             raise ValueError("abnormal region matches no rows")
         if not self.normal_mask(dataset).any():
             raise ValueError("normal region matches no rows")
+
+    def clamped(self, dataset: Dataset) -> "RegionSpec":
+        """Clamp every interval to the dataset's time span.
+
+        Intervals partially outside the span are trimmed to it; intervals
+        wholly outside are dropped.  Use before :meth:`validate` when the
+        spec was authored against a different (e.g. skewed or truncated)
+        timeline than the telemetry actually delivered.
+        """
+        if dataset.n_rows == 0:
+            return RegionSpec(abnormal=list(self.abnormal), normal=self.normal)
+        lo = float(dataset.timestamps[0])
+        hi = float(dataset.timestamps[-1])
+        span = Region(lo, hi)
+
+        def clamp(regions: List[Region]) -> List[Region]:
+            return [
+                Region(max(r.start, lo), min(r.end, hi))
+                for r in regions
+                if r.intersects(span)
+            ]
+
+        return RegionSpec(
+            abnormal=clamp(self.abnormal),
+            normal=None if self.normal is None else clamp(self.normal),
+        )
 
     def perturbed(self, fraction: float) -> "RegionSpec":
         """Widen/shrink every abnormal interval by *fraction* (Appendix C)."""

@@ -29,6 +29,7 @@ from repro.workload.spec import WorkloadSpec
 
 if TYPE_CHECKING:  # avoid the anomalies ↔ engine import cycle at runtime
     from repro.anomalies.base import ScheduledAnomaly
+    from repro.faults.plan import FaultPlan
 
 __all__ = ["TelemetryCollector", "simulate_telemetry"]
 
@@ -52,6 +53,7 @@ class TelemetryCollector:
         anomalies: Sequence["ScheduledAnomaly"] = (),
         seed: Optional[int] = None,
         warmup_s: float = 5.0,
+        faults: Optional["FaultPlan"] = None,
     ) -> Iterator[Tuple[float, Dict[str, float], Dict[str, str]]]:
         """Yield ``(t, numeric_row, categorical_row)`` one tick at a time.
 
@@ -59,7 +61,24 @@ class TelemetryCollector:
         ring buffer; :meth:`run` is this generator drained into a
         :class:`Dataset`, so streaming and batch consumers observe the
         identical row sequence for identical seeds.
+
+        An optional :class:`~repro.faults.FaultPlan` wraps the tick
+        stream to model degraded collection (dropped/duplicated ticks,
+        NaN cells, crashes, ...); the underlying simulation is
+        unaffected, only delivery is.
         """
+        ticks = self._raw_stream(duration_s, anomalies, seed, warmup_s)
+        if faults is not None:
+            ticks = faults.wrap(ticks)
+        return ticks
+
+    def _raw_stream(
+        self,
+        duration_s: float,
+        anomalies: Sequence["ScheduledAnomaly"],
+        seed: Optional[int],
+        warmup_s: float,
+    ) -> Iterator[Tuple[float, Dict[str, float], Dict[str, str]]]:
         rng = np.random.default_rng(seed)
         self.server.warm_up(warmup_s, rng)
         for second in range(int(duration_s)):
@@ -81,12 +100,18 @@ class TelemetryCollector:
         seed: Optional[int] = None,
         warmup_s: float = 5.0,
         name: str = "",
+        faults: Optional["FaultPlan"] = None,
     ) -> Tuple[Dataset, RegionSpec]:
         """Simulate ``duration_s`` seconds and return (dataset, ground truth).
 
         A short warm-up runs before ``t = 0`` so the server starts from its
         steady state (dirty-page backlog, latency fixed point) rather than
         cold-start transients that would look like an anomaly at the origin.
+
+        With a ``faults`` plan, the clean dataset is corrupted through the
+        plan's table path and the ground-truth spec is mapped through any
+        time-warping injectors, so region marks stay aligned with the
+        delivered (possibly skewed) timeline.
         """
         timestamps: List[float] = []
         numeric: Dict[str, List[float]] = {
@@ -95,8 +120,8 @@ class TelemetryCollector:
         categorical: Dict[str, List[str]] = {
             n: [] for n in self.catalog.categorical_names
         }
-        for t, row, cats in self.stream(
-            duration_s, anomalies, seed=seed, warmup_s=warmup_s
+        for t, row, cats in self._raw_stream(
+            duration_s, anomalies, seed, warmup_s
         ):
             timestamps.append(t)
             for attr, value in row.items():
@@ -112,7 +137,11 @@ class TelemetryCollector:
             categorical=categorical,
             name=name or self.workload.name,
         )
-        return dataset, ground_truth_spec(list(anomalies))
+        spec = ground_truth_spec(list(anomalies))
+        if faults is not None:
+            dataset = faults.apply(dataset)
+            spec = faults.transform_spec(spec)
+        return dataset, spec
 
 
 def simulate_telemetry(
@@ -123,7 +152,10 @@ def simulate_telemetry(
     config: Optional[ServerConfig] = None,
     noise_scale: float = 1.0,
     name: str = "",
+    faults: Optional["FaultPlan"] = None,
 ) -> Tuple[Dataset, RegionSpec]:
     """One-shot convenience wrapper around :class:`TelemetryCollector`."""
     collector = TelemetryCollector(workload, config, noise_scale)
-    return collector.run(duration_s, anomalies, seed=seed, name=name)
+    return collector.run(
+        duration_s, anomalies, seed=seed, name=name, faults=faults
+    )

@@ -15,8 +15,12 @@ from repro.eval.harness import (
     evaluate_single_models,
     build_merged_models,
 )
+from repro.eval.chaos import FaultProfile, PROFILES, run_chaos_suite
 
 __all__ = [
+    "FaultProfile",
+    "PROFILES",
+    "run_chaos_suite",
     "PredicateScores",
     "MeanScores",
     "score_predicates_mean",

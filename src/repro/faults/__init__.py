@@ -1,0 +1,52 @@
+"""Deterministic fault injection for chaos-testing the diagnosis pipeline.
+
+Real DBSeer-style collectors do not emit the clean, perfectly aligned
+1-second telemetry table the paper assumes (Section 3): ticks get dropped
+or delivered twice, attribute values go missing or NaN, counters stick,
+clocks skew, schemas drift, and the collector process itself dies.  This
+package reproduces those failure modes as *seeded, composable* injectors
+so robustness can be measured instead of asserted:
+
+``plan``       :class:`FaultPlan` — an ordered, seeded composition of
+               injectors applicable to a whole :class:`~repro.data.dataset.Dataset`
+               or wrapped around a live ``(t, numeric, categorical)``
+               tick stream;
+``injectors``  the fault taxonomy — :class:`DropTicks`,
+               :class:`DuplicateTicks`, :class:`NaNValues`,
+               :class:`StuckAtCounter`, :class:`SpikeCorruption`,
+               :class:`ClockSkew`, :class:`SchemaDrift`,
+               :class:`CollectorCrash` (raises :class:`CollectorFault`).
+
+Every injector is a no-op at rate 0 and fully determined by the plan's
+seed: applying the same plan to the same input twice yields bitwise
+identical output (property-tested in ``tests/test_faults.py``).
+"""
+
+from repro.faults.injectors import (
+    ClockSkew,
+    CollectorCrash,
+    CollectorFault,
+    DropTicks,
+    DuplicateTicks,
+    FaultInjector,
+    NaNValues,
+    SchemaDrift,
+    SpikeCorruption,
+    StuckAtCounter,
+)
+from repro.faults.plan import FaultPlan, TelemetryTable
+
+__all__ = [
+    "ClockSkew",
+    "CollectorCrash",
+    "CollectorFault",
+    "DropTicks",
+    "DuplicateTicks",
+    "FaultInjector",
+    "FaultPlan",
+    "NaNValues",
+    "SchemaDrift",
+    "SpikeCorruption",
+    "StuckAtCounter",
+    "TelemetryTable",
+]

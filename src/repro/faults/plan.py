@@ -1,0 +1,152 @@
+"""FaultPlan: a seeded, ordered composition of fault injectors.
+
+A plan owns the randomness: each injector receives its own
+``numpy.random.Generator`` spawned from the plan seed via
+``SeedSequence.spawn``, keyed by the injector's position.  Repeated
+applications of the same plan to the same input are therefore bitwise
+identical, and two plans with the same seed but different injector
+orderings are each individually deterministic (composition order still
+matters for the *output* — faults compose like the real world, in
+delivery order).
+
+The dataset and stream paths consume randomness independently (a table
+draws one vector per attribute, a stream one value per tick), so the two
+paths are each deterministic but are not guaranteed to corrupt the very
+same cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.regions import Region, RegionSpec
+from repro.faults.injectors import FaultInjector, Tick
+
+__all__ = ["FaultPlan", "TelemetryTable"]
+
+
+@dataclass
+class TelemetryTable:
+    """Mutable intermediate form of a dataset, free of Dataset invariants.
+
+    Injectors transform tables rather than datasets so that intermediate
+    states (e.g. a duplicated timestamp before a later drop) need not
+    satisfy the strictly-increasing-timestamp invariant; the plan
+    converts back to an immutable :class:`Dataset` only at the end.
+    """
+
+    timestamps: np.ndarray
+    numeric: Dict[str, np.ndarray]
+    categorical: Dict[str, np.ndarray]
+    name: str = ""
+
+    @classmethod
+    def from_dataset(cls, dataset: Dataset) -> "TelemetryTable":
+        """Deep-copy a dataset into a mutable table."""
+        return cls(
+            timestamps=dataset.timestamps.copy(),
+            numeric={
+                a: dataset.column(a).copy() for a in dataset.numeric_attributes
+            },
+            categorical={
+                a: dataset.column(a).copy()
+                for a in dataset.categorical_attributes
+            },
+            name=dataset.name,
+        )
+
+    def to_dataset(self) -> Dataset:
+        """Freeze the table back into a :class:`Dataset`."""
+        return Dataset(
+            self.timestamps,
+            numeric=self.numeric,
+            categorical=self.categorical,
+            name=self.name,
+        )
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.timestamps.shape[0])
+
+    def take(self, indices: np.ndarray) -> "TelemetryTable":
+        """Row-subset/reorder by integer indices (shared by drop/crash)."""
+        return TelemetryTable(
+            timestamps=self.timestamps[indices],
+            numeric={a: v[indices] for a, v in self.numeric.items()},
+            categorical={a: v[indices] for a, v in self.categorical.items()},
+            name=self.name,
+        )
+
+
+class FaultPlan:
+    """An ordered, seeded list of fault injectors.
+
+    Parameters
+    ----------
+    injectors:
+        Applied in sequence — the first injector sits closest to the
+        collector, later ones see its output (delivery order).
+    seed:
+        Root seed; injector *i* draws from a child generator spawned at
+        position *i*, so every application of the plan is reproducible.
+    """
+
+    def __init__(
+        self, injectors: Sequence[FaultInjector], seed: int = 0
+    ) -> None:
+        self.injectors: List[FaultInjector] = list(injectors)
+        self.seed = int(seed)
+
+    def _rngs(self) -> List[np.random.Generator]:
+        """Fresh per-injector generators (identical on every call)."""
+        root = np.random.SeedSequence(self.seed)
+        children = root.spawn(max(len(self.injectors), 1))
+        return [np.random.default_rng(c) for c in children]
+
+    # ------------------------------------------------------------------
+    def apply(self, dataset: Dataset) -> Dataset:
+        """Inject all faults into a finished dataset (offline path)."""
+        table = TelemetryTable.from_dataset(dataset)
+        for injector, rng in zip(self.injectors, self._rngs()):
+            table = injector.apply_table(table, rng)
+        return table.to_dataset()
+
+    def wrap(self, ticks: Iterable[Tick]) -> Iterator[Tick]:
+        """Wrap a live ``(t, numeric, categorical)`` tick stream."""
+        stream: Iterator[Tick] = iter(ticks)
+        for injector, rng in zip(self.injectors, self._rngs()):
+            stream = injector.wrap_stream(stream, rng)
+        return stream
+
+    def transform_spec(self, spec: RegionSpec) -> RegionSpec:
+        """Map a region spec through the plan's time distortions.
+
+        Only injectors that re-map time (``ClockSkew``) affect region
+        boundaries; value- and row-level faults leave timestamps of the
+        surviving rows unchanged, so the spec still addresses them.
+        """
+        def remap(t: float) -> float:
+            for injector in self.injectors:
+                t = injector.transform_time(t)
+            return t
+
+        abnormal = [Region(remap(r.start), remap(r.end)) for r in spec.abnormal]
+        normal = (
+            None
+            if spec.normal is None
+            else [Region(remap(r.start), remap(r.end)) for r in spec.normal]
+        )
+        return RegionSpec(abnormal=abnormal, normal=normal)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> List[str]:
+        """Human-readable one-liner per injector (for bench reports)."""
+        return [repr(injector) for injector in self.injectors]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(self.describe())
+        return f"FaultPlan(seed={self.seed}, [{inner}])"

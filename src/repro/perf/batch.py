@@ -17,6 +17,7 @@ exact regardless of evaluation order.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Sequence, Tuple
 
 import numpy as np
@@ -44,8 +45,17 @@ def potential_power_batch(matrix: np.ndarray, window: int) -> np.ndarray:
     if n == 0:
         return np.zeros(n_attrs)
     window = max(min(int(window), n), 1)
-    overall = np.median(matrix, axis=1)
     windows = np.lib.stride_tricks.sliding_window_view(matrix, window, axis=1)
+    if np.isnan(matrix).any():
+        # degraded telemetry: medians over the valid samples only; windows
+        # (or attributes) with no valid samples contribute zero power.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            overall = np.nanmedian(matrix, axis=1)
+            locals_ = np.nanmedian(windows, axis=2)
+            powers = np.nanmax(np.abs(overall[:, None] - locals_), axis=1)
+        return np.nan_to_num(powers, nan=0.0)
+    overall = np.median(matrix, axis=1)
     locals_ = np.median(windows, axis=2)
     return np.max(np.abs(overall[:, None] - locals_), axis=1)
 
@@ -73,8 +83,19 @@ def label_numeric_batch(
 
     matrix = np.stack([dataset.column(a) for a in attrs], axis=0)
     n_attrs = matrix.shape[0]
-    mins = matrix.min(axis=1)
-    maxs = matrix.max(axis=1)
+    nan = np.isnan(matrix)
+    has_nan = bool(nan.any())
+    if has_nan:
+        # degraded telemetry: min/max over the valid cells per attribute;
+        # an all-NaN attribute degrades to a neutral constant space.
+        mins = np.where(nan, np.inf, matrix).min(axis=1)
+        maxs = np.where(nan, -np.inf, matrix).max(axis=1)
+        all_nan = ~np.isfinite(mins)
+        mins = np.where(all_nan, 0.0, mins)
+        maxs = np.where(all_nan, 0.0, maxs)
+    else:
+        mins = matrix.min(axis=1)
+        maxs = matrix.max(axis=1)
     spans = maxs - mins
     grid = int(n_partitions)
     # Constant columns collapse to a single partition (width 0, index 0);
@@ -82,19 +103,32 @@ def label_numeric_batch(
     nparts = np.where(spans > 0, grid, 1).astype(np.int64)
     widths = spans / nparts
     safe_widths = np.where(widths == 0.0, 1.0, widths)
-    idx = np.floor((matrix - mins[:, None]) / safe_widths[:, None]).astype(
-        np.int64
-    )
-    idx = np.clip(idx, 0, (nparts - 1)[:, None])
+    with np.errstate(invalid="ignore"):
+        raw = np.floor((matrix - mins[:, None]) / safe_widths[:, None])
+    if has_nan:
+        raw = np.where(nan, 0.0, raw)
+    idx = np.clip(raw.astype(np.int64), 0, (nparts - 1)[:, None])
 
     offsets = (np.arange(n_attrs, dtype=np.int64) * grid)[:, None]
     flat = idx + offsets
-    counts_abnormal = np.bincount(
-        flat[:, abnormal_mask].ravel(), minlength=n_attrs * grid
-    ).reshape(n_attrs, grid)
-    counts_normal = np.bincount(
-        flat[:, normal_mask].ravel(), minlength=n_attrs * grid
-    ).reshape(n_attrs, grid)
+    if has_nan:
+        # NaN cells belong to no partition: drop them from both counts
+        valid = ~nan
+        counts_abnormal = np.bincount(
+            flat[:, abnormal_mask][valid[:, abnormal_mask]],
+            minlength=n_attrs * grid,
+        ).reshape(n_attrs, grid)
+        counts_normal = np.bincount(
+            flat[:, normal_mask][valid[:, normal_mask]],
+            minlength=n_attrs * grid,
+        ).reshape(n_attrs, grid)
+    else:
+        counts_abnormal = np.bincount(
+            flat[:, abnormal_mask].ravel(), minlength=n_attrs * grid
+        ).reshape(n_attrs, grid)
+        counts_normal = np.bincount(
+            flat[:, normal_mask].ravel(), minlength=n_attrs * grid
+        ).reshape(n_attrs, grid)
 
     labels_grid = np.full((n_attrs, grid), int(Label.EMPTY), dtype=np.int64)
     labels_grid[(counts_abnormal > 0) & (counts_normal == 0)] = int(

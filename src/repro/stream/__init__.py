@@ -16,6 +16,9 @@ keeps the pipeline's state resident instead:
               same window) and an incremental re-cluster mode;
               :class:`StreamingDiagnoser` — hands newly-closed abnormal
               regions to the ``DBSherlock`` diagnosis path;
+``supervisor`` :class:`StreamSupervisor` — crash recovery around the
+              detector: periodic checkpoints, exponential-backoff
+              restarts, replay-exact restore;
 ``golden``    frozen seed implementations (loop Equation 4, dense-matrix
               DBSCAN), the equivalence ground truth and benchmark
               baseline.
@@ -27,6 +30,7 @@ from repro.stream.detector import (
     StreamTick,
 )
 from repro.stream.median import SlidingExtrema, SlidingMedian
+from repro.stream.supervisor import StreamSupervisor, SupervisorReport
 from repro.stream.window import EvictedRow, RingBufferWindow
 
 __all__ = [
@@ -34,7 +38,9 @@ __all__ = [
     "RingBufferWindow",
     "SlidingExtrema",
     "SlidingMedian",
+    "StreamSupervisor",
     "StreamTick",
     "StreamingDetector",
     "StreamingDiagnoser",
+    "SupervisorReport",
 ]

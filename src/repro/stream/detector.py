@@ -169,7 +169,14 @@ class StreamingDetector:
         Incremental mode: force a re-cluster when a selected attribute's
         min/max moved by more than this fraction of its span (the
         normalized geometry — and hence ε — has shifted).
+    quarantine_after:
+        Degraded telemetry: an attribute whose value has been *exactly*
+        identical for this many consecutive ticks (a stuck-at counter) is
+        quarantined — excluded from attribute selection until its value
+        moves again.  ``None`` (default) disables quarantine.
     """
+
+    CHECKPOINT_VERSION = 1
 
     def __init__(
         self,
@@ -185,6 +192,7 @@ class StreamingDetector:
         mode: str = "exact",
         recluster_fraction: float = 0.05,
         bounds_drift: float = 0.02,
+        quarantine_after: Optional[int] = None,
     ) -> None:
         if mode not in ("exact", "incremental"):
             raise ValueError("mode must be 'exact' or 'incremental'")
@@ -206,6 +214,11 @@ class StreamingDetector:
             min_region_s=min_region_s,
             gap_fill_s=gap_fill_s,
         )
+        self.quarantine_after = (
+            int(quarantine_after) if quarantine_after is not None else None
+        )
+        if self.quarantine_after is not None and self.quarantine_after < 2:
+            raise ValueError("quarantine_after must be at least 2")
         self._window: Optional[RingBufferWindow] = None
         self._trackers: Dict[str, _AttributeTracker] = {}
         self._tracked: List[str] = []
@@ -213,6 +226,15 @@ class StreamingDetector:
         self._emitted_ends: Set[float] = set()
         self.recluster_count = 0
         self.tick_count = 0
+        # degraded-telemetry bookkeeping
+        self.dropped_ticks = 0  # non-monotone timestamps discarded
+        self.sanitized_values = 0  # NaN / missing cells repaired
+        self.quarantined: Set[str] = set()  # stuck-at attributes
+        self._last_time: Optional[float] = None
+        self._last_seen: Dict[str, float] = {}  # last valid value per attr
+        self._last_cat: Dict[str, str] = {}  # last seen category per attr
+        self._stuck_runs: Dict[str, int] = {}  # consecutive-identical runs
+        self._prev_value: Dict[str, float] = {}  # previous tick's value
 
     # ------------------------------------------------------------------
     @property
@@ -247,8 +269,82 @@ class StreamingDetector:
         time: float,
         numeric_row: Mapping[str, float],
         categorical_row: Optional[Mapping[str, str]] = None,
+    ) -> bool:
+        """Ingest one telemetry row (no detection).
+
+        Degraded telemetry is repaired on the way in: rows whose
+        timestamp does not advance are dropped (``dropped_ticks``), NaN
+        and missing cells are filled with the attribute's last valid
+        value (``sanitized_values``), and exactly-constant runs feed the
+        stuck-at quarantine.  Returns ``True`` when the row was ingested.
+        """
+        time = float(time)
+        if self._last_time is not None and time <= self._last_time:
+            self.dropped_ticks += 1
+            return False
+        numeric_row, categorical_row = self._sanitize_row(
+            numeric_row, categorical_row
+        )
+        self._last_time = time
+        self._ingest(time, numeric_row, categorical_row)
+        self._update_quarantine(numeric_row)
+        return True
+
+    def _sanitize_row(
+        self,
+        numeric_row: Mapping[str, float],
+        categorical_row: Optional[Mapping[str, str]],
+    ) -> Tuple[Dict[str, float], Dict[str, str]]:
+        """Repair NaN / missing cells against the window's schema."""
+        if self._window is not None:
+            numeric_attrs = self._window.numeric_attributes
+            categorical_attrs = self._window.categorical_attributes
+        else:
+            numeric_attrs = list(numeric_row)
+            categorical_attrs = list(categorical_row or {})
+        clean_numeric: Dict[str, float] = {}
+        for attr in numeric_attrs:
+            value = numeric_row.get(attr)
+            if value is None or np.isnan(value):
+                clean_numeric[attr] = self._last_seen.get(attr, 0.0)
+                self.sanitized_values += 1
+            else:
+                value = float(value)
+                clean_numeric[attr] = value
+                self._last_seen[attr] = value
+        raw_cat = categorical_row or {}
+        clean_cat: Dict[str, str] = {}
+        for attr in categorical_attrs:
+            if attr in raw_cat:
+                clean_cat[attr] = raw_cat[attr]
+                self._last_cat[attr] = raw_cat[attr]
+            else:
+                clean_cat[attr] = self._last_cat.get(attr, "")
+                self.sanitized_values += 1
+        return clean_numeric, clean_cat
+
+    def _update_quarantine(self, numeric_row: Mapping[str, float]) -> None:
+        if self.quarantine_after is None:
+            return
+        for attr in self._tracked:
+            value = numeric_row[attr]
+            if self._prev_value.get(attr) == value:
+                run = self._stuck_runs.get(attr, 1) + 1
+                self._stuck_runs[attr] = run
+                if run >= self.quarantine_after:
+                    self.quarantined.add(attr)
+            else:
+                self._stuck_runs[attr] = 1
+                self.quarantined.discard(attr)
+            self._prev_value[attr] = value
+
+    def _ingest(
+        self,
+        time: float,
+        numeric_row: Mapping[str, float],
+        categorical_row: Optional[Mapping[str, str]],
     ) -> None:
-        """Ingest one telemetry row (no detection)."""
+        """Append a sanitized row to the window and trackers."""
         window = self._ensure_window(numeric_row, categorical_row)
         evicted = window.append(time, numeric_row, categorical_row)
         if evicted is not None:
@@ -268,6 +364,8 @@ class StreamingDetector:
         n = self._window.n_rows
         selected = []
         for attr in self._tracked:
+            if attr in self.quarantined:
+                continue
             lo, hi = self._window.bounds(attr)
             power = self._trackers[attr].potential_power(lo, hi, n)
             if power > self.batch.pp_threshold:
@@ -411,6 +509,161 @@ class StreamingDetector:
             selected_attributes=list(selected),
             eps=state.eps,
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def _params(self) -> Dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "window": self.batch.window,
+            "pp_threshold": self.batch.pp_threshold,
+            "min_pts": self.batch.min_pts,
+            "cluster_fraction": self.batch.cluster_fraction,
+            "include_noise": self.batch.include_noise,
+            "min_region_s": self.batch.min_region_s,
+            "gap_fill_s": self.batch.gap_fill_s,
+            "attributes": self._attr_filter,
+            "mode": self.mode,
+            "recluster_fraction": self.recluster_fraction,
+            "bounds_drift": self.bounds_drift,
+            "quarantine_after": self.quarantine_after,
+        }
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Serialize the full detector state as a JSON-able dict.
+
+        :meth:`from_checkpoint` rebuilds a detector whose subsequent
+        output is bit-identical to the uninterrupted one: the retained
+        window rows are stored with their original sequence numbers and
+        replayed through fresh trackers on restore — every live order
+        statistic (sliding medians, extrema deques) depends only on the
+        retained rows, so replay reconstructs it exactly.
+        """
+        state: Dict[str, object] = {
+            "version": self.CHECKPOINT_VERSION,
+            "params": self._params(),
+            "tick_count": self.tick_count,
+            "recluster_count": self.recluster_count,
+            "dropped_ticks": self.dropped_ticks,
+            "sanitized_values": self.sanitized_values,
+            "quarantined": sorted(self.quarantined),
+            "stuck_runs": dict(self._stuck_runs),
+            "prev_value": dict(self._prev_value),
+            "last_seen": dict(self._last_seen),
+            "last_cat": dict(self._last_cat),
+            "last_time": self._last_time,
+            "emitted_ends": sorted(self._emitted_ends),
+            "window": None,
+            "cluster_state": None,
+        }
+        if self._window is not None:
+            w = self._window
+            state["window"] = {
+                "appended": int(w.appended),
+                "numeric_attrs": w.numeric_attributes,
+                "categorical_attrs": w.categorical_attributes,
+                "tracked": list(self._tracked),
+                "timestamps": [float(t) for t in w.timestamps],
+                "numeric": {
+                    a: [float(v) for v in w.column(a)]
+                    for a in w.numeric_attributes
+                },
+                "categorical": {
+                    a: [str(v) for v in w.column(a)]
+                    for a in w.categorical_attributes
+                },
+            }
+        cs = self._cluster_state
+        if cs is not None:
+            state["cluster_state"] = {
+                "selected": list(cs.selected),
+                "eps": float(cs.eps),
+                "bounds": {
+                    a: [float(lo), float(hi)]
+                    for a, (lo, hi) in cs.bounds.items()
+                },
+                "points": [[float(x) for x in row] for row in cs.points],
+                "raw_flags": [bool(f) for f in cs.raw_flags],
+                "appended_at": int(cs.appended_at),
+                "reclustered_at": int(cs.reclustered_at),
+            }
+        return state
+
+    @classmethod
+    def from_checkpoint(cls, state: Mapping[str, object]) -> "StreamingDetector":
+        """Rebuild a detector from a :meth:`checkpoint` dict."""
+        version = state.get("version")
+        if version != cls.CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version!r} "
+                f"(expected {cls.CHECKPOINT_VERSION})"
+            )
+        params = dict(state["params"])  # type: ignore[arg-type]
+        detector = cls(**params)
+        win = state.get("window")
+        if win is not None:
+            n_rows = len(win["timestamps"])
+            detector._window = RingBufferWindow(
+                detector.capacity,
+                numeric=win["numeric_attrs"],
+                categorical=win["categorical_attrs"],
+                start_seq=int(win["appended"]) - n_rows,
+            )
+            detector._tracked = list(win["tracked"])
+            detector._trackers = {
+                attr: _AttributeTracker(detector.batch.window)
+                for attr in detector._tracked
+            }
+            numeric_attrs = list(win["numeric_attrs"])
+            categorical_attrs = list(win["categorical_attrs"])
+            for i in range(n_rows):
+                detector._ingest(
+                    float(win["timestamps"][i]),
+                    {a: float(win["numeric"][a][i]) for a in numeric_attrs},
+                    {a: win["categorical"][a][i] for a in categorical_attrs},
+                )
+        detector.tick_count = int(state["tick_count"])
+        detector.recluster_count = int(state["recluster_count"])
+        detector.dropped_ticks = int(state["dropped_ticks"])
+        detector.sanitized_values = int(state["sanitized_values"])
+        detector.quarantined = set(state["quarantined"])
+        detector._stuck_runs = {
+            a: int(v) for a, v in dict(state["stuck_runs"]).items()
+        }
+        detector._prev_value = {
+            a: float(v) for a, v in dict(state["prev_value"]).items()
+        }
+        detector._last_seen = {
+            a: float(v) for a, v in dict(state["last_seen"]).items()
+        }
+        detector._last_cat = {
+            a: str(v) for a, v in dict(state["last_cat"]).items()
+        }
+        last_time = state.get("last_time")
+        detector._last_time = None if last_time is None else float(last_time)
+        detector._emitted_ends = {float(e) for e in state["emitted_ends"]}
+        cs = state.get("cluster_state")
+        if cs is not None:
+            selected = tuple(cs["selected"])
+            flags = np.asarray(cs["raw_flags"], dtype=bool)
+            points = np.asarray(cs["points"], dtype=np.float64)
+            if points.size == 0:
+                points = np.zeros((0, len(selected)), dtype=np.float64)
+            cluster_state = _ClusterState(
+                selected=selected,
+                eps=float(cs["eps"]),
+                bounds={
+                    a: (float(b[0]), float(b[1]))
+                    for a, b in dict(cs["bounds"]).items()
+                },
+                points=points,
+                raw_flags=flags,
+                appended_at=int(cs["appended_at"]),
+            )
+            cluster_state.reclustered_at = int(cs["reclustered_at"])
+            detector._cluster_state = cluster_state
+        return detector
 
     # ------------------------------------------------------------------
     def _closed_regions(self, result: DetectionResult) -> List[Region]:

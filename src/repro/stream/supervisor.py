@@ -1,0 +1,168 @@
+"""Crash supervision for the streaming detector.
+
+Real collectors die: the agent process gets OOM-killed, the DBMS drops
+the stats connection, the network partitions.  :class:`StreamSupervisor`
+wraps a :class:`~repro.stream.detector.StreamingDetector` and a
+restartable tick source, and turns collector faults into bounded
+downtime instead of a lost diagnosis session:
+
+* every ``checkpoint_every`` ticks the detector state is checkpointed
+  (:meth:`StreamingDetector.checkpoint` — JSON-able, replay-exact);
+* on a fault the supervisor sleeps an exponentially-backed-off delay,
+  asks the source factory for a fresh stream, restores the detector from
+  the last checkpoint, and skips ticks already processed before the
+  checkpoint — ticks between checkpoint and crash are re-processed,
+  which is safe because restore is bit-exact and closed regions are
+  de-duplicated by their end timestamp;
+* the backoff delay resets once a restarted source makes progress, so a
+  flapping collector is retried quickly while a hard-down one backs off
+  to ``max_backoff_s``.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.data.regions import Region
+from repro.faults.injectors import CollectorFault, Tick
+from repro.stream.detector import StreamingDetector
+
+__all__ = ["StreamSupervisor", "SupervisorReport"]
+
+
+@dataclass
+class SupervisorReport:
+    """What one :meth:`StreamSupervisor.run` accomplished."""
+
+    #: ticks handed to the detector, including any re-processed after a
+    #: checkpoint restore.
+    ticks_processed: int = 0
+    #: collector faults survived (each one restart).
+    restarts: int = 0
+    #: closed abnormal regions, de-duplicated across restarts.
+    closed_regions: List[Region] = field(default_factory=list)
+    #: backoff delays slept, in order.
+    backoff_waits: List[float] = field(default_factory=list)
+    #: checkpoints taken.
+    checkpoints: int = 0
+
+
+class StreamSupervisor:
+    """Run a detector over a restartable tick source with crash recovery.
+
+    Parameters
+    ----------
+    detector:
+        The streaming detector to supervise.
+    source_factory:
+        ``source_factory(attempt)`` returns a fresh iterable of
+        ``(time, numeric_row, categorical_row)`` ticks from the beginning
+        of the stream; ``attempt`` is 0 for the first run and increments
+        on every restart (tests use it to stop injecting faults).
+    max_retries:
+        Faults beyond this many restarts re-raise to the caller.
+    backoff_s / backoff_factor / max_backoff_s:
+        Exponential backoff schedule; the delay resets to ``backoff_s``
+        whenever a restarted source makes progress before faulting again.
+    checkpoint_every:
+        Ticks between detector checkpoints (0 disables periodic
+        checkpoints; recovery then restarts from the beginning).
+    sleep:
+        Injectable sleep function (tests pass ``lambda s: None``).
+    fault_types:
+        Exception types treated as recoverable collector faults.
+    """
+
+    def __init__(
+        self,
+        detector: StreamingDetector,
+        source_factory: Callable[[int], Iterable[Tick]],
+        max_retries: int = 5,
+        backoff_s: float = 0.1,
+        backoff_factor: float = 2.0,
+        max_backoff_s: float = 30.0,
+        checkpoint_every: int = 10,
+        sleep: Optional[Callable[[float], None]] = None,
+        fault_types: Tuple[type, ...] = (CollectorFault,),
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if backoff_s <= 0 or backoff_factor < 1.0 or max_backoff_s <= 0:
+            raise ValueError("backoff schedule must be positive")
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
+        self.detector = detector
+        self.source_factory = source_factory
+        self.max_retries = int(max_retries)
+        self.backoff_s = float(backoff_s)
+        self.backoff_factor = float(backoff_factor)
+        self.max_backoff_s = float(max_backoff_s)
+        self.checkpoint_every = int(checkpoint_every)
+        self._sleep = sleep if sleep is not None else _time.sleep
+        self.fault_types = tuple(fault_types)
+
+    def run(self) -> SupervisorReport:
+        """Drive the detector until the source is exhausted.
+
+        Returns the report; ``self.detector`` afterwards is the detector
+        instance that finished the stream (it is replaced on restore).
+        """
+        report = SupervisorReport()
+        detector = self.detector
+        # the recovery baseline: (state, processed-up-to time)
+        checkpoint: Tuple[Dict[str, object], Optional[float]] = (
+            detector.checkpoint(),
+            None,
+        )
+        processed_until: Optional[float] = None
+        seen_ends: set = set()
+        delay = self.backoff_s
+        attempt = 0
+        while True:
+            progressed = False
+            try:
+                for tick in self.source_factory(attempt):
+                    time, numeric_row, categorical_row = tick
+                    if (
+                        processed_until is not None
+                        and time <= processed_until
+                    ):
+                        continue
+                    update = detector.tick(
+                        time, numeric_row, categorical_row
+                    )
+                    processed_until = float(time)
+                    progressed = True
+                    report.ticks_processed += 1
+                    for region in update.closed_regions:
+                        if region.end not in seen_ends:
+                            seen_ends.add(region.end)
+                            report.closed_regions.append(region)
+                    if (
+                        self.checkpoint_every
+                        and report.ticks_processed % self.checkpoint_every
+                        == 0
+                    ):
+                        checkpoint = (
+                            detector.checkpoint(),
+                            processed_until,
+                        )
+                        report.checkpoints += 1
+                break  # source exhausted: done
+            except self.fault_types:
+                report.restarts += 1
+                if report.restarts > self.max_retries:
+                    self.detector = detector
+                    raise
+                if progressed:
+                    delay = self.backoff_s
+                report.backoff_waits.append(delay)
+                self._sleep(delay)
+                delay = min(delay * self.backoff_factor, self.max_backoff_s)
+                attempt += 1
+                detector = StreamingDetector.from_checkpoint(checkpoint[0])
+                processed_until = checkpoint[1]
+        self.detector = detector
+        return report

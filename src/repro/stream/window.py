@@ -51,6 +51,10 @@ class RingBufferWindow:
         Categorical attribute names.
     name:
         Label forwarded to :meth:`to_dataset`.
+    start_seq:
+        Initial value of the monotone append counter.  Checkpoint restore
+        passes ``appended − n_rows`` so replayed rows keep their original
+        sequence numbers (extrema expiry depends on them).
     """
 
     def __init__(
@@ -59,9 +63,12 @@ class RingBufferWindow:
         numeric: Iterable[str],
         categorical: Iterable[str] = (),
         name: str = "",
+        start_seq: int = 0,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
+        if start_seq < 0:
+            raise ValueError("start_seq must be non-negative")
         self.capacity = int(capacity)
         self.name = name
         self._ts = np.empty(2 * self.capacity, dtype=np.float64)
@@ -77,7 +84,7 @@ class RingBufferWindow:
             raise ValueError("window needs at least one attribute")
         self._start = 0  # physical slot of the oldest row, in [0, capacity)
         self._size = 0
-        self._appended = 0  # total rows ever appended (sequence counter)
+        self._appended = int(start_seq)  # total rows ever appended
         self._extrema: Dict[str, SlidingExtrema] = {
             attr: SlidingExtrema() for attr in self._numeric
         }

@@ -38,6 +38,15 @@ class TestRegion:
         r = Region(10.0, 20.0).widened(-0.9)
         assert r.end >= r.start
 
+    def test_intersects_overlap_and_touch(self):
+        assert Region(0.0, 10.0).intersects(Region(5.0, 15.0))
+        assert Region(0.0, 10.0).intersects(Region(10.0, 20.0))  # shared point
+        assert Region(5.0, 15.0).intersects(Region(0.0, 10.0))
+
+    def test_intersects_disjoint(self):
+        assert not Region(0.0, 10.0).intersects(Region(10.5, 20.0))
+        assert not Region(10.5, 20.0).intersects(Region(0.0, 10.0))
+
 
 class TestRegionSpecMasks:
     def test_abnormal_mask(self):
@@ -80,6 +89,60 @@ class TestRegionSpecMasks:
         spec = RegionSpec.from_bounds([(0, 99)])
         with pytest.raises(ValueError):
             spec.validate(ds())
+
+    def test_validate_rejects_out_of_bounds_abnormal(self):
+        spec = RegionSpec.from_bounds([(10, 19), (500, 600)])
+        with pytest.raises(ValueError, match="outside the dataset time span"):
+            spec.validate(ds())
+
+    def test_validate_rejects_normal_abnormal_overlap(self):
+        spec = RegionSpec.from_bounds([(10, 19)], normal=[(15, 30)])
+        with pytest.raises(ValueError, match="overlaps abnormal region"):
+            spec.validate(ds())
+
+    def test_validate_accepts_touching_span_edge(self):
+        # partially out-of-bounds but intersecting the span is fine
+        RegionSpec.from_bounds([(90, 150)]).validate(ds())
+
+
+class TestClamped:
+    def test_trims_partially_outside(self):
+        spec = RegionSpec.from_bounds([(-10, 5), (90, 150)])
+        clamped = spec.clamped(ds())
+        assert clamped.abnormal[0].start == 0.0
+        assert clamped.abnormal[0].end == 5.0
+        assert clamped.abnormal[1].start == 90.0
+        assert clamped.abnormal[1].end == 99.0
+
+    def test_drops_wholly_outside(self):
+        spec = RegionSpec.from_bounds([(10, 19), (500, 600)])
+        clamped = spec.clamped(ds())
+        assert len(clamped.abnormal) == 1
+        assert clamped.abnormal[0] == Region(10.0, 19.0)
+
+    def test_clamps_explicit_normal(self):
+        spec = RegionSpec.from_bounds([(10, 19)], normal=[(-5, 5), (200, 300)])
+        clamped = spec.clamped(ds())
+        assert clamped.normal == [Region(0.0, 5.0)]
+
+    def test_inside_spec_unchanged(self):
+        spec = RegionSpec.from_bounds([(10, 19)], normal=[(40, 50)])
+        clamped = spec.clamped(ds())
+        assert clamped.abnormal == spec.abnormal
+        assert clamped.normal == spec.normal
+
+    def test_empty_dataset_passthrough(self):
+        empty = Dataset(
+            np.zeros(0), numeric={"a": np.zeros(0)}
+        )
+        spec = RegionSpec.from_bounds([(10, 19)])
+        clamped = spec.clamped(empty)
+        assert clamped.abnormal == spec.abnormal
+
+    def test_then_validate_succeeds(self):
+        spec = RegionSpec.from_bounds([(90, 150)])
+        clamped = spec.clamped(ds())
+        clamped.validate(ds())
 
 
 class TestPerturbation:
