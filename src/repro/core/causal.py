@@ -7,6 +7,15 @@ power of its effect predicates measured in the partition space — partitions
 rather than raw tuples, to damp real-world noise.  Models sharing a cause
 **merge** (Section 6.2): only attributes common to both survive, and the
 per-attribute predicates widen to cover both instances.
+
+Models additionally carry per-attribute **fingerprints**
+(:class:`~repro.schema.fingerprint.AttributeFingerprint`) captured from
+the training data, so diagnosis survives collector schema drift: ranking
+through a :class:`~repro.schema.reconcile.SchemaReconciler` matches the
+test data's attributes back to the model vocabulary, missing attributes
+contribute zero confidence (an implicit coverage penalty — Equation 3
+averages over *all* of a model's predicates), and a model whose coverage
+falls below a floor abstains instead of scoring garbage.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ from repro.core.predicates import (
 )
 from repro.data.dataset import Dataset
 from repro.data.regions import RegionSpec
+from repro.schema.fingerprint import AttributeFingerprint
 
 __all__ = ["CausalModel", "CausalModelStore", "model_confidence"]
 
@@ -152,6 +162,12 @@ class CausalModel:
     cause: str
     predicates: List[Predicate] = field(default_factory=list)
     n_merged: int = 1
+    #: per-attribute distributional identities captured at training time
+    #: (may be empty for legacy models; reconciliation then falls back to
+    #: name-only matching).
+    fingerprints: Dict[str, "AttributeFingerprint"] = field(
+        default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         attrs = [p.attr for p in self.predicates]
@@ -201,10 +217,19 @@ class CausalModel:
                 merged.append(a.merge(b))  # type: ignore[arg-type]
             except InconsistentPredicates:
                 continue
+        fingerprints: Dict[str, AttributeFingerprint] = {}
+        for predicate in merged:
+            fp_a = self.fingerprints.get(predicate.attr)
+            fp_b = other.fingerprints.get(predicate.attr)
+            if fp_a is not None and fp_b is not None:
+                fingerprints[predicate.attr] = fp_a.merged(fp_b)
+            elif fp_a is not None or fp_b is not None:
+                fingerprints[predicate.attr] = fp_a or fp_b  # type: ignore[assignment]
         return CausalModel(
             cause=self.cause,
             predicates=merged,
             n_merged=self.n_merged + other.n_merged,
+            fingerprints=fingerprints,
         )
 
     def conjunction(self) -> Conjunction:
@@ -257,17 +282,32 @@ class CausalModelStore:
         n_partitions: int = DEFAULT_CONFIDENCE_PARTITIONS,
         apply_filtering: bool = True,
         cache: Optional[object] = None,
+        reconciler: Optional[object] = None,
+        coverage_floor: float = 0.5,
     ) -> List[Tuple[str, float]]:
         """All causes with their confidence, highest first.
 
         A :class:`repro.perf.cache.LabeledSpaceCache` is created for the
         call when none is supplied, so ranking K models labels each
-        attribute of *dataset* once instead of once per model.
+        attribute of *dataset* once instead of once per model.  Passing a
+        :class:`~repro.schema.reconcile.SchemaReconciler` additionally
+        matches drifted attribute names back to the model vocabulary
+        (see :meth:`rank_reconciled` for the full report).
         """
         if cache is None:
             from repro.perf.cache import LabeledSpaceCache
 
             cache = LabeledSpaceCache()
+        if reconciler is not None:
+            return self.rank_reconciled(
+                dataset,
+                spec,
+                reconciler,
+                n_partitions=n_partitions,
+                apply_filtering=apply_filtering,
+                cache=cache,
+                coverage_floor=coverage_floor,
+            ).scores
         scored = [
             (
                 model.cause,
@@ -279,3 +319,33 @@ class CausalModelStore:
         ]
         scored.sort(key=lambda item: item[1], reverse=True)
         return scored
+
+    def rank_reconciled(
+        self,
+        dataset: Dataset,
+        spec: RegionSpec,
+        reconciler,
+        n_partitions: int = DEFAULT_CONFIDENCE_PARTITIONS,
+        apply_filtering: bool = True,
+        cache: Optional[object] = None,
+        coverage_floor: float = 0.5,
+    ):
+        """Rank through a schema reconciler, returning the full
+        :class:`~repro.schema.reconcile.RankResult` (scores, abstaining
+        causes, and the per-attribute :class:`ReconciliationReport`)."""
+        from repro.schema.reconcile import rank_with_reconciliation
+
+        if cache is None:
+            from repro.perf.cache import LabeledSpaceCache
+
+            cache = LabeledSpaceCache()
+        return rank_with_reconciliation(
+            self._models.values(),
+            dataset,
+            spec,
+            reconciler,
+            n_partitions=n_partitions,
+            apply_filtering=apply_filtering,
+            cache=cache,
+            coverage_floor=coverage_floor,
+        )

@@ -27,6 +27,12 @@ from repro.core.knowledge import (
 from repro.core.predicates import Conjunction, Predicate
 from repro.data.dataset import Dataset
 from repro.data.regions import RegionSpec
+from repro.schema.fingerprint import fingerprint_attributes
+from repro.schema.reconcile import (
+    DEFAULT_COVERAGE_FLOOR,
+    ReconciliationReport,
+    SchemaReconciler,
+)
 
 __all__ = ["DBSherlock", "Explanation"]
 
@@ -48,12 +54,22 @@ class Explanation:
         ordered by decreasing confidence.
     all_cause_scores:
         Every model's score regardless of λ (useful for evaluation).
+    reconciliation:
+        The :class:`~repro.schema.reconcile.ReconciliationReport` the
+        causes were scored under, when schema reconciliation ran
+        (``None`` on the clean path where every model attribute was
+        present verbatim).
+    abstained:
+        Causes whose models declined to score because too few of their
+        attributes could be reconciled (coverage below the floor).
     """
 
     predicates: Conjunction
     pruned: List[Predicate] = field(default_factory=list)
     causes: List[Tuple[str, float]] = field(default_factory=list)
     all_cause_scores: List[Tuple[str, float]] = field(default_factory=list)
+    reconciliation: Optional[ReconciliationReport] = None
+    abstained: List[str] = field(default_factory=list)
 
     @property
     def top_cause(self) -> Optional[str]:
@@ -85,6 +101,14 @@ class DBSherlock:
         Automatic anomaly detector; defaults to the Section 7 settings.
         Any object with ``detect(dataset) -> DetectionResult`` works —
         e.g. the alternative strategies in :mod:`repro.detect`.
+    reconciler:
+        Schema reconciler used when the diagnosis data is missing model
+        attributes (collector drift).  Defaults to a
+        :class:`~repro.schema.reconcile.SchemaReconciler` with no alias
+        table; pass one with aliases after a known collector upgrade.
+    coverage_floor:
+        Minimum fraction of a model's attributes that must reconcile for
+        the model to score; below it the model abstains.
     """
 
     def __init__(
@@ -94,6 +118,8 @@ class DBSherlock:
         kappa_threshold: float = DEFAULT_KAPPA_THRESHOLD,
         lambda_threshold: float = DEFAULT_LAMBDA,
         detector: Optional[AnomalyDetector] = None,
+        reconciler: Optional[SchemaReconciler] = None,
+        coverage_floor: float = DEFAULT_COVERAGE_FLOOR,
     ) -> None:
         from repro.perf.cache import LabeledSpaceCache
 
@@ -107,6 +133,8 @@ class DBSherlock:
         self.kappa_threshold = kappa_threshold
         self.lambda_threshold = lambda_threshold
         self.detector = detector or AnomalyDetector()
+        self.reconciler = reconciler or SchemaReconciler()
+        self.coverage_floor = coverage_floor
         self.store = CausalModelStore()
 
     # ------------------------------------------------------------------
@@ -131,10 +159,7 @@ class DBSherlock:
         kept, pruned = prune_secondary_symptoms(
             conjunction.predicates, dataset, self.rules, self.kappa_threshold
         )
-        scores = self.store.rank(
-            dataset, spec, n_partitions=self.config.n_partitions,
-            cache=self.cache,
-        )
+        scores, report, abstained = self._rank(dataset, spec)
         visible = [
             (cause, confidence)
             for cause, confidence in scores
@@ -145,7 +170,43 @@ class DBSherlock:
             pruned=pruned,
             causes=visible,
             all_cause_scores=scores,
+            reconciliation=report,
+            abstained=abstained,
         )
+
+    def _rank(
+        self, dataset: Dataset, spec: RegionSpec
+    ) -> Tuple[
+        List[Tuple[str, float]], Optional[ReconciliationReport], List[str]
+    ]:
+        """Rank stored models, reconciling the schema only under drift.
+
+        When every model attribute is present in *dataset* verbatim, the
+        clean ranking path runs unchanged (bitwise-identical scores, warm
+        labeled-space cache).  Otherwise the reconciler maps the drifted
+        schema back to the model vocabulary and models with too little
+        coverage abstain.
+        """
+        drifted = any(
+            attr not in dataset
+            for model in self.store
+            for attr in model.attributes
+        )
+        if not drifted:
+            scores = self.store.rank(
+                dataset, spec, n_partitions=self.config.n_partitions,
+                cache=self.cache,
+            )
+            return scores, None, []
+        result = self.store.rank_reconciled(
+            dataset,
+            spec,
+            self.reconciler,
+            n_partitions=self.config.n_partitions,
+            cache=self.cache,
+            coverage_floor=self.coverage_floor,
+        )
+        return result.scores, result.report, result.abstained
 
     def detect(self, dataset: Dataset) -> DetectionResult:
         """Automatically locate abnormal regions (Section 7)."""
@@ -155,23 +216,33 @@ class DBSherlock:
         self,
         cause: str,
         explanation: Explanation,
+        dataset: Optional[Dataset] = None,
     ) -> CausalModel:
         """Record the DBA's confirmed cause for an explanation.
 
         Creates a causal model from the accepted predicates and adds it to
         the store, merging with any existing model for the same cause.
+        Passing the diagnosed *dataset* additionally fingerprints the
+        predicate attributes, so the model survives collector schema
+        drift (renamed metrics reconcile by distribution, not just name).
         """
-        model = CausalModel(cause=cause, predicates=explanation.predicates.predicates)
+        predicates = explanation.predicates.predicates
+        fingerprints = (
+            fingerprint_attributes(dataset, [p.attr for p in predicates])
+            if dataset is not None
+            else {}
+        )
+        model = CausalModel(
+            cause=cause, predicates=predicates, fingerprints=fingerprints
+        )
         return self.store.add(model)
 
     def diagnose(
         self, dataset: Dataset, spec: RegionSpec, top_k: int = 1
     ) -> List[Tuple[str, float]]:
         """The ``top_k`` most likely known causes for an anomaly."""
-        return self.store.rank(
-            dataset, spec, n_partitions=self.config.n_partitions,
-            cache=self.cache,
-        )[:top_k]
+        scores, _, _ = self._rank(dataset, spec)
+        return scores[:top_k]
 
     # ------------------------------------------------------------------
     def save_models(self, path) -> None:

@@ -19,6 +19,7 @@ from repro.core.predicates import (
     NumericPredicate,
     Predicate,
 )
+from repro.schema.fingerprint import AttributeFingerprint
 
 __all__ = [
     "predicate_to_dict",
@@ -29,7 +30,10 @@ __all__ = [
     "load_store",
 ]
 
-SCHEMA_VERSION = 1
+# Version 2 added per-attribute fingerprints; version-1 files (no
+# fingerprints) still load, their models just reconcile by name only.
+SCHEMA_VERSION = 2
+SUPPORTED_SCHEMAS = frozenset({1, 2})
 
 
 def predicate_to_dict(predicate: Predicate) -> Dict:
@@ -64,11 +68,17 @@ def predicate_from_dict(payload: Dict) -> Predicate:
 
 def model_to_dict(model: CausalModel) -> Dict:
     """JSON-safe representation of one causal model."""
-    return {
+    payload = {
         "cause": model.cause,
         "n_merged": model.n_merged,
         "predicates": [predicate_to_dict(p) for p in model.predicates],
     }
+    if model.fingerprints:
+        payload["fingerprints"] = {
+            attr: fp.to_dict()
+            for attr, fp in sorted(model.fingerprints.items())
+        }
+    return payload
 
 
 def model_from_dict(payload: Dict) -> CausalModel:
@@ -77,6 +87,10 @@ def model_from_dict(payload: Dict) -> CausalModel:
         cause=payload["cause"],
         predicates=[predicate_from_dict(p) for p in payload["predicates"]],
         n_merged=int(payload.get("n_merged", 1)),
+        fingerprints={
+            attr: AttributeFingerprint.from_dict(fp)
+            for attr, fp in payload.get("fingerprints", {}).items()
+        },
     )
 
 
@@ -100,10 +114,10 @@ def load_store(
     with path.open("r") as fh:
         payload = json.load(fh)
     schema = payload.get("schema")
-    if schema != SCHEMA_VERSION:
+    if schema not in SUPPORTED_SCHEMAS:
         raise ValueError(
             f"{path}: unsupported causal-model schema {schema!r} "
-            f"(expected {SCHEMA_VERSION})"
+            f"(expected one of {sorted(SUPPORTED_SCHEMAS)})"
         )
     store = CausalModelStore(merge_on_add=merge_on_add)
     for model_payload in payload.get("models", []):

@@ -177,6 +177,33 @@ class Dataset:
             name=name or self.name,
         )
 
+    def rename_attributes(self, mapping: Mapping[str, str]) -> "Dataset":
+        """Return a copy with attributes renamed per ``{old: new}``.
+
+        Column order and dtypes are preserved; unknown keys are ignored.
+        A rename that collides with a *kept* attribute keeps the displaced
+        column under ``"<name>~orig"`` rather than dropping data.
+        """
+        targets = set(mapping.values())
+
+        def new_name(attr: str) -> str:
+            if attr in mapping:
+                return mapping[attr]
+            return f"{attr}~orig" if attr in targets else attr
+
+        numeric = {new_name(a): v for a, v in self._numeric.items()}
+        categorical = {new_name(a): v for a, v in self._categorical.items()}
+        if len(numeric) + len(categorical) != len(self._numeric) + len(
+            self._categorical
+        ):
+            raise ValueError("rename collapses two attributes onto one name")
+        return Dataset(
+            self.timestamps,
+            numeric=numeric,
+            categorical=categorical,
+            name=self.name,
+        )
+
     def drop_attributes(self, attrs: Iterable[str]) -> "Dataset":
         """Return a copy without the named attributes."""
         drop = set(attrs)

@@ -13,6 +13,7 @@ the catalogue is data-driven so tests can enumerate and audit it.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -277,8 +278,12 @@ def build_catalog(txn_types: Sequence[str]) -> List[MetricDef]:
         )
         add(
             f"txn.avg_latency_{txn_type}_ms",
+            # zlib.crc32, not hash(): the per-type latency multiplier must
+            # be identical across interpreter processes (PYTHONHASHSEED
+            # randomizes str.__hash__), or simulated runs diverge between
+            # a training process and a diagnosing one.
             lambda s, t=txn_type: s.avg_latency_ms
-            * (0.8 + 0.4 * (hash(t) % 5) / 5.0),
+            * (0.8 + 0.4 * (zlib.crc32(t.encode()) % 5) / 5.0),
             noise=0.08,
         )
     return defs

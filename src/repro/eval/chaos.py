@@ -2,11 +2,15 @@
 
 The paper's protocols assume clean, gap-free telemetry.  Real collection
 is not: samples drop, probes die and flat-line, cells arrive as NaN,
-clocks skew.  This harness replays the anomaly scenario suite under
-graded *fault profiles* — composable :mod:`repro.faults` plans applied to
-the test datasets only (causal models are always built from clean
-training runs, as an operator's model library would be) — and reports how
-correct-cause confidence margins and top-1 accuracy degrade.
+clocks skew, and collector upgrades rename or drop whole attributes.
+This harness replays the anomaly scenario suite under graded *fault
+profiles* — composable :mod:`repro.faults` plans applied to the test
+datasets only (causal models are always built from clean training runs,
+as an operator's model library would be) — and reports how correct-cause
+confidence margins and top-1 accuracy degrade.  Ranking always goes
+through a :class:`~repro.schema.reconcile.SchemaReconciler`: a no-op on
+unchanged schemas, and the recovery mechanism under the ``drift``
+profile's :class:`~repro.faults.SchemaDrift`.
 
 The headline robustness claim (asserted by ``benchmarks/bench_chaos.py``):
 under the *moderate* profile every scenario completes end-to-end with no
@@ -36,9 +40,11 @@ from repro.faults import (
     FaultInjector,
     FaultPlan,
     NaNValues,
+    SchemaDrift,
     SpikeCorruption,
     StuckAtCounter,
 )
+from repro.schema.reconcile import SchemaReconciler
 
 __all__ = ["FaultProfile", "PROFILES", "run_chaos_suite"]
 
@@ -61,6 +67,11 @@ class FaultProfile:
     spike_rate: float = 0.0
     clock_offset_s: float = 0.0
     clock_drift: float = 0.0
+    #: schema drift (collector upgrade): per-attribute rename/drop
+    #: probabilities and junk columns appended.
+    rename_rate: float = 0.0
+    schema_drop_rate: float = 0.0
+    add_junk: int = 0
 
     def plan(self, seed: int) -> FaultPlan:
         """Compile into a seeded fault plan (identical plan per seed)."""
@@ -79,6 +90,16 @@ class FaultProfile:
             injectors.append(SpikeCorruption(self.spike_rate))
         for _ in range(self.stuck_attrs):
             injectors.append(StuckAtCounter())
+        if self.rename_rate or self.schema_drop_rate or self.add_junk:
+            # last, so the drifted names are what every earlier fault's
+            # survivors get published under
+            injectors.append(
+                SchemaDrift(
+                    rename_rate=self.rename_rate,
+                    drop_rate=self.schema_drop_rate,
+                    add_junk=self.add_junk,
+                )
+            )
         return FaultPlan(injectors, seed=seed)
 
 
@@ -99,6 +120,12 @@ PROFILES: Dict[str, FaultProfile] = {
         spike_rate=0.01,
         clock_offset_s=2.0,
         clock_drift=0.001,
+    ),
+    # collector upgrade: ~a third of the numeric attributes renamed, a
+    # few dropped, junk columns appended — recovered by schema
+    # reconciliation, not by the telemetry repair path.
+    "drift": FaultProfile(
+        name="drift", rename_rate=0.35, schema_drop_rate=0.02, add_junk=3
     ),
 }
 
@@ -146,6 +173,11 @@ def run_chaos_suite(
     )
     causes = list(suite)
     models = [build_model(suite[c][0], theta=theta) for c in causes]
+    # one reconciler for the whole sweep: on clean schemas every model
+    # attribute exact-matches, so the ranking is identical to the
+    # unreconciled path; under the drift profile it maps renamed
+    # attributes back via the persisted fingerprints
+    reconciler = SchemaReconciler()
 
     outcomes: Dict[str, Dict[str, _ScenarioOutcome]] = {}
     for p_idx, (p_name, profile) in enumerate(profiles.items()):
@@ -157,7 +189,9 @@ def run_chaos_suite(
                 plan = profile.plan(seed=seed * 1009 + p_idx * 101 + c_idx)
                 dataset = plan.apply(test.dataset)
                 spec = plan.transform_spec(test.spec)
-                scores = rank_models(models, dataset, spec)
+                scores = rank_models(
+                    models, dataset, spec, reconciler=reconciler
+                )
                 outcome.margin = float(margin_of_confidence(scores, cause))
                 outcome.top1 = bool(topk_contains(scores, cause, 1))
             except Exception:

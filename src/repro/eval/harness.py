@@ -207,11 +207,23 @@ def replay_rows(dataset: Dataset):
 def build_model(
     run: AnomalyDataset, theta: float, config: Optional[GeneratorConfig] = None
 ) -> CausalModel:
-    """Construct a causal model from one diagnosed dataset."""
+    """Construct a causal model from one diagnosed dataset.
+
+    The predicate attributes are fingerprinted from the training data,
+    so the model can be reconciled against drifted test schemas.
+    """
+    from repro.schema.fingerprint import fingerprint_attributes
+
     config = (config or GeneratorConfig()).replace(theta=theta)
     generator = PredicateGenerator(config)
     conjunction = generator.generate(run.dataset, run.spec)
-    return CausalModel(cause=run.cause, predicates=conjunction.predicates)
+    return CausalModel(
+        cause=run.cause,
+        predicates=conjunction.predicates,
+        fingerprints=fingerprint_attributes(
+            run.dataset, [p.attr for p in conjunction.predicates]
+        ),
+    )
 
 
 def rank_models(
@@ -220,6 +232,8 @@ def rank_models(
     spec: RegionSpec,
     n_partitions: int = 250,
     cache: Optional[LabeledSpaceCache] = None,
+    reconciler: Optional[object] = None,
+    coverage_floor: float = 0.5,
 ) -> List[Tuple[str, float]]:
     """Confidence of every model on one anomaly, highest first.
 
@@ -227,10 +241,25 @@ def rank_models(
     each attribute's labeled partition space across the K models; passing
     a long-lived cache additionally amortizes repeated rankings of the
     same dataset (the evaluation protocols rank every test dataset many
-    times).
+    times).  Passing a
+    :class:`~repro.schema.reconcile.SchemaReconciler` matches drifted
+    attribute names back to the model vocabulary first (models below
+    ``coverage_floor`` coverage abstain at confidence 0.0).
     """
     if cache is None:
         cache = LabeledSpaceCache()
+    if reconciler is not None:
+        from repro.schema.reconcile import rank_with_reconciliation
+
+        return rank_with_reconciliation(
+            models,
+            dataset,
+            spec,
+            reconciler,
+            n_partitions=n_partitions,
+            cache=cache,
+            coverage_floor=coverage_floor,
+        ).scores
     scored = [
         (m.cause, m.confidence(dataset, spec, n_partitions, cache=cache))
         for m in models

@@ -1,0 +1,48 @@
+"""Schema reconciliation: diagnosis that survives attribute drift.
+
+The paper's causal models (Section 6) silently assume the attribute
+vocabulary is identical between training and diagnosis.  Real collectors
+rename, reorder, add, and drop metrics across versions; this package
+closes the gap:
+
+``fingerprint``  :class:`AttributeFingerprint` — dtype class, value
+                 range, quantile sketch / categorical domain, name
+                 n-grams: the stable identity of an attribute,
+                 persisted alongside each causal model;
+``reconcile``    :class:`SchemaReconciler` — exact name → alias table →
+                 fingerprint similarity matching with a confidence
+                 threshold (below it an attribute is *missing*, never
+                 mis-mapped), producing an auditable
+                 :class:`ReconciliationReport`;
+                 :func:`rank_with_reconciliation` — Equation 3 ranking
+                 over the reconciled schema with coverage-based
+                 abstention.
+"""
+
+from repro.schema.fingerprint import (
+    AttributeFingerprint,
+    fingerprint_attributes,
+    name_similarity,
+    value_similarity,
+)
+from repro.schema.reconcile import (
+    AttributeMatch,
+    RankResult,
+    ReconciliationReport,
+    SchemaReconciler,
+    collect_fingerprints,
+    rank_with_reconciliation,
+)
+
+__all__ = [
+    "AttributeFingerprint",
+    "AttributeMatch",
+    "RankResult",
+    "ReconciliationReport",
+    "SchemaReconciler",
+    "collect_fingerprints",
+    "fingerprint_attributes",
+    "name_similarity",
+    "rank_with_reconciliation",
+    "value_similarity",
+]

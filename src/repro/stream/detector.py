@@ -174,6 +174,14 @@ class StreamingDetector:
         identical for this many consecutive ticks (a stuck-at counter) is
         quarantined — excluded from attribute selection until its value
         moves again.  ``None`` (default) disables quarantine.
+    quarantine_rel_epsilon:
+        Variance-based quarantine: instead of requiring *exact* equality,
+        quarantine an attribute whose rolling ``quarantine_after``-tick
+        standard deviation falls to or below this fraction of the
+        window's mean magnitude — catching stuck-at sensors that jitter
+        in the low bits.  Requires ``quarantine_after`` (the window
+        length).  ``None`` (default) keeps the exact-equality rule, so
+        existing configurations behave identically.
     """
 
     CHECKPOINT_VERSION = 1
@@ -193,6 +201,7 @@ class StreamingDetector:
         recluster_fraction: float = 0.05,
         bounds_drift: float = 0.02,
         quarantine_after: Optional[int] = None,
+        quarantine_rel_epsilon: Optional[float] = None,
     ) -> None:
         if mode not in ("exact", "incremental"):
             raise ValueError("mode must be 'exact' or 'incremental'")
@@ -219,6 +228,19 @@ class StreamingDetector:
         )
         if self.quarantine_after is not None and self.quarantine_after < 2:
             raise ValueError("quarantine_after must be at least 2")
+        self.quarantine_rel_epsilon = (
+            float(quarantine_rel_epsilon)
+            if quarantine_rel_epsilon is not None
+            else None
+        )
+        if self.quarantine_rel_epsilon is not None:
+            if self.quarantine_rel_epsilon < 0:
+                raise ValueError("quarantine_rel_epsilon must be >= 0")
+            if self.quarantine_after is None:
+                raise ValueError(
+                    "quarantine_rel_epsilon requires quarantine_after "
+                    "(the rolling-window length)"
+                )
         self._window: Optional[RingBufferWindow] = None
         self._trackers: Dict[str, _AttributeTracker] = {}
         self._tracked: List[str] = []
@@ -235,6 +257,7 @@ class StreamingDetector:
         self._last_cat: Dict[str, str] = {}  # last seen category per attr
         self._stuck_runs: Dict[str, int] = {}  # consecutive-identical runs
         self._prev_value: Dict[str, float] = {}  # previous tick's value
+        self._recent_values: Dict[str, Deque[float]] = {}  # variance windows
 
     # ------------------------------------------------------------------
     @property
@@ -326,6 +349,9 @@ class StreamingDetector:
     def _update_quarantine(self, numeric_row: Mapping[str, float]) -> None:
         if self.quarantine_after is None:
             return
+        if self.quarantine_rel_epsilon is not None:
+            self._update_variance_quarantine(numeric_row)
+            return
         for attr in self._tracked:
             value = numeric_row[attr]
             if self._prev_value.get(attr) == value:
@@ -337,6 +363,33 @@ class StreamingDetector:
                 self._stuck_runs[attr] = 1
                 self.quarantined.discard(attr)
             self._prev_value[attr] = value
+
+    def _update_variance_quarantine(
+        self, numeric_row: Mapping[str, float]
+    ) -> None:
+        """Quarantine attributes whose rolling window is (near-)flat.
+
+        An exactly-stuck counter has zero variance, but a dying sensor
+        often jitters in the low bits; the relative-epsilon floor treats
+        ``std <= rel_epsilon * |mean|`` as stuck too.  Release follows
+        the same statistic, so a recovered sensor rejoins selection as
+        soon as its window shows real movement.
+        """
+        assert self.quarantine_after is not None
+        for attr in self._tracked:
+            buf = self._recent_values.get(attr)
+            if buf is None:
+                buf = deque(maxlen=self.quarantine_after)
+                self._recent_values[attr] = buf
+            buf.append(float(numeric_row[attr]))
+            if len(buf) < self.quarantine_after:
+                continue
+            arr = np.asarray(buf, dtype=np.float64)
+            scale = max(abs(float(arr.mean())), 1e-12)
+            if float(arr.std()) <= self.quarantine_rel_epsilon * scale:
+                self.quarantined.add(attr)
+            else:
+                self.quarantined.discard(attr)
 
     def _ingest(
         self,
@@ -528,6 +581,7 @@ class StreamingDetector:
             "recluster_fraction": self.recluster_fraction,
             "bounds_drift": self.bounds_drift,
             "quarantine_after": self.quarantine_after,
+            "quarantine_rel_epsilon": self.quarantine_rel_epsilon,
         }
 
     def checkpoint(self) -> Dict[str, object]:
@@ -549,6 +603,10 @@ class StreamingDetector:
             "sanitized_values": self.sanitized_values,
             "quarantined": sorted(self.quarantined),
             "stuck_runs": dict(self._stuck_runs),
+            "recent_values": {
+                a: [float(v) for v in buf]
+                for a, buf in self._recent_values.items()
+            },
             "prev_value": dict(self._prev_value),
             "last_seen": dict(self._last_seen),
             "last_cat": dict(self._last_cat),
@@ -631,6 +689,16 @@ class StreamingDetector:
         detector._stuck_runs = {
             a: int(v) for a, v in dict(state["stuck_runs"]).items()
         }
+        if detector.quarantine_after is not None:
+            detector._recent_values = {
+                a: deque(
+                    (float(v) for v in values),
+                    maxlen=detector.quarantine_after,
+                )
+                for a, values in dict(
+                    state.get("recent_values", {})
+                ).items()
+            }
         detector._prev_value = {
             a: float(v) for a, v in dict(state["prev_value"]).items()
         }

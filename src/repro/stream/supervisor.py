@@ -16,18 +16,28 @@ downtime instead of a lost diagnosis session:
   de-duplicated by their end timestamp;
 * the backoff delay resets once a restarted source makes progress, so a
   flapping collector is retried quickly while a hard-down one backs off
-  to ``max_backoff_s``.
+  to ``max_backoff_s``;
+* with a ``wal_dir``, recovery goes through a write-ahead tick log
+  (:mod:`repro.stream.wal`): every tick is logged *before* the detector
+  sees it, checkpoints are persisted atomically (and truncate the log),
+  and a fault — or a whole process restart — restores the last durable
+  checkpoint and replays the logged ticks through the restored
+  detector.  Replay is bit-exact and the source resumes strictly after
+  the last logged tick, so **zero ticks are re-processed** and the
+  recovered detector is bitwise-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.data.regions import Region
 from repro.faults.injectors import CollectorFault, Tick
 from repro.stream.detector import StreamingDetector
+from repro.stream.wal import CheckpointStore, TickWAL
 
 __all__ = ["StreamSupervisor", "SupervisorReport"]
 
@@ -47,6 +57,12 @@ class SupervisorReport:
     backoff_waits: List[float] = field(default_factory=list)
     #: checkpoints taken.
     checkpoints: int = 0
+    #: ticks recovered from the write-ahead log (0 without ``wal_dir``).
+    wal_replayed_ticks: int = 0
+    #: source ticks handed to the detector more than once (recovery by
+    #: re-pulling; always 0 with ``wal_dir``, where the WAL replays them
+    #: instead).
+    reprocessed_ticks: int = 0
 
 
 class StreamSupervisor:
@@ -73,6 +89,15 @@ class StreamSupervisor:
         Injectable sleep function (tests pass ``lambda s: None``).
     fault_types:
         Exception types treated as recoverable collector faults.
+    wal_dir:
+        Directory for durable recovery state (``ticks.wal`` +
+        ``checkpoint.json``).  When set, every tick is write-ahead
+        logged, checkpoints persist atomically, and recovery — from a
+        fault or a fresh process — replays the log instead of
+        re-pulling ticks from the source.  ``None`` (default) keeps the
+        original in-memory checkpointing.
+    fsync_every:
+        WAL appends per fsync (see :class:`~repro.stream.wal.TickWAL`).
     """
 
     def __init__(
@@ -86,6 +111,8 @@ class StreamSupervisor:
         checkpoint_every: int = 10,
         sleep: Optional[Callable[[float], None]] = None,
         fault_types: Tuple[type, ...] = (CollectorFault,),
+        wal_dir: Optional[Union[str, Path]] = None,
+        fsync_every: int = 8,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
@@ -102,67 +129,148 @@ class StreamSupervisor:
         self.checkpoint_every = int(checkpoint_every)
         self._sleep = sleep if sleep is not None else _time.sleep
         self.fault_types = tuple(fault_types)
+        self.wal_dir = Path(wal_dir) if wal_dir is not None else None
+        self.fsync_every = int(fsync_every)
 
     def run(self) -> SupervisorReport:
         """Drive the detector until the source is exhausted.
 
         Returns the report; ``self.detector`` afterwards is the detector
         instance that finished the stream (it is replaced on restore).
+        With ``wal_dir``, a previous process's durable checkpoint and
+        write-ahead log are recovered first, so a restarted supervisor
+        continues exactly where the dead one stopped.
         """
         report = SupervisorReport()
         detector = self.detector
+        processed_until: Optional[float] = None
+        seen_ends: set = set()
+
+        wal: Optional[TickWAL] = None
+        ckpt_store: Optional[CheckpointStore] = None
+        if self.wal_dir is not None:
+            ckpt_store = CheckpointStore(self.wal_dir / "checkpoint.json")
+            wal = TickWAL(
+                self.wal_dir / "ticks.wal", fsync_every=self.fsync_every
+            )
+            stored = ckpt_store.load()
+            if stored is not None:
+                detector = StreamingDetector.from_checkpoint(
+                    stored["detector"]  # type: ignore[arg-type]
+                )
+                until = stored.get("processed_until")
+                processed_until = None if until is None else float(until)
+            processed_until = self._replay_wal(
+                wal, detector, processed_until, report, seen_ends
+            )
+
         # the recovery baseline: (state, processed-up-to time)
         checkpoint: Tuple[Dict[str, object], Optional[float]] = (
             detector.checkpoint(),
-            None,
+            processed_until,
         )
-        processed_until: Optional[float] = None
-        seen_ends: set = set()
+        high_water = processed_until
         delay = self.backoff_s
         attempt = 0
-        while True:
-            progressed = False
-            try:
-                for tick in self.source_factory(attempt):
-                    time, numeric_row, categorical_row = tick
-                    if (
-                        processed_until is not None
-                        and time <= processed_until
-                    ):
-                        continue
-                    update = detector.tick(
-                        time, numeric_row, categorical_row
-                    )
-                    processed_until = float(time)
-                    progressed = True
-                    report.ticks_processed += 1
-                    for region in update.closed_regions:
-                        if region.end not in seen_ends:
-                            seen_ends.add(region.end)
-                            report.closed_regions.append(region)
-                    if (
-                        self.checkpoint_every
-                        and report.ticks_processed % self.checkpoint_every
-                        == 0
-                    ):
-                        checkpoint = (
-                            detector.checkpoint(),
-                            processed_until,
+        try:
+            while True:
+                progressed = False
+                try:
+                    for tick in self.source_factory(attempt):
+                        time, numeric_row, categorical_row = tick
+                        if (
+                            processed_until is not None
+                            and time <= processed_until
+                        ):
+                            continue
+                        if wal is not None:
+                            # write-ahead: the tick is durable before the
+                            # detector ever sees it
+                            wal.append(time, numeric_row, categorical_row)
+                        update = detector.tick(
+                            time, numeric_row, categorical_row
                         )
-                        report.checkpoints += 1
-                break  # source exhausted: done
-            except self.fault_types:
-                report.restarts += 1
-                if report.restarts > self.max_retries:
-                    self.detector = detector
-                    raise
-                if progressed:
-                    delay = self.backoff_s
-                report.backoff_waits.append(delay)
-                self._sleep(delay)
-                delay = min(delay * self.backoff_factor, self.max_backoff_s)
-                attempt += 1
-                detector = StreamingDetector.from_checkpoint(checkpoint[0])
-                processed_until = checkpoint[1]
+                        if high_water is not None and time <= high_water:
+                            report.reprocessed_ticks += 1
+                        else:
+                            high_water = float(time)
+                        processed_until = float(time)
+                        progressed = True
+                        report.ticks_processed += 1
+                        for region in update.closed_regions:
+                            if region.end not in seen_ends:
+                                seen_ends.add(region.end)
+                                report.closed_regions.append(region)
+                        if (
+                            self.checkpoint_every
+                            and report.ticks_processed
+                            % self.checkpoint_every
+                            == 0
+                        ):
+                            state = detector.checkpoint()
+                            checkpoint = (state, processed_until)
+                            if ckpt_store is not None and wal is not None:
+                                ckpt_store.save(
+                                    {
+                                        "version": 1,
+                                        "detector": state,
+                                        "processed_until": processed_until,
+                                    }
+                                )
+                                wal.truncate()
+                            report.checkpoints += 1
+                    break  # source exhausted: done
+                except self.fault_types:
+                    report.restarts += 1
+                    if report.restarts > self.max_retries:
+                        self.detector = detector
+                        raise
+                    if progressed:
+                        delay = self.backoff_s
+                    report.backoff_waits.append(delay)
+                    self._sleep(delay)
+                    delay = min(
+                        delay * self.backoff_factor, self.max_backoff_s
+                    )
+                    attempt += 1
+                    detector = StreamingDetector.from_checkpoint(
+                        checkpoint[0]
+                    )
+                    processed_until = checkpoint[1]
+                    if wal is not None:
+                        # recover the post-checkpoint ticks from the log
+                        # instead of re-pulling them from the source
+                        processed_until = self._replay_wal(
+                            wal, detector, processed_until, report, seen_ends
+                        )
+        finally:
+            if wal is not None:
+                wal.close()
         self.detector = detector
         return report
+
+    @staticmethod
+    def _replay_wal(
+        wal: TickWAL,
+        detector: StreamingDetector,
+        processed_until: Optional[float],
+        report: SupervisorReport,
+        seen_ends: set,
+    ) -> Optional[float]:
+        """Feed logged ticks after *processed_until* through *detector*.
+
+        Returns the new processed-until watermark.  Replay is bit-exact:
+        the detector was restored from the checkpoint the log tails, so
+        after replay its state equals an uninterrupted run's.
+        """
+        for time, numeric_row, categorical_row in wal.replay():
+            if processed_until is not None and time <= processed_until:
+                continue
+            update = detector.tick(time, numeric_row, categorical_row)
+            report.wal_replayed_ticks += 1
+            processed_until = float(time)
+            for region in update.closed_regions:
+                if region.end not in seen_ends:
+                    seen_ends.add(region.end)
+                    report.closed_regions.append(region)
+        return processed_until

@@ -79,7 +79,7 @@ class TestStorePersistence:
         path = tmp_path / "models.json"
         save_store(sample_store(), path)
         payload = json.loads(path.read_text())
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert len(payload["models"]) == 2
 
     def test_creates_parent_dirs(self, tmp_path):
