@@ -21,7 +21,16 @@ Two legs, both asserted before any number is reported:
   (``wal_dir``).  The supervisor must recover via backoff + durable
   checkpoint restore + WAL replay, emit closed regions identical to an
   uninterrupted detector on the same rows, and re-process **zero**
-  source ticks.
+  source ticks;
+* **dogfood-observability** — a diagnosis service loop is run with the
+  labeled-space cache knocked out mid-run while
+  :class:`repro.obs.dogfood.MetricsTimeline` samples the metrics
+  registry each tick.  The pipeline's own telemetry must round-trip
+  ``regularize_dataset`` with zero missing values, show the cache-miss
+  step after the fault, stream through a detector and explain with zero
+  exceptions, and the fault-window explanation must contain cache/
+  generator predicates (whether the *automatic* detector flags the step
+  is reported, not asserted).
 
 Results land in ``BENCH_chaos.json`` at the repo root.
 
@@ -63,6 +72,8 @@ SCALES = {
         crash_normal_s=60,
         capacity=40,
         crash_at_tick=45,
+        dogfood_ticks=16,
+        dogfood_fault_tick=8,
     ),
     "bench": dict(
         anomaly_keys=None,  # all 10 causes
@@ -75,6 +86,8 @@ SCALES = {
         capacity=60,
         # off the checkpoint cadence so recovery exercises WAL replay
         crash_at_tick=73,
+        dogfood_ticks=30,
+        dogfood_fault_tick=15,
     ),
 }
 
@@ -153,6 +166,74 @@ def _run_crash_recovery(params: dict, seed: int = 29) -> dict:
     }
 
 
+def _run_dogfood_leg(params: dict, seed: int = 5) -> dict:
+    """Diagnose the diagnoser: a mid-run cache outage seen in obs metrics."""
+    from repro.core.explain import DBSherlock
+    from repro.core.knowledge import MYSQL_LINUX_RULES
+    from repro.data.preprocess import regularize_dataset
+    from repro.data.regions import RegionSpec
+    from repro.obs.dogfood import MetricsTimeline
+
+    ticks = params["dogfood_ticks"]
+    fault_tick = params["dogfood_fault_tick"]
+
+    # the observed system: a service re-explaining one incident per tick
+    dataset, regions, true_cause = simulate_run(
+        "cpu_saturation", duration_s=30, normal_s=60, seed=seed
+    )
+    service = DBSherlock(rules=MYSQL_LINUX_RULES)
+    service.feedback(true_cause, service.explain(dataset, regions), dataset)
+
+    timeline = MetricsTimeline(interval=1.0)
+    timeline.sample()  # baseline at t=0 (cache already warm)
+    for tick in range(1, ticks + 1):
+        if tick >= fault_tick:
+            service.cache.clear()  # fault: cache knocked out mid-run
+        service.explain(dataset, regions)
+        timeline.sample()
+
+    obs_dataset = timeline.to_dataset(rates=True, name="obs-dogfood")
+    obs_dataset, gaps = regularize_dataset(obs_dataset)
+
+    # the per-interval miss deltas must step up when the cache dies
+    misses = list(obs_dataset.column("repro_cache_misses_total"))
+    pre = misses[: fault_tick - 1]  # row i is the delta ending at t=i+1
+    post = misses[fault_tick - 1 :]
+    pre_mean = sum(pre) / len(pre)
+    post_mean = sum(post) / len(post)
+
+    # the tool's own streaming detector over the tool's own telemetry
+    detector = StreamingDetector(capacity=ticks)
+    closed = []
+    for t, numeric_row, categorical_row in replay_rows(obs_dataset):
+        update = detector.tick(t, numeric_row, categorical_row)
+        closed.extend(update.closed_regions)
+
+    meta = DBSherlock()
+    auto = meta.detect(obs_dataset)
+    spec = RegionSpec.from_bounds(
+        [(fault_tick, ticks)], [(1, fault_tick - 2)]
+    )
+    explanation = meta.explain(obs_dataset, spec)
+    obs_predicates = [
+        str(p)
+        for p in explanation.predicates
+        if p.attr.startswith(("repro_cache", "repro_generator"))
+    ]
+    return {
+        "ticks": ticks,
+        "fault_tick": fault_tick,
+        "n_metrics": len(obs_dataset.attributes),
+        "missing_after_regularize": gaps.n_missing,
+        "miss_rate_pre_fault": round(pre_mean, 2),
+        "miss_rate_post_fault": round(post_mean, 2),
+        "streaming_regions_closed": len(closed),
+        "auto_detector_flagged": bool(auto.found),
+        "n_predicates": len(explanation.predicates.predicates),
+        "cache_generator_predicates": obs_predicates,
+    }
+
+
 def run_bench(scale: str = "bench", write_json: bool = True) -> dict:
     params = SCALES[scale]
     profiles = {name: PROFILES[name] for name in params["profile_names"]}
@@ -171,12 +252,17 @@ def run_bench(scale: str = "bench", write_json: bool = True) -> dict:
     recovery = _run_crash_recovery(params)
     recovery_s = time.perf_counter() - start
 
+    start = time.perf_counter()
+    dogfood = _run_dogfood_leg(params)
+    dogfood_s = time.perf_counter() - start
+
     summary = {
         "scale": scale,
         "n_causes": len(chaos["causes"]),
         "elapsed_s": {
             "chaos_suite": round(chaos_s, 2),
             "crash_recovery": round(recovery_s, 2),
+            "dogfood": round(dogfood_s, 2),
         },
         "degradation": {
             name: {
@@ -190,6 +276,7 @@ def run_bench(scale: str = "bench", write_json: bool = True) -> dict:
         },
         "chaos_report": chaos,
         "crash_recovery": recovery,
+        "dogfood": dogfood,
     }
 
     if write_json:
@@ -222,6 +309,15 @@ def _report(summary: dict) -> None:
         f"{rec['reprocessed_ticks']} reprocessed, "
         f"regions match uninterrupted: {rec['regions_match_uninterrupted']}"
     )
+    dog = summary["dogfood"]
+    print(
+        f"dogfood: cache fault@tick {dog['fault_tick']}/{dog['ticks']}, "
+        f"miss rate {dog['miss_rate_pre_fault']} -> "
+        f"{dog['miss_rate_post_fault']}/tick, "
+        f"{dog['n_predicates']} self-predicates "
+        f"({len(dog['cache_generator_predicates'])} cache/generator), "
+        f"auto-detector flagged: {dog['auto_detector_flagged']}"
+    )
 
 
 def _check(summary: dict) -> None:
@@ -252,6 +348,24 @@ def _check(summary: dict) -> None:
     assert recovery["reprocessed_ticks"] == 0, (
         f"{recovery['reprocessed_ticks']} tick(s) re-pulled from the "
         f"source despite the write-ahead log"
+    )
+    # every scale: the tool's own telemetry must be diagnosable — a
+    # regular dataset, a visible cache-miss step, and an explanation
+    # naming the cache/generator symptoms (auto-detection is reported
+    # but not gated: the step is one anomaly in a short window)
+    dogfood = summary["dogfood"]
+    assert dogfood["missing_after_regularize"] == 0, (
+        f"obs telemetry irregular: {dogfood['missing_after_regularize']} "
+        f"missing values after regularization"
+    )
+    assert dogfood["miss_rate_post_fault"] > dogfood["miss_rate_pre_fault"], (
+        f"cache outage invisible in the metrics: miss rate "
+        f"{dogfood['miss_rate_pre_fault']} -> "
+        f"{dogfood['miss_rate_post_fault']}"
+    )
+    assert dogfood["cache_generator_predicates"], (
+        "self-diagnosis produced no cache/generator predicates for the "
+        "cache-outage window"
     )
     if summary["scale"] == "bench":
         margin_drop = moderate["margin_delta_vs_clean"]

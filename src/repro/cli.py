@@ -79,6 +79,19 @@ def build_parser() -> argparse.ArgumentParser:
     plot.add_argument("--attr", default="txn.avg_latency_ms")
 
     sub.add_parser("causes", help="list the Table 1 anomaly causes")
+
+    obs = sub.add_parser(
+        "obs", help="inspect the pipeline's own traces and metrics"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report", help="span tree, stage totals, metric snapshot"
+    )
+    obs_report.add_argument("--trace", required=True,
+                            help="JSON-lines trace (see docs/OBSERVABILITY.md)")
+    obs_report.add_argument("--metrics", default=None,
+                            help="metrics snapshot JSON (optional)")
+    obs_report.add_argument("--max-spans", type=int, default=40)
     return parser
 
 
@@ -172,6 +185,26 @@ def _cmd_causes(args, out) -> int:
     return 0
 
 
+def _cmd_obs(args, out) -> int:
+    import json
+
+    from repro.obs.report import render_report
+    from repro.obs.trace import load_trace, validate_event
+
+    events = load_trace(args.trace)
+    if not events:
+        print(f"no span events in {args.trace}", file=out)
+        return 1
+    for event in events:
+        validate_event(event)
+    snapshot = None
+    if args.metrics is not None:
+        with open(args.metrics) as fh:
+            snapshot = json.load(fh)
+    print(render_report(events, snapshot, max_spans=args.max_spans), file=out)
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "detect": _cmd_detect,
@@ -179,6 +212,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "plot": _cmd_plot,
     "causes": _cmd_causes,
+    "obs": _cmd_obs,
 }
 
 

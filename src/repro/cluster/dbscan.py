@@ -27,7 +27,20 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import metrics
+
 __all__ = ["DBSCAN", "NOISE", "k_distances"]
+
+_GRID_FITS = metrics.REGISTRY.counter(
+    "repro_dbscan_grid_fits_total", "DBSCAN fits served by the grid index"
+)
+_DENSE_FITS = metrics.REGISTRY.counter(
+    "repro_dbscan_dense_fits_total",
+    "DBSCAN fits served by the dense distance matrix",
+)
+_LAST_CLUSTERS = metrics.REGISTRY.gauge(
+    "repro_dbscan_last_clusters", "Clusters found by the most recent fit"
+)
 
 #: Cluster id assigned to noise points.
 NOISE = -1
@@ -187,7 +200,9 @@ class DBSCAN:
             self.index == "auto" and points.shape[0] >= _GRID_MIN_POINTS
         )
         if use_grid:
+            _GRID_FITS.inc()
             return _grid_neighbours(points, eps)
+        _DENSE_FITS.inc()
         return _dense_neighbours(points, eps)
 
     def fit(self, points: np.ndarray) -> "DBSCAN":
@@ -250,6 +265,7 @@ class DBSCAN:
                     break
             cluster_id += 1
         self.labels_ = labels
+        _LAST_CLUSTERS.set(cluster_id)
         return self
 
     def fit_predict(self, points: np.ndarray) -> np.ndarray:

@@ -27,6 +27,7 @@ from repro.core.knowledge import (
 from repro.core.predicates import Conjunction, Predicate
 from repro.data.dataset import Dataset
 from repro.data.regions import RegionSpec
+from repro.obs import metrics, trace
 from repro.schema.fingerprint import fingerprint_attributes
 from repro.schema.reconcile import (
     DEFAULT_COVERAGE_FLOOR,
@@ -37,6 +38,47 @@ from repro.schema.reconcile import (
 __all__ = ["DBSherlock", "Explanation"]
 
 DEFAULT_LAMBDA = 0.2
+
+_CONFIDENCE = metrics.REGISTRY.histogram(
+    "repro_rank_confidence",
+    "Per-model Eq. 3 confidence at ranking time",
+    buckets=(0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+)
+_ABSTENTIONS = metrics.REGISTRY.counter(
+    "repro_rank_abstentions_total",
+    "Models that declined to score (reconciliation coverage below floor)",
+)
+_RECONCILED_RANKS = metrics.REGISTRY.counter(
+    "repro_rank_reconciled_total",
+    "Rankings that fell back to schema reconciliation (drifted input)",
+)
+_CLEAN_RANKS = metrics.REGISTRY.counter(
+    "repro_rank_clean_total",
+    "Rankings served on the clean (no-drift) path",
+)
+_COVERAGE = metrics.REGISTRY.gauge(
+    "repro_reconciliation_coverage",
+    "Attribute coverage of the most recent schema reconciliation",
+)
+_EXPLAINS = metrics.REGISTRY.counter(
+    "repro_explains_total", "DBSherlock.explain invocations"
+)
+
+
+def _observe_rank(scores, report, abstained) -> None:
+    """Fold one ranking pass into the registry (shared with the harness)."""
+    for _cause, confidence in scores:
+        _CONFIDENCE.observe(confidence)
+    if abstained:
+        _ABSTENTIONS.inc(len(abstained))
+    if report is not None:
+        _RECONCILED_RANKS.inc()
+        matches = report.matches
+        if matches:
+            matched = sum(1 for m in matches.values() if m.matched)
+            _COVERAGE.set(matched / len(matches))
+    else:
+        _CLEAN_RANKS.inc()
 
 
 @dataclass
@@ -149,30 +191,43 @@ class DBSherlock:
         When *spec* is omitted the automatic detector locates the abnormal
         region first; a detector miss yields an empty explanation.
         """
-        if spec is None:
-            detection = self.detect(dataset)
-            if not detection.found:
-                return Explanation(predicates=Conjunction())
-            spec = detection.to_region_spec()
+        _EXPLAINS.inc()
+        with trace.span(
+            "explain", dataset=getattr(dataset, "name", None)
+        ) as sp:
+            if spec is None:
+                detection = self.detect(dataset)
+                if not detection.found:
+                    sp.set(detected=False)
+                    return Explanation(predicates=Conjunction())
+                spec = detection.to_region_spec()
 
-        conjunction = self.generator.generate(dataset, spec, attributes)
-        kept, pruned = prune_secondary_symptoms(
-            conjunction.predicates, dataset, self.rules, self.kappa_threshold
-        )
-        scores, report, abstained = self._rank(dataset, spec)
-        visible = [
-            (cause, confidence)
-            for cause, confidence in scores
-            if confidence > self.lambda_threshold
-        ]
-        return Explanation(
-            predicates=Conjunction(kept),
-            pruned=pruned,
-            causes=visible,
-            all_cause_scores=scores,
-            reconciliation=report,
-            abstained=abstained,
-        )
+            conjunction = self.generator.generate(dataset, spec, attributes)
+            with trace.span("prune", candidates=len(conjunction.predicates)):
+                kept, pruned = prune_secondary_symptoms(
+                    conjunction.predicates, dataset, self.rules,
+                    self.kappa_threshold,
+                )
+            scores, report, abstained = self._rank(dataset, spec)
+            visible = [
+                (cause, confidence)
+                for cause, confidence in scores
+                if confidence > self.lambda_threshold
+            ]
+            sp.set(
+                predicates=len(kept),
+                pruned=len(pruned),
+                causes_visible=len(visible),
+                abstained=len(abstained),
+            )
+            return Explanation(
+                predicates=Conjunction(kept),
+                pruned=pruned,
+                causes=visible,
+                all_cause_scores=scores,
+                reconciliation=report,
+                abstained=abstained,
+            )
 
     def _rank(
         self, dataset: Dataset, spec: RegionSpec
@@ -192,25 +247,33 @@ class DBSherlock:
             for model in self.store
             for attr in model.attributes
         )
-        if not drifted:
-            scores = self.store.rank(
-                dataset, spec, n_partitions=self.config.n_partitions,
+        with trace.span(
+            "rank", models=len(self.store), drifted=drifted
+        ):
+            if not drifted:
+                scores = self.store.rank(
+                    dataset, spec, n_partitions=self.config.n_partitions,
+                    cache=self.cache,
+                )
+                _observe_rank(scores, None, [])
+                return scores, None, []
+            result = self.store.rank_reconciled(
+                dataset,
+                spec,
+                self.reconciler,
+                n_partitions=self.config.n_partitions,
                 cache=self.cache,
+                coverage_floor=self.coverage_floor,
             )
-            return scores, None, []
-        result = self.store.rank_reconciled(
-            dataset,
-            spec,
-            self.reconciler,
-            n_partitions=self.config.n_partitions,
-            cache=self.cache,
-            coverage_floor=self.coverage_floor,
-        )
-        return result.scores, result.report, result.abstained
+            _observe_rank(result.scores, result.report, result.abstained)
+            return result.scores, result.report, result.abstained
 
     def detect(self, dataset: Dataset) -> DetectionResult:
         """Automatically locate abnormal regions (Section 7)."""
-        return self.detector.detect(dataset)
+        with trace.span("detect") as sp:
+            result = self.detector.detect(dataset)
+            sp.set(found=result.found)
+            return result
 
     def feedback(
         self,
@@ -245,16 +308,44 @@ class DBSherlock:
         return scores[:top_k]
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _alias_path(path):
+        """The alias table lives next to the model store."""
+        from pathlib import Path
+
+        path = Path(path)
+        return path.with_name(path.stem + ".aliases.json")
+
     def save_models(self, path) -> None:
-        """Persist the accumulated causal models as JSON."""
+        """Persist the accumulated causal models as JSON.
+
+        The reconciler's learned alias table (if any) is saved alongside
+        at ``<models>.aliases.json`` — models and confirmed drift
+        resolutions are both accumulated diagnostic knowledge.
+        """
         from repro.core.persistence import save_store
 
         save_store(self.store, path)
+        store = self.reconciler.alias_store
+        if store is not None:
+            if store.path is None:
+                store.path = self._alias_path(path)
+            store.save()
 
     def load_models(self, path) -> None:
-        """Load previously saved causal models, merging same-cause models."""
+        """Load previously saved causal models, merging same-cause models.
+
+        When an alias table sits next to the model store and the
+        reconciler has none yet, it is attached — previously confirmed
+        drift resolutions resolve at the alias stage from the first
+        diagnosis.
+        """
         from repro.core.persistence import load_store
+        from repro.schema.aliases import AliasStore
 
         loaded = load_store(path)
         for model in loaded:
             self.store.add(model)
+        alias_path = self._alias_path(path)
+        if self.reconciler.alias_store is None and alias_path.exists():
+            self.reconciler.alias_store = AliasStore(alias_path)

@@ -14,6 +14,7 @@ switches used by the Appendix D step-contribution study (Table 6).
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -34,8 +35,22 @@ from repro.core.predicates import (
 from repro.core.separation import normalize_values, region_means
 from repro.data.dataset import Dataset
 from repro.data.regions import RegionSpec
+from repro.obs import metrics, trace
 
 __all__ = ["GeneratorConfig", "AttributeArtifacts", "PredicateGenerator"]
+
+_PREDICATES_KEPT = metrics.REGISTRY.counter(
+    "repro_generator_predicates_kept_total",
+    "Candidate predicates extracted by Algorithm 1",
+)
+_PREDICATES_REJECTED = metrics.REGISTRY.counter(
+    "repro_generator_predicates_rejected_total",
+    "Attributes rejected during predicate generation",
+)
+_GENERATE_SECONDS = metrics.REGISTRY.histogram(
+    "repro_generator_seconds",
+    "Wall time of one generate_with_artifacts pass",
+)
 
 
 @dataclass(frozen=True)
@@ -134,6 +149,35 @@ class PredicateGenerator:
         attributes: Optional[Sequence[str]] = None,
     ) -> Dict[str, AttributeArtifacts]:
         """Like :meth:`generate` but returns per-attribute artifacts."""
+        if not trace.enabled():
+            return self._generate_with_artifacts(dataset, spec, attributes)
+        with trace.span(
+            "generate_predicates",
+            dataset=getattr(dataset, "name", None),
+            attr_count=len(attributes) if attributes is not None
+            else len(dataset.attributes),
+            n_partitions=self.config.n_partitions,
+        ) as sp:
+            timings: Dict[str, float] = {}
+            artifacts = self._generate_with_artifacts(
+                dataset, spec, attributes, timings
+            )
+            for name in ("partition", "label", "filter", "fill", "extract"):
+                if name in timings:
+                    trace.stage(name, timings[name])
+            kept = sum(1 for a in artifacts.values() if a.predicate is not None)
+            sp.set(predicates_kept=kept, predicates_rejected=len(artifacts) - kept)
+        return artifacts
+
+    def _generate_with_artifacts(
+        self,
+        dataset: Dataset,
+        spec: RegionSpec,
+        attributes: Optional[Sequence[str]] = None,
+        timings: Optional[Dict[str, float]] = None,
+    ) -> Dict[str, AttributeArtifacts]:
+        t0 = time.perf_counter()
+        start = t0
         spec.validate(dataset)
         cache = self.cache
         if cache is not None:
@@ -141,6 +185,10 @@ class PredicateGenerator:
         else:
             abnormal = spec.abnormal_mask(dataset)
             normal = spec.normal_mask(dataset)
+        if timings is not None:
+            now = time.perf_counter()
+            timings["partition"] = now - start
+            start = now
         names = list(attributes) if attributes is not None else dataset.attributes
         numeric_names = [a for a in names if dataset.is_numeric(a)]
         entries: Dict[str, object] = {}
@@ -159,18 +207,28 @@ class PredicateGenerator:
                 dataset, numeric_names, abnormal, normal,
                 self.config.n_partitions,
             )
+        if timings is not None:
+            timings["label"] = time.perf_counter() - start
         artifacts: Dict[str, AttributeArtifacts] = {}
+        kept = rejected = 0
         for attr in names:
             if dataset.is_numeric(attr):
                 space, labels = labeled[attr]
                 artifacts[attr] = self._numeric_attribute(
                     dataset, spec, attr, abnormal, normal,
-                    space, labels, entries.get(attr),
+                    space, labels, entries.get(attr), timings,
                 )
             else:
                 artifacts[attr] = self._categorical_attribute(
                     dataset, attr, abnormal, normal
                 )
+            if artifacts[attr].predicate is not None:
+                kept += 1
+            else:
+                rejected += 1
+        _PREDICATES_KEPT.inc(kept)
+        _PREDICATES_REJECTED.inc(rejected)
+        _GENERATE_SECONDS.observe(time.perf_counter() - t0)
         return artifacts
 
     # ------------------------------------------------------------------
@@ -186,6 +244,7 @@ class PredicateGenerator:
         space: NumericPartitionSpace,
         labels: np.ndarray,
         entry: Optional[object] = None,
+        timings: Optional[Dict[str, float]] = None,
     ) -> AttributeArtifacts:
         values = dataset.column(attr)
         art = AttributeArtifacts(
@@ -204,6 +263,7 @@ class PredicateGenerator:
                 )
                 return art
 
+        start = time.perf_counter() if timings is not None else 0.0
         if not self.config.enable_filtering:
             filtered = labels
         elif entry is not None:
@@ -211,6 +271,10 @@ class PredicateGenerator:
         else:
             filtered = filter_partitions(labels)
         art.labels_filtered = filtered
+        if timings is not None:
+            now = time.perf_counter()
+            timings["filter"] = timings.get("filter", 0.0) + (now - start)
+            start = now
 
         if not (filtered == int(Label.ABNORMAL)).any():
             art.rejection = "no abnormal partitions after filtering"
@@ -233,37 +297,49 @@ class PredicateGenerator:
         else:
             filled = filtered
         art.labels_filled = filled
+        if timings is not None:
+            now = time.perf_counter()
+            timings["fill"] = timings.get("fill", 0.0) + (now - start)
+            start = now
 
-        if self.cache is not None:
-            mu_abnormal, mu_normal = self.cache.normalized_means(
-                dataset, spec, attr
-            )
-        else:
-            normalized = normalize_values(values)
-            mu_abnormal, mu_normal = region_means(normalized, abnormal, normal)
-        art.normalized_difference = abs(mu_abnormal - mu_normal)
-        if not np.isfinite(art.normalized_difference):
-            # a region with no valid samples yields a NaN mean: no evidence
-            art.rejection = "degraded telemetry: region mean undefined"
-            return art
+        try:
+            if self.cache is not None:
+                mu_abnormal, mu_normal = self.cache.normalized_means(
+                    dataset, spec, attr
+                )
+            else:
+                normalized = normalize_values(values)
+                mu_abnormal, mu_normal = region_means(
+                    normalized, abnormal, normal
+                )
+            art.normalized_difference = abs(mu_abnormal - mu_normal)
+            if not np.isfinite(art.normalized_difference):
+                # a region with no valid samples yields a NaN mean: no evidence
+                art.rejection = "degraded telemetry: region mean undefined"
+                return art
 
-        blocks = abnormal_blocks(filled)
-        if len(blocks) != 1:
-            art.rejection = f"{len(blocks)} abnormal blocks (need exactly 1)"
-            return art
-        if art.normalized_difference <= self.config.theta:
-            art.rejection = (
-                f"normalized difference {art.normalized_difference:.3f} "
-                f"<= theta {self.config.theta}"
-            )
-            return art
+            blocks = abnormal_blocks(filled)
+            if len(blocks) != 1:
+                art.rejection = f"{len(blocks)} abnormal blocks (need exactly 1)"
+                return art
+            if art.normalized_difference <= self.config.theta:
+                art.rejection = (
+                    f"normalized difference {art.normalized_difference:.3f} "
+                    f"<= theta {self.config.theta}"
+                )
+                return art
 
-        start, end = blocks[0]
-        if start == 0 and end == space.n_partitions - 1:
-            art.rejection = "abnormal block spans the entire domain"
+            lo, hi = blocks[0]
+            if lo == 0 and hi == space.n_partitions - 1:
+                art.rejection = "abnormal block spans the entire domain"
+                return art
+            art.predicate = self._block_to_predicate(space, lo, hi)
             return art
-        art.predicate = self._block_to_predicate(space, start, end)
-        return art
+        finally:
+            if timings is not None:
+                timings["extract"] = timings.get("extract", 0.0) + (
+                    time.perf_counter() - start
+                )
 
     @staticmethod
     def _block_to_predicate(

@@ -32,6 +32,7 @@ from repro.data.dataset import Dataset
 from repro.data.regions import RegionSpec
 from repro.engine.collector import simulate_telemetry
 from repro.eval.metrics import margin_of_confidence, topk_contains
+from repro.obs import trace
 from repro.perf.cache import LabeledSpaceCache
 from repro.perf.parallel import parallel_map
 from repro.workload.spec import WorkloadSpec
@@ -246,26 +247,34 @@ def rank_models(
     attribute names back to the model vocabulary first (models below
     ``coverage_floor`` coverage abstain at confidence 0.0).
     """
+    from repro.core.explain import _observe_rank
+
     if cache is None:
         cache = LabeledSpaceCache()
-    if reconciler is not None:
-        from repro.schema.reconcile import rank_with_reconciliation
+    with trace.span(
+        "rank", models=len(models), drifted=reconciler is not None
+    ):
+        if reconciler is not None:
+            from repro.schema.reconcile import rank_with_reconciliation
 
-        return rank_with_reconciliation(
-            models,
-            dataset,
-            spec,
-            reconciler,
-            n_partitions=n_partitions,
-            cache=cache,
-            coverage_floor=coverage_floor,
-        ).scores
-    scored = [
-        (m.cause, m.confidence(dataset, spec, n_partitions, cache=cache))
-        for m in models
-    ]
-    scored.sort(key=lambda item: item[1], reverse=True)
-    return scored
+            result = rank_with_reconciliation(
+                models,
+                dataset,
+                spec,
+                reconciler,
+                n_partitions=n_partitions,
+                cache=cache,
+                coverage_floor=coverage_floor,
+            )
+            _observe_rank(result.scores, result.report, result.abstained)
+            return result.scores
+        scored = [
+            (m.cause, m.confidence(dataset, spec, n_partitions, cache=cache))
+            for m in models
+        ]
+        scored.sort(key=lambda item: item[1], reverse=True)
+        _observe_rank(scored, None, [])
+        return scored
 
 
 def _build_model_task(task: tuple) -> CausalModel:

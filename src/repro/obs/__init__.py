@@ -1,0 +1,47 @@
+"""Self-observation layer: tracing, metrics, and dogfood telemetry.
+
+- :mod:`repro.obs.trace` — hierarchical spans recorded as JSON-lines
+  events, context-propagated across ``parallel_map`` workers, free when
+  disabled.
+- :mod:`repro.obs.metrics` — process-wide counter/gauge/histogram
+  registry with Prometheus-text and JSON exporters.
+- :mod:`repro.obs.dogfood` — resamples the registry into a per-second
+  ``Dataset`` so the pipeline can diagnose itself.
+- :mod:`repro.obs.report` — renders traces and snapshots as ASCII
+  (``repro-sherlock obs report``).
+"""
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.trace import (
+    TraceRecorder,
+    add_attrs,
+    attached,
+    current_context,
+    enabled,
+    get_recorder,
+    install,
+    load_trace,
+    recording,
+    span,
+    stage,
+    uninstall,
+    validate_event,
+)
+
+__all__ = [
+    "REGISTRY",
+    "MetricsRegistry",
+    "TraceRecorder",
+    "add_attrs",
+    "attached",
+    "current_context",
+    "enabled",
+    "get_recorder",
+    "install",
+    "load_trace",
+    "recording",
+    "span",
+    "stage",
+    "uninstall",
+    "validate_event",
+]

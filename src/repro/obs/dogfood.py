@@ -1,0 +1,156 @@
+"""Dogfood bridge: the pipeline's own metrics as a diagnosable Dataset.
+
+DBSherlock diagnoses databases from per-second telemetry counters.  The
+metrics registry (:mod:`repro.obs.metrics`) *is* a set of per-second
+telemetry counters — about the diagnosis pipeline itself.  This module
+closes the loop: :class:`MetricsTimeline` samples the registry on a
+fixed cadence and re-emits the samples as a
+:class:`~repro.data.dataset.Dataset`, so ``DBSherlock.explain`` and
+:class:`~repro.stream.detector.StreamingDetector` can run on the tool's
+own behaviour — a cache disabled mid-run shows up as a miss-rate step
+the detector flags and the explainer turns into predicates like
+``repro_cache_misses_total > 40``.
+
+Counters and histogram count/sum series are emitted as **per-interval
+deltas** (rates) by default: Equation 4's sliding-median machinery
+expects level shifts, and a monotone cumulative counter would look
+anomalous forever.  Gauges pass through as levels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.data.dataset import Dataset
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+
+__all__ = ["MetricsTimeline", "flatten_snapshot"]
+
+
+def flatten_snapshot(snapshot: Dict[str, dict]) -> Dict[str, float]:
+    """One registry snapshot as a flat ``attribute → float`` row.
+
+    Counters and gauges keep their name; a histogram contributes
+    ``<name>_count`` and ``<name>_sum`` (its bucket vector is cumulative
+    detail the telemetry row does not need).
+    """
+    row: Dict[str, float] = {}
+    for name, entry in snapshot.items():
+        if entry["kind"] == "histogram":
+            row[name + "_count"] = float(entry["count"])
+            row[name + "_sum"] = float(entry["sum"])
+        else:
+            row[name] = float(entry["value"])
+    return row
+
+
+class MetricsTimeline:
+    """Periodic registry samples, convertible to a per-second Dataset.
+
+    Call :meth:`sample` once per interval (the caller owns the cadence —
+    typically once per processed stream tick or simulated second); then
+    :meth:`to_dataset` yields a regular, strictly-increasing-timestamp
+    dataset ready for ``regularize_dataset``, the streaming detector, or
+    ``DBSherlock.explain``.
+
+    Parameters
+    ----------
+    registry:
+        Registry to sample (default: the process-wide one).
+    interval:
+        Seconds between implicit timestamps when :meth:`sample` is
+        called without an explicit time.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        interval: float = 1.0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.registry = registry if registry is not None else REGISTRY
+        self.interval = float(interval)
+        self._samples: List[Tuple[float, Dict[str, float]]] = []
+        self._kinds: Dict[str, str] = {}
+        self._tick = 0
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def sample(self, t: Optional[float] = None) -> Dict[str, float]:
+        """Record one registry snapshot at time *t* (implicit cadence
+        ``tick * interval`` when omitted)."""
+        if t is None:
+            t = self._tick * self.interval
+        t = float(t)
+        if self._samples and t <= self._samples[-1][0]:
+            raise ValueError(
+                f"sample time {t} does not advance past "
+                f"{self._samples[-1][0]}"
+            )
+        self._tick += 1
+        snapshot = self.registry.snapshot()
+        for name, entry in snapshot.items():
+            self._kinds.setdefault(name, entry["kind"])
+        row = flatten_snapshot(snapshot)
+        self._samples.append((t, row))
+        return row
+
+    def _is_cumulative(self, attr: str) -> bool:
+        """Counters and histogram count/sum series accumulate; gauges don't."""
+        kind = self._kinds.get(attr)
+        if kind is not None:
+            return kind == "counter"
+        for suffix in ("_count", "_sum"):
+            if attr.endswith(suffix):
+                base = attr[: -len(suffix)]
+                if self._kinds.get(base) == "histogram":
+                    return True
+        return False
+
+    def to_dataset(
+        self,
+        rates: bool = True,
+        name: str = "obs-telemetry",
+        attributes: Optional[Sequence[str]] = None,
+    ) -> Dataset:
+        """The timeline as a :class:`~repro.data.dataset.Dataset`.
+
+        With ``rates`` (default), cumulative series become per-interval
+        deltas stamped at the later sample, so ``n`` samples yield
+        ``n - 1`` rows; gauges take the later sample's level.  Metrics
+        registered mid-timeline are backfilled with zeros.
+        """
+        samples = self._samples
+        if rates:
+            if len(samples) < 2:
+                raise ValueError("rates need at least two samples")
+        elif not samples:
+            raise ValueError("the timeline has no samples")
+        attrs = (
+            list(attributes)
+            if attributes is not None
+            else sorted({a for _t, row in samples for a in row})
+        )
+        if rates:
+            timestamps = [t for t, _row in samples[1:]]
+            numeric = {
+                attr: (
+                    [
+                        samples[i][1].get(attr, 0.0)
+                        - samples[i - 1][1].get(attr, 0.0)
+                        for i in range(1, len(samples))
+                    ]
+                    if self._is_cumulative(attr)
+                    else [row.get(attr, 0.0) for _t, row in samples[1:]]
+                )
+                for attr in attrs
+            }
+        else:
+            timestamps = [t for t, _row in samples]
+            numeric = {
+                attr: [row.get(attr, 0.0) for _t, row in samples]
+                for attr in attrs
+            }
+        return Dataset(timestamps, numeric=numeric, name=name)

@@ -1,0 +1,290 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+One global :data:`REGISTRY` (the Prometheus model, stdlib-only) backs
+every counter the pipeline used to keep ad hoc — cache hits/misses,
+supervisor/WAL tick counts, quarantine events, reconciliation coverage —
+plus the latency histograms added by the tracing layer.  Instrumented
+modules call :meth:`MetricsRegistry.counter` & co. at import time;
+creation is get-or-create, so two modules naming the same metric share
+one instrument and re-imports are harmless.
+
+Exporters: :meth:`MetricsRegistry.to_prometheus` (text exposition
+format) and :meth:`MetricsRegistry.to_json` / :meth:`snapshot` (plain
+dicts — what :mod:`repro.obs.dogfood` samples into a ``Dataset``).
+
+Instruments are deliberately label-free: a label set would turn each
+metric into a family keyed by label values, and nothing in the pipeline
+needs that cardinality — distinct code paths get distinct metric names
+(``repro_dbscan_grid_fits_total`` vs ``repro_dbscan_dense_fits_total``),
+which also keeps the dogfood ``Dataset`` attribute list stable.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram upper bounds (seconds) — spans ~1 ms to 10 s, which
+#: covers everything from a single stream tick to a full suite build.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+class Counter:
+    """Monotonically increasing count (resets only via registry reset)."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _reset(self) -> None:
+        self._value = 0.0
+
+
+class Gauge:
+    """A value that can go up and down (coverage, resident bytes, ...)."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: Union[int, float]) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _reset(self) -> None:
+        self._value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram of observations (cumulative, Prometheus-style)."""
+
+    __slots__ = ("name", "help", "buckets", "_counts", "_sum", "_count", "_lock")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 for the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: Union[int, float]) -> None:
+        value = float(value)
+        idx = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                idx = i
+                break
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Cumulative (upper bound, count) pairs, ending with +Inf."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self._counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self._counts[-1]))
+        return out
+
+    def _reset(self) -> None:
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+
+class MetricsRegistry:
+    """Name → instrument map with get-or-create semantics and exporters."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, requested {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Optional[Union[Counter, Gauge, Histogram]]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every instrument in place (handles stay valid)."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric._reset()
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, dict]:
+        """Current values as plain dicts, keyed by metric name."""
+        out: Dict[str, dict] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = {
+                    "kind": "histogram",
+                    "help": metric.help,
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "buckets": [
+                        [bound, count] for bound, count in metric.bucket_counts()
+                    ],
+                }
+            else:
+                out[name] = {
+                    "kind": metric.kind,
+                    "help": metric.help,
+                    "value": metric.value,
+                }
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Snapshot serialized as JSON (``inf`` bucket bound → ``"+Inf"``)."""
+        snap = self.snapshot()
+        for entry in snap.values():
+            if entry["kind"] == "histogram":
+                entry["buckets"] = [
+                    ["+Inf" if bound == float("inf") else bound, count]
+                    for bound, count in entry["buckets"]
+                ]
+        return json.dumps(snap, indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for bound, count in metric.bucket_counts():
+                    le = "+Inf" if bound == float("inf") else _fmt(bound)
+                    lines.append(f'{name}_bucket{{le="{le}"}} {count}')
+                lines.append(f"{name}_sum {_fmt(metric.sum)}")
+                lines.append(f"{name}_count {metric.count}")
+            else:
+                lines.append(f"{name} {_fmt(metric.value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    """Render a float the Prometheus way: integers without a trailing .0."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+#: The process-wide registry every pipeline module registers against.
+REGISTRY = MetricsRegistry()

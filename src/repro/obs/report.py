@@ -1,0 +1,135 @@
+"""Render traces and metric snapshots as terminal text.
+
+Backs the ``repro-sherlock obs report`` CLI: given a JSON-lines trace
+(and optionally a metrics-snapshot JSON), prints the span tree of the
+slowest trace, aggregate per-stage wall times, and a metric summary with
+:func:`repro.viz.ascii.sparkline` histograms.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence
+
+from repro.viz.ascii import sparkline
+
+__all__ = ["span_tree", "stage_summary", "metrics_summary", "render_report"]
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def span_tree(
+    events: Sequence[dict], max_spans: int = 40
+) -> str:
+    """The slowest trace's spans as an indented tree with wall times."""
+    if not events:
+        return "(no spans recorded)"
+    by_trace: Dict[str, List[dict]] = defaultdict(list)
+    for event in events:
+        by_trace[event["trace_id"]].append(event)
+    # the trace whose root work is largest
+    trace = max(
+        by_trace.values(),
+        key=lambda evs: sum(
+            e["duration_s"] for e in evs if e.get("parent_id") is None
+        ),
+    )
+    children: Dict[Optional[str], List[dict]] = defaultdict(list)
+    ids = {e["span_id"] for e in trace}
+    for event in trace:
+        parent = event.get("parent_id")
+        # a worker span whose parent lives in another recorder still
+        # attaches when the parent event is present; otherwise treat it
+        # as a root so nothing is silently dropped
+        children[parent if parent in ids else None].append(event)
+    for siblings in children.values():
+        siblings.sort(key=lambda e: e["start_s"])
+
+    lines: List[str] = []
+
+    def walk(parent_id: Optional[str], depth: int) -> None:
+        for event in children.get(parent_id, []):
+            if len(lines) >= max_spans:
+                return
+            attrs = event.get("attrs") or {}
+            note = ""
+            if attrs:
+                parts = [f"{k}={v}" for k, v in sorted(attrs.items())]
+                note = "  [" + ", ".join(parts[:4]) + "]"
+            lines.append(
+                f"{'  ' * depth}{event['name']:<24} "
+                f"{_fmt_s(event['duration_s']):>9}{note}"
+            )
+            walk(event["span_id"], depth + 1)
+
+    walk(None, 0)
+    if len(lines) >= max_spans:
+        lines.append(f"... ({len(trace)} spans total)")
+    return "\n".join(lines)
+
+
+def stage_summary(events: Sequence[dict], top: int = 12) -> str:
+    """Aggregate wall time per span name, slowest first."""
+    if not events:
+        return "(no spans recorded)"
+    totals: Dict[str, float] = defaultdict(float)
+    counts: Dict[str, int] = defaultdict(int)
+    for event in events:
+        totals[event["name"]] += event["duration_s"]
+        counts[event["name"]] += 1
+    ranked = sorted(totals.items(), key=lambda kv: -kv[1])[:top]
+    width = max(len(name) for name, _total in ranked)
+    lines = []
+    for name, total in ranked:
+        n = counts[name]
+        lines.append(
+            f"{name:<{width}}  total {_fmt_s(total):>9}  "
+            f"x{n:<5} avg {_fmt_s(total / n):>9}"
+        )
+    return "\n".join(lines)
+
+
+def metrics_summary(snapshot: Dict[str, dict]) -> str:
+    """One line per metric: value, or count/sum + bucket sparkline."""
+    if not snapshot:
+        return "(no metrics recorded)"
+    width = max(len(name) for name in snapshot)
+    lines = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        if entry["kind"] == "histogram":
+            cumulative = [count for _bound, count in entry["buckets"]]
+            per_bucket = [
+                c - (cumulative[i - 1] if i else 0)
+                for i, c in enumerate(cumulative)
+            ]
+            spark = sparkline(per_bucket) if entry["count"] else ""
+            lines.append(
+                f"{name:<{width}}  count={entry['count']} "
+                f"sum={entry['sum']:.4g} {spark}"
+            )
+        else:
+            lines.append(f"{name:<{width}}  {entry['value']:.6g}")
+    return "\n".join(lines)
+
+
+def render_report(
+    events: Sequence[dict],
+    snapshot: Optional[Dict[str, dict]] = None,
+    max_spans: int = 40,
+) -> str:
+    """The full ``obs report`` text: tree, stage totals, metrics."""
+    sections = [
+        "== Slowest trace ==",
+        span_tree(events, max_spans=max_spans),
+        "",
+        "== Stage totals ==",
+        stage_summary(events),
+    ]
+    if snapshot is not None:
+        sections += ["", "== Metrics ==", metrics_summary(snapshot)]
+    return "\n".join(sections)

@@ -35,9 +35,26 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import metrics
+
 __all__ = ["LabeledAttribute", "LabeledSpaceCache"]
 
 _UNSET = object()
+
+_CACHE_HITS = metrics.REGISTRY.counter(
+    "repro_cache_hits_total", "Labeled-space cache hits"
+)
+_CACHE_MISSES = metrics.REGISTRY.counter(
+    "repro_cache_misses_total", "Labeled-space cache misses"
+)
+_CACHE_EVICTIONS = metrics.REGISTRY.counter(
+    "repro_cache_evictions_total",
+    "Labeled-space cache entries dropped by eviction or invalidation",
+)
+_CACHE_RESIDENT_BYTES = metrics.REGISTRY.gauge(
+    "repro_cache_resident_bytes",
+    "Bytes held by cached label arrays (refreshed on stats()/resident_bytes())",
+)
 
 
 class LabeledAttribute:
@@ -140,6 +157,15 @@ class LabeledSpaceCache:
         self._by_dataset: Dict[int, set] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    def _count_hits(self, n: int = 1) -> None:
+        self.hits += n
+        _CACHE_HITS.inc(n)
+
+    def _count_misses(self, n: int = 1) -> None:
+        self.misses += n
+        _CACHE_MISSES.inc(n)
 
     # ------------------------------------------------------------------
     # Keying and eviction
@@ -160,9 +186,14 @@ class LabeledSpaceCache:
         self._by_dataset[token].add((table, key))
 
     def _evict(self, token: int) -> None:
+        evicted = 0
         for table, key in self._by_dataset.pop(token, ()):
-            getattr(self, table).pop(key, None)
+            if getattr(self, table).pop(key, None) is not None:
+                evicted += 1
         self._dataset_refs.pop(token, None)
+        if evicted:
+            self.evictions += evicted
+            _CACHE_EVICTIONS.inc(evicted)
 
     def invalidate(self, dataset=None) -> None:
         """Drop entries for *dataset* (all entries when omitted)."""
@@ -172,21 +203,52 @@ class LabeledSpaceCache:
             self._evict(id(dataset))
 
     def clear(self) -> None:
-        """Drop every entry (counters are kept)."""
+        """Drop every entry and zero the counters.
+
+        A cleared cache reads as a fresh one: ``stats()`` afterwards
+        reports zeros, not the totals of a previous lifetime.  (The
+        process-wide obs counters are cumulative and unaffected.)
+        """
+        dropped = (
+            len(self._entries) + len(self._masks) + len(self._norm_means)
+        )
+        if dropped:
+            _CACHE_EVICTIONS.inc(dropped)
         self._entries.clear()
         self._masks.clear()
         self._norm_means.clear()
         self._dataset_refs.clear()
         self._by_dataset.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def resident_bytes(self) -> int:
+        """Bytes held by cached arrays (labels, derived forms, masks)."""
+        total = 0
+        for entry in self._entries.values():
+            total += entry.labels_initial.nbytes
+            if entry._labels_filtered is not None and (
+                entry._labels_filtered is not entry.labels_initial
+            ):
+                total += entry._labels_filtered.nbytes
+            if entry._representatives is not None:
+                total += entry._representatives.nbytes
+        for abnormal, normal in self._masks.values():
+            total += abnormal.nbytes + normal.nbytes
+        _CACHE_RESIDENT_BYTES.set(total)
+        return total
 
     def stats(self) -> Dict[str, int]:
         """Observable cache state, for tests and bench reports."""
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
             "entries": len(self._entries),
             "mask_entries": len(self._masks),
             "datasets": len(self._by_dataset),
+            "resident_bytes": self.resident_bytes(),
         }
 
     # ------------------------------------------------------------------
@@ -198,9 +260,9 @@ class LabeledSpaceCache:
         key = (token, _spec_key(spec))
         cached = self._masks.get(key)
         if cached is not None:
-            self.hits += 1
+            self._count_hits()
             return cached
-        self.misses += 1
+        self._count_misses()
         cached = (spec.abnormal_mask(dataset), spec.normal_mask(dataset))
         self._masks[key] = cached
         self._register(token, "_masks", key)
@@ -223,14 +285,14 @@ class LabeledSpaceCache:
             key = (token, skey, attr, int(n_partitions))
             entry = self._entries.get(key)
             if entry is not None:
-                self.hits += 1
+                self._count_hits()
                 found[attr] = entry
             elif dataset.is_numeric(attr):
                 missing_numeric.append(attr)
             else:
                 missing_categorical.append(attr)
         if missing_numeric or missing_categorical:
-            self.misses += len(missing_numeric) + len(missing_categorical)
+            self._count_misses(len(missing_numeric) + len(missing_categorical))
             abnormal, normal = self.masks(dataset, spec)
             if missing_numeric:
                 from repro.perf.batch import label_numeric_batch
@@ -262,7 +324,7 @@ class LabeledSpaceCache:
         key = (id(dataset), _spec_key(spec), attr, int(n_partitions))
         cached = self._entries.get(key)
         if cached is not None:
-            self.hits += 1
+            self._count_hits()
             return cached
         return self.entries(dataset, spec, [attr], n_partitions)[attr]
 
@@ -286,9 +348,9 @@ class LabeledSpaceCache:
         key = (token, _spec_key(spec), attr)
         cached = self._norm_means.get(key)
         if cached is not None:
-            self.hits += 1
+            self._count_hits()
             return cached
-        self.misses += 1
+        self._count_misses()
         from repro.core.separation import normalize_values, region_means
 
         abnormal, normal = self.masks(dataset, spec)

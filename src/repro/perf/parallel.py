@@ -22,6 +22,8 @@ import multiprocessing
 import os
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
+from repro.obs import trace
+
 __all__ = ["parallel_map", "resolve_jobs", "JOBS_ENV"]
 
 #: Environment variable naming the default worker count.
@@ -52,6 +54,27 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
+class _TracedCall:
+    """Picklable wrapper running *fn* attached to the parent span context.
+
+    Worker processes adopt the coordinator's (trace id, span id, sink
+    path) triple, so their spans land in the same JSON-lines file and
+    parent onto the ``parallel_map`` span.  Each item runs inside its
+    own ``parallel_map.worker`` span.
+    """
+
+    __slots__ = ("fn", "context")
+
+    def __init__(self, fn, context) -> None:
+        self.fn = fn
+        self.context = context
+
+    def __call__(self, item):
+        with trace.attached(self.context):
+            with trace.span("parallel_map.worker"):
+                return self.fn(item)
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -63,9 +86,24 @@ def parallel_map(
     *fn* must be a picklable top-level callable and must be pure: on any
     pool failure (or a worker exception) the whole map is re-run serially,
     which re-raises genuine errors from *fn* in the caller's process.
+
+    When tracing is enabled the whole map runs under a ``parallel_map``
+    span, and workers attach their spans to it across the process
+    boundary (see :mod:`repro.obs.trace`).
     """
     items = list(items)
     n_workers = min(resolve_jobs(jobs), len(items))
+    if not trace.enabled():
+        return _run_map(fn, items, n_workers, chunksize)
+    with trace.span("parallel_map", items=len(items), jobs=n_workers):
+        context = trace.current_context()
+        wrapped = _TracedCall(fn, context) if context is not None else fn
+        return _run_map(wrapped, items, n_workers, chunksize)
+
+
+def _run_map(
+    fn: Callable[[T], R], items: List[T], n_workers: int, chunksize: int
+) -> List[R]:
     if n_workers <= 1:
         return [fn(item) for item in items]
     try:

@@ -1,0 +1,133 @@
+"""Persistent alias table: confirmed schema-drift resolutions.
+
+When :class:`~repro.schema.reconcile.SchemaReconciler` resolves a
+renamed attribute by fingerprint similarity, that match cost a full
+fingerprint pass and carries residual uncertainty.  Once a match has
+been confirmed (score above the reconciler's ``confirm_threshold``),
+recording it here turns every future occurrence of the same drift into
+an alias-stage lookup — no fingerprinting, score 1.0, and the mapping
+survives process restarts.
+
+The table is stored as atomic JSON (write to a temp file, ``fsync``,
+``os.replace``) so a crash mid-save can never leave a torn table, and
+it lives next to the causal-model store
+(:meth:`repro.core.explain.DBSherlock.save_models` puts it at
+``<models>.aliases.json``) because aliases are, like models, accumulated
+diagnostic knowledge.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+__all__ = ["AliasStore"]
+
+SCHEMA_VERSION = 1
+
+
+class AliasStore:
+    """Observed-name → canonical-model-name table with durable JSON backing.
+
+    Parameters
+    ----------
+    path:
+        JSON file backing the table.  Loaded on construction when it
+        exists; a missing file starts empty.  ``None`` keeps the store
+        purely in memory (useful in tests).
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.aliases: Dict[str, str] = {}
+        #: per observed name, the confirmation score it was recorded at.
+        self.scores: Dict[str, float] = {}
+        if self.path is not None and self.path.exists():
+            self.load()
+
+    def __len__(self) -> int:
+        return len(self.aliases)
+
+    def __contains__(self, data_attr: str) -> bool:
+        return data_attr in self.aliases
+
+    def get(self, data_attr: str) -> Optional[str]:
+        """The canonical name *data_attr* maps to, if recorded."""
+        return self.aliases.get(data_attr)
+
+    def record(
+        self, data_attr: str, canonical: str, score: float = 1.0
+    ) -> bool:
+        """Record a confirmed mapping; returns True when the table changed.
+
+        An existing mapping for *data_attr* is overwritten only by a
+        strictly higher score — a later, weaker match never downgrades a
+        stronger confirmation.  Identity mappings are not stored (the
+        exact stage already handles them).
+        """
+        if data_attr == canonical:
+            return False
+        current = self.scores.get(data_attr)
+        if self.aliases.get(data_attr) == canonical:
+            if current is not None and current >= score:
+                return False
+        elif current is not None and current > score:
+            return False
+        self.aliases[data_attr] = canonical
+        self.scores[data_attr] = float(score)
+        return True
+
+    def update(self, mappings: Mapping[str, str], score: float = 1.0) -> int:
+        """Record many mappings; returns how many changed the table."""
+        return sum(
+            1 for d, c in mappings.items() if self.record(d, c, score)
+        )
+
+    # ------------------------------------------------------------------
+    def load(self) -> None:
+        """Re-read the backing file (no-op for in-memory stores)."""
+        if self.path is None:
+            return
+        with self.path.open("r") as fh:
+            payload = json.load(fh)
+        version = payload.get("version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported alias-table version {version!r} "
+                f"(expected {SCHEMA_VERSION})"
+            )
+        self.aliases = {
+            str(k): str(v) for k, v in payload.get("aliases", {}).items()
+        }
+        self.scores = {
+            str(k): float(v) for k, v in payload.get("scores", {}).items()
+        }
+
+    def save(self) -> None:
+        """Atomically persist the table (no-op for in-memory stores)."""
+        if self.path is None:
+            return
+        payload = {
+            "version": SCHEMA_VERSION,
+            "aliases": self.aliases,
+            "scores": self.scores,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.obs import metrics
+from repro.schema.aliases import AliasStore
 from repro.schema.fingerprint import (
     AttributeFingerprint,
     fingerprint_attributes,
@@ -46,6 +48,22 @@ __all__ = [
 DEFAULT_THRESHOLD = 0.55
 DEFAULT_NAME_WEIGHT = 0.6
 DEFAULT_COVERAGE_FLOOR = 0.5
+#: Fingerprint matches at or above this score are recorded into the
+#: persistent alias table, so the next drift resolves at the alias stage.
+DEFAULT_CONFIRM_THRESHOLD = 0.8
+
+_ALIAS_HITS = metrics.REGISTRY.counter(
+    "repro_schema_alias_hits_total",
+    "Model attributes resolved by the alias table (no fingerprinting)",
+)
+_FINGERPRINT_MATCHES = metrics.REGISTRY.counter(
+    "repro_schema_fingerprint_matches_total",
+    "Model attributes resolved by fingerprint similarity",
+)
+_ALIASES_LEARNED = metrics.REGISTRY.counter(
+    "repro_schema_aliases_learned_total",
+    "Confirmed fingerprint matches recorded into the alias table",
+)
 
 
 @dataclass(frozen=True)
@@ -136,6 +154,14 @@ class SchemaReconciler:
         Weight of name similarity in the combined score (value
         similarity gets ``1 - name_weight``).  When either side lacks a
         fingerprint, name similarity alone is used.
+    alias_store:
+        Optional persistent :class:`~repro.schema.aliases.AliasStore`.
+        Its entries join the alias stage, and fingerprint matches whose
+        score reaches ``confirm_threshold`` are recorded back into it
+        (and saved), so repeated drifts resolve without fingerprinting.
+    confirm_threshold:
+        Minimum fingerprint score for a match to be recorded into
+        ``alias_store``.
     """
 
     def __init__(
@@ -143,14 +169,20 @@ class SchemaReconciler:
         aliases: Optional[Mapping[str, str]] = None,
         threshold: float = DEFAULT_THRESHOLD,
         name_weight: float = DEFAULT_NAME_WEIGHT,
+        alias_store: Optional[AliasStore] = None,
+        confirm_threshold: float = DEFAULT_CONFIRM_THRESHOLD,
     ) -> None:
         if not 0.0 <= threshold <= 1.0:
             raise ValueError("threshold must lie in [0, 1]")
         if not 0.0 <= name_weight <= 1.0:
             raise ValueError("name_weight must lie in [0, 1]")
+        if not 0.0 <= confirm_threshold <= 1.0:
+            raise ValueError("confirm_threshold must lie in [0, 1]")
         self.aliases = dict(aliases or {})
         self.threshold = float(threshold)
         self.name_weight = float(name_weight)
+        self.alias_store = alias_store
+        self.confirm_threshold = float(confirm_threshold)
 
     # ------------------------------------------------------------------
     def _score(
@@ -203,9 +235,14 @@ class SchemaReconciler:
                 resolved[attr] = AttributeMatch(attr, attr, "exact", 1.0)
                 claimed.add(attr)
 
-        # 2. alias table (observed name → canonical model name)
-        if self.aliases:
-            for data_attr, canonical in self.aliases.items():
+        # 2. alias table (observed name → canonical model name); the
+        # operator-maintained table wins over learned (alias-store) rows
+        combined_aliases = dict(
+            self.alias_store.aliases if self.alias_store is not None else {}
+        )
+        combined_aliases.update(self.aliases)
+        if combined_aliases:
+            for data_attr, canonical in combined_aliases.items():
                 if (
                     canonical in model_attrs
                     and canonical not in resolved
@@ -219,6 +256,7 @@ class SchemaReconciler:
                         canonical, data_attr, "alias", 1.0
                     )
                     claimed.add(data_attr)
+                    _ALIAS_HITS.inc()
 
         # 3. fingerprint similarity, greedy one-to-one above threshold
         open_model = [a for a in model_attrs if a not in resolved]
@@ -234,11 +272,22 @@ class SchemaReconciler:
             # descending score; name ties broken lexicographically so the
             # assignment is deterministic regardless of input order
             candidates.sort(key=lambda c: (-c[0], c[1], c[2]))
+            learned = 0
             for score, m, d in candidates:
                 if m in resolved or d in claimed:
                     continue
                 resolved[m] = AttributeMatch(m, d, "fingerprint", score)
                 claimed.add(d)
+                _FINGERPRINT_MATCHES.inc()
+                if (
+                    self.alias_store is not None
+                    and score >= self.confirm_threshold
+                    and self.alias_store.record(d, m, score)
+                ):
+                    learned += 1
+            if learned:
+                _ALIASES_LEARNED.inc(learned)
+                self.alias_store.save()
 
         matches = {
             attr: resolved.get(

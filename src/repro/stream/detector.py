@@ -38,6 +38,7 @@ generation and ``CausalModelStore.rank``.
 
 from __future__ import annotations
 
+import time as _time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Mapping, Optional, Sequence, Set, Tuple
@@ -51,10 +52,35 @@ from repro.core.anomaly import (
 )
 from repro.core.separation import normalize_values
 from repro.data.regions import Region, RegionSpec
+from repro.obs import metrics
 from repro.stream.median import SlidingExtrema, SlidingMedian
 from repro.stream.window import RingBufferWindow
 
 __all__ = ["StreamTick", "StreamingDetector", "StreamingDiagnoser"]
+
+_TICK_SECONDS = metrics.REGISTRY.histogram(
+    "repro_stream_tick_seconds",
+    "Wall time of one StreamingDetector.tick (observe + detect + deltas)",
+)
+_RECLUSTERS = metrics.REGISTRY.counter(
+    "repro_stream_reclusters_total", "Full DBSCAN re-clusters"
+)
+_DROPPED = metrics.REGISTRY.counter(
+    "repro_stream_dropped_ticks_total",
+    "Rows discarded for non-monotone timestamps",
+)
+_SANITIZED = metrics.REGISTRY.counter(
+    "repro_stream_sanitized_values_total",
+    "NaN / missing telemetry cells repaired on ingest",
+)
+_QUARANTINES = metrics.REGISTRY.counter(
+    "repro_stream_quarantine_events_total",
+    "Attributes newly quarantined as stuck-at",
+)
+_CLOSED_REGIONS = metrics.REGISTRY.counter(
+    "repro_stream_closed_regions_total",
+    "Abnormal regions closed and handed to diagnosis",
+)
 
 
 class _AttributeTracker:
@@ -304,6 +330,7 @@ class StreamingDetector:
         time = float(time)
         if self._last_time is not None and time <= self._last_time:
             self.dropped_ticks += 1
+            _DROPPED.inc()
             return False
         numeric_row, categorical_row = self._sanitize_row(
             numeric_row, categorical_row
@@ -331,6 +358,7 @@ class StreamingDetector:
             if value is None or np.isnan(value):
                 clean_numeric[attr] = self._last_seen.get(attr, 0.0)
                 self.sanitized_values += 1
+                _SANITIZED.inc()
             else:
                 value = float(value)
                 clean_numeric[attr] = value
@@ -344,7 +372,13 @@ class StreamingDetector:
             else:
                 clean_cat[attr] = self._last_cat.get(attr, "")
                 self.sanitized_values += 1
+                _SANITIZED.inc()
         return clean_numeric, clean_cat
+
+    def _quarantine(self, attr: str) -> None:
+        if attr not in self.quarantined:
+            self.quarantined.add(attr)
+            _QUARANTINES.inc()
 
     def _update_quarantine(self, numeric_row: Mapping[str, float]) -> None:
         if self.quarantine_after is None:
@@ -358,7 +392,7 @@ class StreamingDetector:
                 run = self._stuck_runs.get(attr, 1) + 1
                 self._stuck_runs[attr] = run
                 if run >= self.quarantine_after:
-                    self.quarantined.add(attr)
+                    self._quarantine(attr)
             else:
                 self._stuck_runs[attr] = 1
                 self.quarantined.discard(attr)
@@ -387,7 +421,7 @@ class StreamingDetector:
             arr = np.asarray(buf, dtype=np.float64)
             scale = max(abs(float(arr.mean())), 1e-12)
             if float(arr.std()) <= self.quarantine_rel_epsilon * scale:
-                self.quarantined.add(attr)
+                self._quarantine(attr)
             else:
                 self.quarantined.discard(attr)
 
@@ -454,10 +488,14 @@ class StreamingDetector:
         categorical_row: Optional[Mapping[str, str]] = None,
     ) -> StreamTick:
         """Ingest one row, detect, and emit deltas."""
+        t0 = _time.perf_counter()
         self.observe(time, numeric_row, categorical_row)
         before = self.recluster_count
         result = self.detect()
         closed = self._closed_regions(result)
+        _TICK_SECONDS.observe(_time.perf_counter() - t0)
+        if closed:
+            _CLOSED_REGIONS.inc(len(closed))
         return StreamTick(
             time=float(time),
             result=result,
@@ -476,6 +514,7 @@ class StreamingDetector:
             matrix, window.timestamps, selected
         )
         self.recluster_count += 1
+        _RECLUSTERS.inc()
         if self.mode == "incremental":
             raw = self._raw_flags(result)
             self._cluster_state = _ClusterState(

@@ -29,6 +29,7 @@ downtime instead of a lost diagnosis session:
 
 from __future__ import annotations
 
+import dataclasses
 import time as _time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -36,15 +37,49 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Uni
 
 from repro.data.regions import Region
 from repro.faults.injectors import CollectorFault, Tick
+from repro.obs import metrics, trace
 from repro.stream.detector import StreamingDetector
 from repro.stream.wal import CheckpointStore, TickWAL
 
 __all__ = ["StreamSupervisor", "SupervisorReport"]
 
+_SUP_TICKS = metrics.REGISTRY.counter(
+    "repro_supervisor_ticks_total",
+    "Ticks handed to the supervised detector (incl. re-processed)",
+)
+_SUP_RESTARTS = metrics.REGISTRY.counter(
+    "repro_supervisor_restarts_total", "Collector faults survived"
+)
+_SUP_CHECKPOINTS = metrics.REGISTRY.counter(
+    "repro_supervisor_checkpoints_total", "Detector checkpoints taken"
+)
+_SUP_WAL_REPLAYED = metrics.REGISTRY.counter(
+    "repro_supervisor_wal_replayed_ticks_total",
+    "Ticks recovered from the write-ahead log",
+)
+_SUP_REPROCESSED = metrics.REGISTRY.counter(
+    "repro_supervisor_reprocessed_ticks_total",
+    "Source ticks handed to the detector more than once",
+)
+_SUP_BACKOFF_RESETS = metrics.REGISTRY.counter(
+    "repro_supervisor_backoff_resets_total",
+    "Backoff delays reset because a restarted source made progress",
+)
+_SUP_CHECKPOINT_SECONDS = metrics.REGISTRY.histogram(
+    "repro_supervisor_checkpoint_seconds",
+    "Wall time of one checkpoint (serialize + durable save)",
+)
+
 
 @dataclass
 class SupervisorReport:
-    """What one :meth:`StreamSupervisor.run` accomplished."""
+    """What one :meth:`StreamSupervisor.run` accomplished.
+
+    The scalar fields are sourced from the process-wide metrics registry
+    (:mod:`repro.obs.metrics`): :meth:`StreamSupervisor.run` snapshots
+    the supervisor counters when it starts and reports the deltas, so
+    the report and any scrape of the registry can never disagree.
+    """
 
     #: ticks handed to the detector, including any re-processed after a
     #: checkpoint restore.
@@ -63,6 +98,24 @@ class SupervisorReport:
     #: re-pulling; always 0 with ``wal_dir``, where the WAL replays them
     #: instead).
     reprocessed_ticks: int = 0
+    #: backoff delays snapped back to ``backoff_s`` because a restarted
+    #: source made progress before faulting again.
+    backoff_resets: int = 0
+
+    def asdict(self) -> Dict[str, object]:
+        """The report as a plain dict (dict-era call sites and tests)."""
+        return dataclasses.asdict(self)
+
+
+#: The registry counters each scalar report field is the delta of.
+_REPORT_COUNTERS = {
+    "ticks_processed": _SUP_TICKS,
+    "restarts": _SUP_RESTARTS,
+    "checkpoints": _SUP_CHECKPOINTS,
+    "wal_replayed_ticks": _SUP_WAL_REPLAYED,
+    "reprocessed_ticks": _SUP_REPROCESSED,
+    "backoff_resets": _SUP_BACKOFF_RESETS,
+}
 
 
 class StreamSupervisor:
@@ -141,112 +194,141 @@ class StreamSupervisor:
         write-ahead log are recovered first, so a restarted supervisor
         continues exactly where the dead one stopped.
         """
-        report = SupervisorReport()
+        marks = {
+            name: counter.value for name, counter in _REPORT_COUNTERS.items()
+        }
+        closed_regions: List[Region] = []
+        backoff_waits: List[float] = []
         detector = self.detector
         processed_until: Optional[float] = None
         seen_ends: set = set()
+        span = trace.span("supervisor.run", wal=self.wal_dir is not None)
 
         wal: Optional[TickWAL] = None
         ckpt_store: Optional[CheckpointStore] = None
-        if self.wal_dir is not None:
-            ckpt_store = CheckpointStore(self.wal_dir / "checkpoint.json")
-            wal = TickWAL(
-                self.wal_dir / "ticks.wal", fsync_every=self.fsync_every
-            )
-            stored = ckpt_store.load()
-            if stored is not None:
-                detector = StreamingDetector.from_checkpoint(
-                    stored["detector"]  # type: ignore[arg-type]
+        with span:
+            if self.wal_dir is not None:
+                ckpt_store = CheckpointStore(self.wal_dir / "checkpoint.json")
+                wal = TickWAL(
+                    self.wal_dir / "ticks.wal", fsync_every=self.fsync_every
                 )
-                until = stored.get("processed_until")
-                processed_until = None if until is None else float(until)
-            processed_until = self._replay_wal(
-                wal, detector, processed_until, report, seen_ends
-            )
-
-        # the recovery baseline: (state, processed-up-to time)
-        checkpoint: Tuple[Dict[str, object], Optional[float]] = (
-            detector.checkpoint(),
-            processed_until,
-        )
-        high_water = processed_until
-        delay = self.backoff_s
-        attempt = 0
-        try:
-            while True:
-                progressed = False
-                try:
-                    for tick in self.source_factory(attempt):
-                        time, numeric_row, categorical_row = tick
-                        if (
-                            processed_until is not None
-                            and time <= processed_until
-                        ):
-                            continue
-                        if wal is not None:
-                            # write-ahead: the tick is durable before the
-                            # detector ever sees it
-                            wal.append(time, numeric_row, categorical_row)
-                        update = detector.tick(
-                            time, numeric_row, categorical_row
-                        )
-                        if high_water is not None and time <= high_water:
-                            report.reprocessed_ticks += 1
-                        else:
-                            high_water = float(time)
-                        processed_until = float(time)
-                        progressed = True
-                        report.ticks_processed += 1
-                        for region in update.closed_regions:
-                            if region.end not in seen_ends:
-                                seen_ends.add(region.end)
-                                report.closed_regions.append(region)
-                        if (
-                            self.checkpoint_every
-                            and report.ticks_processed
-                            % self.checkpoint_every
-                            == 0
-                        ):
-                            state = detector.checkpoint()
-                            checkpoint = (state, processed_until)
-                            if ckpt_store is not None and wal is not None:
-                                ckpt_store.save(
-                                    {
-                                        "version": 1,
-                                        "detector": state,
-                                        "processed_until": processed_until,
-                                    }
-                                )
-                                wal.truncate()
-                            report.checkpoints += 1
-                    break  # source exhausted: done
-                except self.fault_types:
-                    report.restarts += 1
-                    if report.restarts > self.max_retries:
-                        self.detector = detector
-                        raise
-                    if progressed:
-                        delay = self.backoff_s
-                    report.backoff_waits.append(delay)
-                    self._sleep(delay)
-                    delay = min(
-                        delay * self.backoff_factor, self.max_backoff_s
-                    )
-                    attempt += 1
+                stored = ckpt_store.load()
+                if stored is not None:
                     detector = StreamingDetector.from_checkpoint(
-                        checkpoint[0]
+                        stored["detector"]  # type: ignore[arg-type]
                     )
-                    processed_until = checkpoint[1]
-                    if wal is not None:
-                        # recover the post-checkpoint ticks from the log
-                        # instead of re-pulling them from the source
-                        processed_until = self._replay_wal(
-                            wal, detector, processed_until, report, seen_ends
+                    until = stored.get("processed_until")
+                    processed_until = None if until is None else float(until)
+                processed_until = self._replay_wal(
+                    wal, detector, processed_until, closed_regions, seen_ends
+                )
+
+            # the recovery baseline: (state, processed-up-to time)
+            checkpoint: Tuple[Dict[str, object], Optional[float]] = (
+                detector.checkpoint(),
+                processed_until,
+            )
+            high_water = processed_until
+            delay = self.backoff_s
+            attempt = 0
+            restarts = 0
+            ticks_processed = 0  # this run's source ticks (checkpoint cadence)
+            try:
+                while True:
+                    progressed = False
+                    try:
+                        for tick in self.source_factory(attempt):
+                            time, numeric_row, categorical_row = tick
+                            if (
+                                processed_until is not None
+                                and time <= processed_until
+                            ):
+                                continue
+                            if wal is not None:
+                                # write-ahead: the tick is durable before the
+                                # detector ever sees it
+                                wal.append(time, numeric_row, categorical_row)
+                            update = detector.tick(
+                                time, numeric_row, categorical_row
+                            )
+                            if high_water is not None and time <= high_water:
+                                _SUP_REPROCESSED.inc()
+                            else:
+                                high_water = float(time)
+                            processed_until = float(time)
+                            progressed = True
+                            ticks_processed += 1
+                            _SUP_TICKS.inc()
+                            for region in update.closed_regions:
+                                if region.end not in seen_ends:
+                                    seen_ends.add(region.end)
+                                    closed_regions.append(region)
+                            if (
+                                self.checkpoint_every
+                                and ticks_processed % self.checkpoint_every
+                                == 0
+                            ):
+                                t0 = _time.perf_counter()
+                                state = detector.checkpoint()
+                                checkpoint = (state, processed_until)
+                                if ckpt_store is not None and wal is not None:
+                                    ckpt_store.save(
+                                        {
+                                            "version": 1,
+                                            "detector": state,
+                                            "processed_until": processed_until,
+                                        }
+                                    )
+                                    wal.truncate()
+                                _SUP_CHECKPOINT_SECONDS.observe(
+                                    _time.perf_counter() - t0
+                                )
+                                _SUP_CHECKPOINTS.inc()
+                        break  # source exhausted: done
+                    except self.fault_types:
+                        restarts += 1
+                        _SUP_RESTARTS.inc()
+                        if restarts > self.max_retries:
+                            self.detector = detector
+                            raise
+                        if progressed and delay != self.backoff_s:
+                            _SUP_BACKOFF_RESETS.inc()
+                        if progressed:
+                            delay = self.backoff_s
+                        backoff_waits.append(delay)
+                        self._sleep(delay)
+                        delay = min(
+                            delay * self.backoff_factor, self.max_backoff_s
                         )
-        finally:
-            if wal is not None:
-                wal.close()
-        self.detector = detector
+                        attempt += 1
+                        detector = StreamingDetector.from_checkpoint(
+                            checkpoint[0]
+                        )
+                        processed_until = checkpoint[1]
+                        if wal is not None:
+                            # recover the post-checkpoint ticks from the log
+                            # instead of re-pulling them from the source
+                            processed_until = self._replay_wal(
+                                wal, detector, processed_until,
+                                closed_regions, seen_ends,
+                            )
+            finally:
+                if wal is not None:
+                    wal.close()
+            self.detector = detector
+            report = SupervisorReport(
+                closed_regions=closed_regions,
+                backoff_waits=backoff_waits,
+                **{
+                    name: int(counter.value - marks[name])
+                    for name, counter in _REPORT_COUNTERS.items()
+                },
+            )
+            span.set(
+                ticks=report.ticks_processed,
+                restarts=report.restarts,
+                closed_regions=len(report.closed_regions),
+            )
         return report
 
     @staticmethod
@@ -254,7 +336,7 @@ class StreamSupervisor:
         wal: TickWAL,
         detector: StreamingDetector,
         processed_until: Optional[float],
-        report: SupervisorReport,
+        closed_regions: List[Region],
         seen_ends: set,
     ) -> Optional[float]:
         """Feed logged ticks after *processed_until* through *detector*.
@@ -267,10 +349,10 @@ class StreamSupervisor:
             if processed_until is not None and time <= processed_until:
                 continue
             update = detector.tick(time, numeric_row, categorical_row)
-            report.wal_replayed_ticks += 1
+            _SUP_WAL_REPLAYED.inc()
             processed_until = float(time)
             for region in update.closed_regions:
                 if region.end not in seen_ends:
                     seen_ends.add(region.end)
-                    report.closed_regions.append(region)
+                    closed_regions.append(region)
         return processed_until
