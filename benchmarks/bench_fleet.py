@@ -1,0 +1,260 @@
+"""Fleet engine bench: 10k tenants through one columnar arena.
+
+Drives :class:`repro.fleet.FleetDetector` over a synthetic fleet
+(:class:`repro.fleet.sim.FleetSimSource`) and records what the tentpole
+claims:
+
+* **amortized per-stream cost** — fleet tick wall time divided by the
+  streams served, asserted **sub-100 µs** at bench scale (10 000
+  tenants x 8 attributes, capacity 60);
+* **p99 tick-to-verdict latency** — per-stream, from the engine's
+  ``verdict_latency`` (quiet streams get their verdict when the vector
+  phase lands; fallout streams after their DBSCAN re-cluster);
+* **bitwise equivalence** — a subsample of streams (anomalous and
+  quiet) runs mirrored single-stream
+  :class:`~repro.stream.detector.StreamingDetector` instances on the
+  identical rows; every tick's verdict and the final checkpoints must
+  be *equal*, not approximately equal, before any number is reported.
+
+Results land in ``BENCH_fleet.json`` at the repo root.  Run standalone
+(``PERF_BENCH_SCALE=tiny`` is the CI smoke scale, >= 200 tenants):
+
+    python benchmarks/bench_fleet.py
+
+or via ``pytest benchmarks/ --benchmark-only`` (tiny scale, no JSON).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+if __name__ == "__main__":  # allow `python benchmarks/bench_fleet.py`
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.fleet import FleetDetector, FleetSimSource  # noqa: E402
+from repro.stream.detector import StreamingDetector  # noqa: E402
+
+SCALES = {
+    # CI smoke: small but still a real fleet (>= 200 tenants), with
+    # generous latency floors — machine-speed variance must not flake CI.
+    "tiny": dict(
+        n_tenants=240,
+        n_attrs=6,
+        capacity=40,
+        window=8,
+        rounds=80,
+        mirrors=6,
+        anomaly_fraction=0.02,
+        amortized_us_floor=2000.0,
+        verdict_p99_ms_floor=500.0,
+    ),
+    # The recorded run: the ISSUE's 10k-tenant target.
+    "bench": dict(
+        n_tenants=10_000,
+        n_attrs=8,
+        capacity=60,
+        window=10,
+        rounds=150,
+        mirrors=8,
+        anomaly_fraction=0.002,
+        amortized_us_floor=100.0,  # the tentpole acceptance number
+        verdict_p99_ms_floor=None,  # recorded, not asserted
+    ),
+}
+
+DETECTOR_KW = dict(
+    pp_threshold=0.4,
+    min_pts=3,
+    cluster_fraction=0.2,
+    min_region_s=2.0,
+    gap_fill_s=3.0,
+)
+
+
+def _pick_mirrors(src: FleetSimSource, k: int) -> list:
+    """Half anomalous, half quiet streams — both verdict paths covered."""
+    anomalous = np.nonzero(src.anomalous)[0]
+    quiet = np.nonzero(~src.anomalous)[0]
+    take_a = min(k // 2, anomalous.size)
+    picks = list(anomalous[:take_a]) + list(quiet[: k - take_a])
+    return [int(s) for s in picks[:k]]
+
+
+def _assert_stream_equal(tick, mirror_tick, stream: int) -> None:
+    res = tick.result(stream)
+    ref = mirror_tick.result
+    assert res.selected_attributes == list(ref.selected_attributes), (
+        f"stream {stream}: selection diverges"
+    )
+    assert np.array_equal(res.mask, ref.mask), (
+        f"stream {stream}: masks diverge"
+    )
+    assert res.regions == ref.regions, f"stream {stream}: regions diverge"
+    assert res.eps == ref.eps, f"stream {stream}: eps diverges"
+    assert tick.closed.get(stream, []) == mirror_tick.closed_regions, (
+        f"stream {stream}: closed regions diverge"
+    )
+
+
+def run_bench(scale: str = "bench", write_json: bool = True) -> dict:
+    params = SCALES[scale]
+    S = params["n_tenants"]
+    attrs = [f"m{j}" for j in range(params["n_attrs"])]
+    src = FleetSimSource(
+        S,
+        attrs,
+        seed=2016,
+        anomaly_fraction=params["anomaly_fraction"],
+        anomaly_period=40,
+        anomaly_duration=16,
+        anomaly_scale=14.0,
+    )
+    fleet = FleetDetector(
+        S,
+        attrs,
+        capacity=params["capacity"],
+        window=params["window"],
+        **DETECTOR_KW,
+    )
+    mirror_streams = _pick_mirrors(src, params["mirrors"])
+    mirrors = {
+        s: StreamingDetector(
+            capacity=params["capacity"],
+            window=params["window"],
+            mode="exact",
+            **DETECTOR_KW,
+        )
+        for s in mirror_streams
+    }
+
+    tick_seconds = []
+    verdict_lat = []
+    streams_served = 0
+    fallout_streams = 0
+    closed_total = 0
+    for times, values, active in src.take(params["rounds"]):
+        start = time.perf_counter()
+        tick = fleet.tick(times, values, active)
+        tick_seconds.append(time.perf_counter() - start)
+        streams_served += int(active.sum())
+        fallout_streams += len(tick.results)
+        closed_total += sum(len(r) for r in tick.closed.values())
+        lat = tick.verdict_latency[active]
+        verdict_lat.append(lat[np.isfinite(lat)])
+        for s, det in mirrors.items():
+            if not active[s]:
+                continue
+            row = {a: values[s, j] for j, a in enumerate(attrs)}
+            mirror_tick = det.tick(times[s], row, {})
+            _assert_stream_equal(tick, mirror_tick, s)
+    for s, det in mirrors.items():
+        assert fleet.stream_checkpoint(s) == det.checkpoint(), (
+            f"stream {s}: checkpoint diverges"
+        )
+
+    ticks = np.asarray(tick_seconds)
+    lats = np.concatenate(verdict_lat)
+    amortized_us = ticks.sum() / streams_served * 1e6
+    summary = {
+        "scale": scale,
+        "n_tenants": S,
+        "n_attrs": params["n_attrs"],
+        "capacity": params["capacity"],
+        "window": params["window"],
+        "rounds": params["rounds"],
+        "stream_ticks": streams_served,
+        "fallout_streams": fallout_streams,
+        "closed_regions": closed_total,
+        "amortized_us_per_stream": round(float(amortized_us), 3),
+        "fleet_tick_ms": {
+            "p50": round(float(np.percentile(ticks, 50)) * 1e3, 3),
+            "p99": round(float(np.percentile(ticks, 99)) * 1e3, 3),
+            "mean": round(float(ticks.mean()) * 1e3, 3),
+        },
+        "tick_to_verdict_ms": {
+            "p50": round(float(np.percentile(lats, 50)) * 1e3, 4),
+            "p90": round(float(np.percentile(lats, 90)) * 1e3, 4),
+            "p99": round(float(np.percentile(lats, 99)) * 1e3, 4),
+            "n": int(lats.size),
+        },
+        "mirrored_streams": sorted(mirrors),
+        # _assert_stream_equal / the checkpoint loop would have raised
+        "bitwise_equal_to_per_stream": True,
+        "amortized_us_floor": params["amortized_us_floor"],
+    }
+    if write_json:
+        out = _REPO_ROOT / "BENCH_fleet.json"
+        out.write_text(json.dumps(summary, indent=2) + "\n")
+        summary["json"] = str(out)
+    return summary
+
+
+def _report(summary: dict) -> None:
+    print(f"\n=== fleet engine bench ({summary['scale']} scale) ===")
+    print(
+        f"{summary['n_tenants']} tenants x {summary['n_attrs']} attrs, "
+        f"capacity {summary['capacity']}, {summary['rounds']} rounds "
+        f"({summary['stream_ticks']} stream ticks, "
+        f"{summary['fallout_streams']} fallouts, "
+        f"{summary['closed_regions']} regions closed)"
+    )
+    tick = summary["fleet_tick_ms"]
+    print(
+        f"fleet tick        p50={tick['p50']:9.3f}ms "
+        f"p99={tick['p99']:9.3f}ms mean={tick['mean']:9.3f}ms"
+    )
+    lat = summary["tick_to_verdict_ms"]
+    print(
+        f"tick-to-verdict   p50={lat['p50']:9.4f}ms "
+        f"p90={lat['p90']:9.4f}ms p99={lat['p99']:9.4f}ms "
+        f"(n={lat['n']})"
+    )
+    print(
+        f"amortized per stream: {summary['amortized_us_per_stream']:.3f}us "
+        f"(floor {summary['amortized_us_floor']}us)"
+    )
+    print(
+        f"bitwise equal to per-stream detectors on "
+        f"{len(summary['mirrored_streams'])} mirrored streams: "
+        f"{summary['bitwise_equal_to_per_stream']}"
+    )
+
+
+def _check(summary: dict) -> None:
+    assert summary["bitwise_equal_to_per_stream"]
+    assert summary["stream_ticks"] > 0
+    assert summary["n_tenants"] >= 200  # even the smoke is a real fleet
+    floor = summary["amortized_us_floor"]
+    assert summary["amortized_us_per_stream"] < floor, (
+        f"amortized {summary['amortized_us_per_stream']}us/stream "
+        f"exceeds the {floor}us floor"
+    )
+    p99_floor = SCALES[summary["scale"]].get("verdict_p99_ms_floor")
+    if p99_floor is not None:
+        assert summary["tick_to_verdict_ms"]["p99"] < p99_floor, (
+            f"p99 tick-to-verdict {summary['tick_to_verdict_ms']['p99']}ms "
+            f"exceeds the {p99_floor}ms floor"
+        )
+
+
+def test_fleet(benchmark):
+    summary = benchmark.pedantic(
+        lambda: run_bench("tiny", write_json=False), rounds=1, iterations=1
+    )
+    _report(summary)
+    _check(summary)
+
+
+if __name__ == "__main__":
+    chosen = os.environ.get("PERF_BENCH_SCALE", "bench")
+    bench_summary = run_bench(chosen)
+    _report(bench_summary)
+    _check(bench_summary)
+    print(f"wrote {bench_summary['json']}")

@@ -11,7 +11,9 @@ dbseer tooling the paper ships with::
 
 All commands print plain text; ``explain``/``report`` accept one or more
 ``--abnormal start:end`` ranges (seconds) and optional ``--normal``
-ranges, mirroring the GUI's region selection.
+ranges, mirroring the GUI's region selection.  ``fleet status`` renders
+per-tenant lag, shed counts, and verdict summaries from the fleet
+engine's metrics (live registry or a ``--metrics`` snapshot JSON).
 """
 
 from __future__ import annotations
@@ -92,6 +94,20 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.add_argument("--metrics", default=None,
                             help="metrics snapshot JSON (optional)")
     obs_report.add_argument("--max-spans", type=int, default=40)
+
+    fleet = sub.add_parser(
+        "fleet", help="multi-tenant fleet engine operations"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_status = fleet_sub.add_parser(
+        "status",
+        help="per-tenant lag, sheds, and verdicts from fleet metrics",
+    )
+    fleet_status.add_argument(
+        "--metrics", default=None,
+        help="metrics snapshot JSON (default: this process's registry)",
+    )
+    fleet_status.add_argument("--max-tenants", type=int, default=40)
     return parser
 
 
@@ -205,6 +221,23 @@ def _cmd_obs(args, out) -> int:
     return 0
 
 
+def _cmd_fleet(args, out) -> int:
+    import json
+
+    from repro.fleet.status import render_fleet_status
+
+    if args.metrics is not None:
+        with open(args.metrics) as fh:
+            snapshot = json.load(fh)
+    else:
+        from repro.obs.metrics import REGISTRY
+
+        snapshot = REGISTRY.snapshot()
+    print(render_fleet_status(snapshot, max_tenants=args.max_tenants),
+          file=out)
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "detect": _cmd_detect,
@@ -213,6 +246,7 @@ _COMMANDS = {
     "plot": _cmd_plot,
     "causes": _cmd_causes,
     "obs": _cmd_obs,
+    "fleet": _cmd_fleet,
 }
 
 

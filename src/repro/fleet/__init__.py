@@ -1,0 +1,38 @@
+"""Fleet tick engine: many tenants' streaming detection, one arena.
+
+The fleet subsystem scales the single-stream detection pipeline
+(:mod:`repro.stream`) to thousands of tenants by keeping every tenant's
+window in one columnar arena and running the per-tick numeric stages as
+dense numpy calls across the whole fleet — peeling off per-stream work
+(re-cluster, diagnose, WAL/checkpoint) only for streams whose verdict
+actually changed.  The engine is asserted bitwise-equal to N independent
+:class:`~repro.stream.detector.StreamingDetector` instances.
+
+Layers, bottom up:
+
+* :mod:`repro.fleet.bank` — batched sorted-multiset order statistics;
+* :mod:`repro.fleet.arena` — the columnar ring + Equation 4 stats;
+* :mod:`repro.fleet.engine` — the vectorized detector pipeline;
+* :mod:`repro.fleet.scheduler` — multi-tenant diagnosis scheduling,
+  backpressure/shed policies, per-tenant durability and metrics;
+* :mod:`repro.fleet.sim` — synthetic fleet tick sources for benchmarks.
+"""
+
+from repro.fleet.arena import ArenaStats, ArenaWindow, FleetArena
+from repro.fleet.bank import SortedWindowBank
+from repro.fleet.engine import FleetDetector, FleetTick
+from repro.fleet.scheduler import SHED_POLICIES, FleetScheduler, SchedulerReport
+from repro.fleet.sim import FleetSimSource
+
+__all__ = [
+    "ArenaStats",
+    "ArenaWindow",
+    "FleetArena",
+    "FleetDetector",
+    "FleetScheduler",
+    "FleetSimSource",
+    "FleetTick",
+    "SHED_POLICIES",
+    "SchedulerReport",
+    "SortedWindowBank",
+]

@@ -1,0 +1,285 @@
+"""Cross-stream columnar tick arena.
+
+All N tenants' current telemetry windows live in one contiguous
+``(streams, attributes, 2 × capacity)`` float64 ring — the same
+double-write layout as the single-stream
+:class:`~repro.stream.window.RingBufferWindow`, so any stream's window
+is always a zero-copy contiguous slice regardless of where its ring has
+wrapped.  Appending a fleet-wide tick and maintaining every lane's
+order statistics (overall median, trailing-``w`` median, buffer min/max,
+window-median extrema — everything Equation 4 needs) costs a fixed
+number of dense numpy calls over the whole fleet:
+
+* two :class:`~repro.fleet.bank.SortedWindowBank` updates (the whole
+  buffer and the trailing ``w`` samples);
+* one scatter of the freshly completed window medians into a NaN-padded
+  ``(streams, attributes, capacity − w + 1)`` FIFO ring, whose
+  ``fmin/fmax`` reduction reproduces the single-stream
+  :class:`~repro.stream.median.SlidingExtrema` over window medians
+  (min/max are order-independent, so ring rotation is immaterial).
+
+:class:`ArenaWindow` adapts one stream's slice of the arena to the
+read interface of :class:`~repro.stream.window.RingBufferWindow`
+(``timestamps`` / ``column`` / ``bounds`` / ``to_dataset``), which is
+what lets :func:`repro.stream.detector.cluster_window` run the
+identical clustering code over either storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.fleet.bank import SortedWindowBank
+
+__all__ = ["ArenaStats", "ArenaWindow", "FleetArena"]
+
+
+@dataclass
+class ArenaStats:
+    """Per-lane statistics for one fleet tick, all ``(streams, attrs)``."""
+
+    #: retained rows per stream (``(streams,)``).
+    sizes: np.ndarray
+    #: per-lane buffer minima (Equation 2 lower bounds).
+    mins: np.ndarray
+    #: per-lane buffer maxima (Equation 2 upper bounds).
+    maxs: np.ndarray
+    #: per-lane Equation 4 potential power, already normalized by span.
+    powers: np.ndarray
+
+
+class FleetArena:
+    """Columnar ring storage + order statistics for a whole fleet.
+
+    Parameters
+    ----------
+    n_streams:
+        Number of tenant streams.
+    attributes:
+        Numeric attribute names, shared by every stream (the fleet's
+        column schema; per-stream attribute *selection* happens above).
+    capacity:
+        Ring length per stream — the detection window, in rows.
+    window:
+        Equation 4 sliding-window width ``w``; must not exceed
+        *capacity* (the trailing-window bookkeeping reads the sample
+        that slides out of the last ``w`` from the ring).
+    """
+
+    def __init__(
+        self,
+        n_streams: int,
+        attributes: Sequence[str],
+        capacity: int,
+        window: int,
+    ) -> None:
+        if n_streams < 1:
+            raise ValueError("n_streams must be at least 1")
+        if capacity < 2:
+            raise ValueError("capacity must be at least 2")
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if window > capacity:
+            raise ValueError("window must not exceed capacity")
+        self.attributes = list(attributes)
+        if not self.attributes:
+            raise ValueError("arena needs at least one attribute")
+        self.n_streams = int(n_streams)
+        self.capacity = int(capacity)
+        self.window = int(window)
+        S, A, cap = self.n_streams, len(self.attributes), self.capacity
+        self._attr_index: Dict[str, int] = {
+            a: j for j, a in enumerate(self.attributes)
+        }
+        self._ts = np.zeros((S, 2 * cap))
+        self._vals = np.zeros((S, A, 2 * cap))
+        #: total rows ever appended per stream (monotone; checkpoint
+        #: restore re-bases it so replayed rows keep their sequence math).
+        self.appended = np.zeros(S, dtype=np.int64)
+        #: rows currently retained per stream.
+        self.sizes = np.zeros(S, dtype=np.int64)
+        self._overall = SortedWindowBank(S * A, cap)
+        self._trailing = SortedWindowBank(S * A, self.window)
+        self._ring_len = cap - self.window + 1
+        self._medring = np.full((S, A, self._ring_len), np.nan)
+
+    # ------------------------------------------------------------------
+    def append(
+        self, times: np.ndarray, values: np.ndarray, active: np.ndarray
+    ) -> None:
+        """Append one sanitized row per active stream, fleet-wide.
+
+        *times* is ``(streams,)``, *values* ``(streams, attrs)`` finite
+        float64, *active* a bool mask of streams receiving a row this
+        tick.  Inactive streams are untouched.
+        """
+        S, A, cap = self.n_streams, len(self.attributes), self.capacity
+        times = np.asarray(times, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        active = np.asarray(active, dtype=bool)
+        slot = (self.appended % cap).astype(np.int64)
+
+        # Values leaving each lane, read before the slot is overwritten:
+        # the buffer row evicted from a full ring sits exactly at the
+        # write slot, and the sample sliding out of the trailing window
+        # (sequence ``appended − w``) is still retained because w ≤ cap.
+        evicted = np.take_along_axis(self._vals, slot[:, None, None], 2)[
+            :, :, 0
+        ]
+        w_slot = ((self.appended - self.window) % cap).astype(np.int64)
+        trailing_out = np.take_along_axis(
+            self._vals, w_slot[:, None, None], 2
+        )[:, :, 0]
+
+        rows = np.nonzero(active)[0]
+        wslots = slot[rows]
+        self._ts[rows, wslots] = times[rows]
+        self._ts[rows, wslots + cap] = times[rows]
+        self._vals[rows, :, wslots] = values[rows]
+        self._vals[rows, :, wslots + cap] = values[rows]
+
+        lane_active = np.repeat(active, A)
+        vals_flat = values.reshape(S * A)
+        self._overall.replace(vals_flat, lane_active, evicted.reshape(S * A))
+        self._trailing.replace(
+            vals_flat, lane_active, trailing_out.reshape(S * A)
+        )
+
+        # Lanes whose trailing window just completed publish its median
+        # into the FIFO ring, keyed (mod ring length) by the row's
+        # sequence number — precisely the window medians the
+        # single-stream tracker's extrema deques hold live.
+        eligible = lane_active & (self._trailing.counts == self.window)
+        if eligible.any():
+            meds = self._trailing.medians()
+            ring_slot = np.repeat(self.appended % self._ring_len, A)
+            flat = self._medring.reshape(S * A, self._ring_len)
+            lanes = np.nonzero(eligible)[0]
+            flat[lanes, ring_slot[lanes]] = meds[lanes]
+
+        self.appended = self.appended + active
+        self.sizes = self.sizes + (active & (self.sizes < cap))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> ArenaStats:
+        """Bounds and Equation 4 potential power for every lane at once."""
+        S, A = self.n_streams, len(self.attributes)
+        mins = self._overall.mins().reshape(S, A)
+        maxs = self._overall.maxs().reshape(S, A)
+        overall = self._overall.medians().reshape(S, A)
+        med_min = np.fmin.reduce(self._medring, axis=2)
+        med_max = np.fmax.reduce(self._medring, axis=2)
+        with np.errstate(invalid="ignore"):  # empty lanes: inf - inf
+            span = maxs - mins
+        # Power is zero while the buffer holds at most one full window,
+        # when no window median exists yet, or for a constant lane —
+        # the _AttributeTracker.potential_power degenerate cases.
+        live = (
+            (self.sizes[:, None] > self.window)
+            & ~np.isnan(med_min)
+            & (span > 0)
+        )
+        deviation = np.fmax(
+            np.abs(overall - med_min), np.abs(overall - med_max)
+        )
+        powers = np.where(
+            live, deviation / np.where(span > 0, span, 1.0), 0.0
+        )
+        return ArenaStats(
+            sizes=self.sizes, mins=mins, maxs=maxs, powers=powers
+        )
+
+    # ------------------------------------------------------------------
+    def view(self, stream: int) -> "ArenaWindow":
+        """A RingBufferWindow-compatible read view of one stream."""
+        return ArenaWindow(self, int(stream))
+
+
+class ArenaWindow:
+    """Read adapter: one stream's arena slice as a telemetry window.
+
+    Implements the read surface of
+    :class:`~repro.stream.window.RingBufferWindow` (``n_rows``,
+    ``timestamps``, ``column``, ``bounds``, ``to_dataset``, attribute
+    lists) over zero-copy arena views, so the shared clustering and
+    diagnosis code paths cannot tell the storages apart.
+    """
+
+    __slots__ = ("_arena", "_stream")
+
+    def __init__(self, arena: FleetArena, stream: int) -> None:
+        if not 0 <= stream < arena.n_streams:
+            raise IndexError(f"stream {stream} out of range")
+        self._arena = arena
+        self._stream = stream
+
+    @property
+    def capacity(self) -> int:
+        return self._arena.capacity
+
+    @property
+    def n_rows(self) -> int:
+        return int(self._arena.sizes[self._stream])
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    @property
+    def appended(self) -> int:
+        return int(self._arena.appended[self._stream])
+
+    @property
+    def oldest_seq(self) -> int:
+        return self.appended - self.n_rows
+
+    @property
+    def numeric_attributes(self) -> List[str]:
+        return list(self._arena.attributes)
+
+    @property
+    def categorical_attributes(self) -> List[str]:
+        return []
+
+    def _start(self) -> int:
+        arena = self._arena
+        return int(
+            (arena.appended[self._stream] - arena.sizes[self._stream])
+            % arena.capacity
+        )
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        start = self._start()
+        return self._arena._ts[self._stream, start : start + self.n_rows]
+
+    def column(self, attr: str) -> np.ndarray:
+        ai = self._arena._attr_index[attr]
+        start = self._start()
+        return self._arena._vals[
+            self._stream, ai, start : start + self.n_rows
+        ]
+
+    def bounds(self, attr: str) -> Tuple[float, float]:
+        if self.n_rows == 0:
+            return 0.0, 0.0
+        ai = self._arena._attr_index[attr]
+        lane = self._stream * len(self._arena.attributes) + ai
+        bank = self._arena._overall
+        return (
+            float(bank._sorted[lane, 0]),
+            float(bank._sorted[lane, bank.counts[lane] - 1]),
+        )
+
+    def to_dataset(self, name: str = "") -> Dataset:
+        return Dataset(
+            self.timestamps.copy(),
+            numeric={
+                a: self.column(a).copy() for a in self._arena.attributes
+            },
+            categorical={},
+            name=name,
+        )

@@ -1,0 +1,590 @@
+"""Fleet tick engine: N streaming detectors as one vectorized pipeline.
+
+:class:`FleetDetector` is the cross-stream twin of
+:class:`~repro.stream.detector.StreamingDetector` in ``mode="exact"``.
+Every per-tick stage that the single-stream detector runs in Python —
+non-monotone drop, NaN sanitize, stuck-at quarantine, the incremental
+Equation 4 potential power, bounds, attribute selection — runs here as a
+handful of dense numpy calls over the whole fleet
+(:class:`~repro.fleet.arena.FleetArena`).  Only the *fallout* — DBSCAN
+re-clustering, region closing — is peeled off per stream, and only for
+streams whose selected-attribute set is non-empty this tick, through
+literally the same code paths the single-stream detector uses
+(:func:`~repro.stream.detector.cluster_window`,
+:func:`~repro.stream.detector.close_regions`,
+``AnomalyDetector._cluster_and_mask``).
+
+The result is asserted bitwise-equal to running N independent
+``StreamingDetector`` instances on the same rows — verdicts, masks,
+regions, ε, quarantine sets, counters, and even
+:meth:`FleetDetector.stream_checkpoint`, which emits the exact
+``StreamingDetector.checkpoint()`` schema so per-tenant recovery rides
+the existing :class:`~repro.stream.wal.CheckpointStore` /
+:class:`~repro.stream.wal.TickWAL` machinery unchanged.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.anomaly import AnomalyDetector, DetectionResult
+from repro.data.regions import Region
+from repro.fleet.arena import ArenaWindow, FleetArena
+from repro.obs import metrics
+from repro.stream.detector import close_regions, cluster_window
+
+__all__ = ["FleetDetector", "FleetTick"]
+
+_FLEET_TICK_SECONDS = metrics.REGISTRY.histogram(
+    "repro_fleet_tick_seconds",
+    "Wall time of one fleet-wide tick (all streams)",
+)
+_FLEET_STREAM_SECONDS = metrics.REGISTRY.histogram(
+    "repro_fleet_stream_tick_seconds",
+    "Amortized per-stream cost of one fleet tick",
+    buckets=metrics.FINE_BUCKETS,
+)
+_FLEET_STREAM_TICKS = metrics.REGISTRY.counter(
+    "repro_fleet_stream_ticks_total",
+    "Per-stream ticks processed by the fleet engine",
+)
+_FLEET_RECLUSTERS = metrics.REGISTRY.counter(
+    "repro_fleet_reclusters_total",
+    "Per-stream DBSCAN re-clusters run by the fleet engine",
+)
+_FLEET_DROPPED = metrics.REGISTRY.counter(
+    "repro_fleet_dropped_ticks_total",
+    "Fleet rows discarded for non-monotone timestamps",
+)
+_FLEET_SANITIZED = metrics.REGISTRY.counter(
+    "repro_fleet_sanitized_values_total",
+    "NaN telemetry cells repaired by the fleet engine",
+)
+_FLEET_QUARANTINES = metrics.REGISTRY.counter(
+    "repro_fleet_quarantine_events_total",
+    "Fleet lanes newly quarantined as stuck-at",
+)
+_FLEET_CLOSED = metrics.REGISTRY.counter(
+    "repro_fleet_closed_regions_total",
+    "Abnormal regions closed by the fleet engine",
+)
+
+
+@dataclass
+class FleetTick:
+    """What one fleet-wide tick produced.
+
+    Per-stream :class:`DetectionResult` objects are materialized only
+    for streams that ran fallout (non-empty selection); every other
+    stream's verdict is the empty result, available lazily through
+    :meth:`result` so a 10k-tenant tick does not allocate 10k masks.
+    """
+
+    #: per-stream row timestamps offered this tick.
+    times: np.ndarray
+    #: streams whose row was appended (monotone time, sanitized).
+    accepted: np.ndarray
+    #: streams whose row was discarded as non-monotone.
+    dropped: np.ndarray
+    #: ``(streams, attrs)`` bool — attributes clearing PPt, unquarantined.
+    selected: np.ndarray
+    #: ``(streams, attrs)`` Equation 4 potential power.
+    powers: np.ndarray
+    #: retained rows per stream at tick end.
+    sizes: np.ndarray
+    #: streams that ran a full re-cluster this tick.
+    reclustered: np.ndarray
+    #: fallout results, keyed by stream index.
+    results: Dict[int, DetectionResult] = field(default_factory=dict)
+    #: newly closed regions, keyed by stream index.
+    closed: Dict[int, List[Region]] = field(default_factory=dict)
+    #: per-stream tick-to-verdict wall time in seconds (NaN for streams
+    #: not present this tick).  Quiet streams get their verdict when the
+    #: vector phase completes; fallout streams when their re-cluster and
+    #: region-closing finish.
+    verdict_latency: Optional[np.ndarray] = None
+
+    def result(self, stream: int) -> DetectionResult:
+        """The per-stream verdict (empty result for quiet streams)."""
+        got = self.results.get(int(stream))
+        if got is not None:
+            return got
+        return DetectionResult(
+            mask=np.zeros(int(self.sizes[int(stream)]), dtype=bool),
+            regions=[],
+            selected_attributes=[],
+            eps=0.0,
+        )
+
+
+class FleetDetector:
+    """N tenants' streaming detection as one columnar engine.
+
+    Parameters mirror :class:`~repro.stream.detector.StreamingDetector`
+    (always ``mode="exact"``); *attributes* fixes the shared column
+    schema up front, and *tracked* optionally restricts which attributes
+    participate in selection (the filter the single-stream detector
+    calls ``attributes``).  ``recluster_fraction`` / ``bounds_drift``
+    only exist so :meth:`stream_checkpoint` can round-trip a detector
+    configuration bit-for-bit.
+    """
+
+    CHECKPOINT_VERSION = 1
+
+    def __init__(
+        self,
+        n_streams: int,
+        attributes: Sequence[str],
+        capacity: int = 120,
+        window: int = 20,
+        pp_threshold: float = 0.3,
+        min_pts: int = 3,
+        cluster_fraction: float = 0.2,
+        include_noise: bool = True,
+        min_region_s: float = 5.0,
+        gap_fill_s: float = 3.0,
+        tracked: Optional[Sequence[str]] = None,
+        recluster_fraction: float = 0.05,
+        bounds_drift: float = 0.02,
+        quarantine_after: Optional[int] = None,
+        quarantine_rel_epsilon: Optional[float] = None,
+    ) -> None:
+        self.batch = AnomalyDetector(
+            window=window,
+            pp_threshold=pp_threshold,
+            min_pts=min_pts,
+            cluster_fraction=cluster_fraction,
+            include_noise=include_noise,
+            min_region_s=min_region_s,
+            gap_fill_s=gap_fill_s,
+        )
+        self.arena = FleetArena(n_streams, attributes, capacity, window)
+        self.capacity = int(capacity)
+        self.recluster_fraction = float(recluster_fraction)
+        self.bounds_drift = float(bounds_drift)
+        self._attr_filter = list(tracked) if tracked is not None else None
+        self._tracked = (
+            [a for a in self._attr_filter if a in self.arena._attr_index]
+            if self._attr_filter is not None
+            else list(self.arena.attributes)
+        )
+        self._tracked_idx = np.asarray(
+            [self.arena._attr_index[a] for a in self._tracked],
+            dtype=np.int64,
+        )
+        A = len(self.arena.attributes)
+        self._tracked_mask = np.zeros(A, dtype=bool)
+        self._tracked_mask[self._tracked_idx] = True
+        self.quarantine_after = (
+            int(quarantine_after) if quarantine_after is not None else None
+        )
+        if self.quarantine_after is not None and self.quarantine_after < 2:
+            raise ValueError("quarantine_after must be at least 2")
+        self.quarantine_rel_epsilon = (
+            float(quarantine_rel_epsilon)
+            if quarantine_rel_epsilon is not None
+            else None
+        )
+        if self.quarantine_rel_epsilon is not None:
+            if self.quarantine_rel_epsilon < 0:
+                raise ValueError("quarantine_rel_epsilon must be >= 0")
+            if self.quarantine_after is None:
+                raise ValueError(
+                    "quarantine_rel_epsilon requires quarantine_after "
+                    "(the rolling-window length)"
+                )
+        S = self.arena.n_streams
+        self.tick_counts = np.zeros(S, dtype=np.int64)
+        self.recluster_counts = np.zeros(S, dtype=np.int64)
+        self.dropped_counts = np.zeros(S, dtype=np.int64)
+        self.sanitized_counts = np.zeros(S, dtype=np.int64)
+        self.last_time = np.full(S, -np.inf)
+        self._has_time = np.zeros(S, dtype=bool)
+        self._last_seen = np.zeros((S, A))
+        self._seen = np.zeros((S, A), dtype=bool)
+        self.quarantined = np.zeros((S, A), dtype=bool)
+        self._stuck_runs = np.ones((S, A), dtype=np.int64)
+        self._prev_value = np.full((S, A), np.nan)
+        self._recent: Optional[np.ndarray] = (
+            np.full((S, A, self.quarantine_after), np.nan)
+            if self.quarantine_rel_epsilon is not None
+            else None
+        )
+        self._emitted: List[Set[float]] = [set() for _ in range(S)]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_streams(self) -> int:
+        return self.arena.n_streams
+
+    @property
+    def attributes(self) -> List[str]:
+        return list(self.arena.attributes)
+
+    def tick(
+        self,
+        times: np.ndarray,
+        values: np.ndarray,
+        active: Optional[np.ndarray] = None,
+    ) -> FleetTick:
+        """One fleet-wide tick: ingest, select, and peel off fallout.
+
+        *times* is ``(streams,)``, *values* ``(streams, attrs)`` (NaN
+        cells allowed — they are sanitized exactly as the single-stream
+        detector does), *active* an optional mask of streams that have a
+        row this round (default: all).
+        """
+        t0 = _time.perf_counter()
+        S, A = self.n_streams, len(self.arena.attributes)
+        times = np.asarray(times, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        present = (
+            np.ones(S, dtype=bool)
+            if active is None
+            else np.asarray(active, dtype=bool)
+        )
+
+        # Stage 1 — drop non-monotone rows (before sanitize, exactly as
+        # StreamingDetector.observe does).
+        accepted = present & (times > self.last_time)
+        dropped = present & ~accepted
+        n_dropped = int(dropped.sum())
+        self.dropped_counts += dropped
+
+        # Stage 2 — sanitize: NaN cells take the attribute's last valid
+        # value (0.0 before any), valid cells refresh it.
+        nan_cells = np.isnan(values) & accepted[:, None]
+        clean = np.where(nan_cells, self._last_seen, values)
+        n_sanitized = nan_cells.sum(axis=1)
+        self.sanitized_counts += n_sanitized
+        valid = accepted[:, None] & ~np.isnan(values)
+        self._last_seen = np.where(valid, values, self._last_seen)
+        self._seen |= valid
+        self.last_time = np.where(accepted, times, self.last_time)
+        self._has_time |= accepted
+
+        # Stage 3 — append to the arena (banks, medring) fleet-wide.
+        self.arena.append(times, clean, accepted)
+
+        # Stage 4 — stuck-at quarantine on the sanitized values.
+        n_quarantined = self._update_quarantine(clean, accepted)
+
+        # Stage 5 — Equation 4 + bounds as single whole-fleet calls.
+        stats = self.arena.stats()
+        selected = (
+            (stats.powers > self.batch.pp_threshold)
+            & self._tracked_mask[None, :]
+            & ~self.quarantined
+        )
+
+        # Stage 6 — per-stream fallout, only where something was selected.
+        self.tick_counts += present
+        fallout = np.nonzero(present & selected.any(axis=1))[0]
+        results: Dict[int, DetectionResult] = {}
+        closed: Dict[int, List[Region]] = {}
+        reclustered = np.zeros(S, dtype=bool)
+        n_closed = 0
+        verdict_latency = np.full(S, np.nan)
+        verdict_latency[present] = _time.perf_counter() - t0
+        for s in fallout:
+            s = int(s)
+            names = [
+                a
+                for a, ai in zip(self._tracked, self._tracked_idx)
+                if selected[s, ai]
+            ]
+            view = self.arena.view(s)
+            res = cluster_window(self.batch, view, names)
+            self.recluster_counts[s] += 1
+            reclustered[s] = True
+            results[s] = res
+            regions, self._emitted[s] = close_regions(
+                res.regions,
+                view.timestamps,
+                self.batch.gap_fill_s,
+                self._emitted[s],
+            )
+            if regions:
+                closed[s] = regions
+                n_closed += len(regions)
+            verdict_latency[s] = _time.perf_counter() - t0
+
+        elapsed = _time.perf_counter() - t0
+        n_present = int(present.sum())
+        _FLEET_TICK_SECONDS.observe(elapsed)
+        if n_present:
+            _FLEET_STREAM_SECONDS.observe(elapsed / n_present)
+            _FLEET_STREAM_TICKS.inc(n_present)
+        if n_dropped:
+            _FLEET_DROPPED.inc(n_dropped)
+        total_sanitized = int(n_sanitized.sum())
+        if total_sanitized:
+            _FLEET_SANITIZED.inc(total_sanitized)
+        if n_quarantined:
+            _FLEET_QUARANTINES.inc(n_quarantined)
+        if fallout.size:
+            _FLEET_RECLUSTERS.inc(int(fallout.size))
+        if n_closed:
+            _FLEET_CLOSED.inc(n_closed)
+        return FleetTick(
+            times=times,
+            accepted=accepted,
+            dropped=dropped,
+            selected=selected,
+            powers=stats.powers,
+            sizes=stats.sizes.copy(),
+            reclustered=reclustered,
+            results=results,
+            closed=closed,
+            verdict_latency=verdict_latency,
+        )
+
+    # ------------------------------------------------------------------
+    def _update_quarantine(
+        self, clean: np.ndarray, accepted: np.ndarray
+    ) -> int:
+        """Vectorized twin of ``StreamingDetector._update_quarantine``."""
+        if self.quarantine_after is None:
+            return 0
+        before = self.quarantined
+        lanes = accepted[:, None] & self._tracked_mask[None, :]
+        if self.quarantine_rel_epsilon is None:
+            eq = (self._prev_value == clean) & lanes
+            self._stuck_runs = np.where(
+                lanes, np.where(eq, self._stuck_runs + 1, 1), self._stuck_runs
+            )
+            hit = eq & (self._stuck_runs >= self.quarantine_after)
+            self.quarantined = np.where(
+                lanes, (self.quarantined & eq) | hit, self.quarantined
+            )
+            self._prev_value = np.where(lanes, clean, self._prev_value)
+        else:
+            assert self._recent is not None
+            rows = np.nonzero(accepted)[0]
+            self._recent[rows, :, :-1] = self._recent[rows, :, 1:]
+            self._recent[rows, :, -1] = clean[rows]
+            ready = lanes & (
+                self.arena.appended >= self.quarantine_after
+            )[:, None]
+            if ready.any():
+                means = self._recent.mean(axis=2)
+                stds = self._recent.std(axis=2)
+                scale = np.maximum(np.abs(means), 1e-12)
+                stuck = stds <= self.quarantine_rel_epsilon * scale
+                self.quarantined = np.where(
+                    ready, stuck, self.quarantined
+                )
+        return int((self.quarantined & ~before).sum())
+
+    # ------------------------------------------------------------------
+    # Checkpoint interop with StreamingDetector
+    # ------------------------------------------------------------------
+    def _params(self) -> Dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "window": self.batch.window,
+            "pp_threshold": self.batch.pp_threshold,
+            "min_pts": self.batch.min_pts,
+            "cluster_fraction": self.batch.cluster_fraction,
+            "include_noise": self.batch.include_noise,
+            "min_region_s": self.batch.min_region_s,
+            "gap_fill_s": self.batch.gap_fill_s,
+            "attributes": (
+                list(self._attr_filter)
+                if self._attr_filter is not None
+                else None
+            ),
+            "mode": "exact",
+            "recluster_fraction": self.recluster_fraction,
+            "bounds_drift": self.bounds_drift,
+            "quarantine_after": self.quarantine_after,
+            "quarantine_rel_epsilon": self.quarantine_rel_epsilon,
+        }
+
+    def stream_checkpoint(self, stream: int) -> Dict[str, object]:
+        """One stream's state in the exact ``StreamingDetector.checkpoint``
+        schema, so per-tenant recovery (``CheckpointStore`` + ``TickWAL``
+        + ``StreamingDetector.from_checkpoint``) works unchanged —
+        and so the equivalence suite can compare checkpoints
+        byte-for-byte against mirrored single-stream detectors.
+        """
+        s = int(stream)
+        arena = self.arena
+        ai_of = arena._attr_index
+        appended = int(arena.appended[s])
+        size = int(arena.sizes[s])
+        exact_rule = (
+            self.quarantine_after is not None
+            and self.quarantine_rel_epsilon is None
+        )
+        stuck_runs: Dict[str, int] = {}
+        prev_value: Dict[str, float] = {}
+        recent_values: Dict[str, List[float]] = {}
+        if appended > 0 and exact_rule:
+            for a in self._tracked:
+                stuck_runs[a] = int(self._stuck_runs[s, ai_of[a]])
+                prev_value[a] = float(self._prev_value[s, ai_of[a]])
+        if appended > 0 and self._recent is not None:
+            m = min(appended, self.quarantine_after)
+            for a in self._tracked:
+                lane = self._recent[s, ai_of[a]]
+                recent_values[a] = [float(v) for v in lane[len(lane) - m :]]
+        emitted = self._emitted[s]
+        window_dump = None
+        if appended > 0:
+            view = arena.view(s)
+            ts = view.timestamps
+            emitted = {e for e in emitted if e >= float(ts[0])}
+            self._emitted[s] = emitted
+            window_dump = {
+                "appended": appended,
+                "numeric_attrs": list(arena.attributes),
+                "categorical_attrs": [],
+                "tracked": list(self._tracked),
+                "timestamps": [float(t) for t in ts],
+                "numeric": {
+                    a: [float(v) for v in view.column(a)]
+                    for a in arena.attributes
+                },
+                "categorical": {},
+            }
+        last_seen = {
+            a: float(self._last_seen[s, ai_of[a]])
+            for a in arena.attributes
+            if self._seen[s, ai_of[a]]
+        }
+        return {
+            "version": self.CHECKPOINT_VERSION,
+            "params": self._params(),
+            "tick_count": int(self.tick_counts[s]),
+            "recluster_count": int(self.recluster_counts[s]),
+            "dropped_ticks": int(self.dropped_counts[s]),
+            "sanitized_values": int(self.sanitized_counts[s]),
+            "quarantined": sorted(
+                a for a in self._tracked if self.quarantined[s, ai_of[a]]
+            ),
+            "stuck_runs": stuck_runs,
+            "recent_values": recent_values,
+            "prev_value": prev_value,
+            "last_seen": last_seen,
+            "last_cat": {},
+            "last_time": (
+                float(self.last_time[s]) if self._has_time[s] else None
+            ),
+            "emitted_ends": sorted(emitted),
+            "window": window_dump,
+            "cluster_state": None,
+            # ``size`` is implied: min(appended, capacity) == len(timestamps)
+        }
+
+    @classmethod
+    def from_checkpoints(
+        cls,
+        states: Sequence[Mapping[str, object]],
+        attributes: Optional[Sequence[str]] = None,
+    ) -> "FleetDetector":
+        """Rebuild a fleet from per-stream checkpoint dicts.
+
+        Every state must share one parameter set (one fleet, one
+        config).  Windows are replayed row-position-aligned through the
+        vectorized arena — each lane's order statistics depend only on
+        its own retained rows, so the restored fleet is bitwise
+        equivalent to the uninterrupted one.
+        """
+        if not states:
+            raise ValueError("from_checkpoints needs at least one state")
+        for st in states:
+            if st.get("version") != cls.CHECKPOINT_VERSION:
+                raise ValueError(
+                    f"unsupported checkpoint version {st.get('version')!r}"
+                )
+        params = dict(states[0]["params"])  # type: ignore[arg-type]
+        for st in states[1:]:
+            if dict(st["params"]) != params:  # type: ignore[arg-type]
+                raise ValueError(
+                    "fleet checkpoints must share one parameter set"
+                )
+        if params.get("mode") != "exact":
+            raise ValueError("fleet restore supports mode='exact' only")
+        attrs = list(attributes) if attributes is not None else None
+        if attrs is None:
+            for st in states:
+                win = st.get("window")
+                if win is not None:
+                    attrs = list(win["numeric_attrs"])  # type: ignore[index]
+                    break
+        if attrs is None:
+            raise ValueError(
+                "attributes required when no state has a window"
+            )
+        det = cls(
+            n_streams=len(states),
+            attributes=attrs,
+            capacity=int(params["capacity"]),
+            window=int(params["window"]),
+            pp_threshold=float(params["pp_threshold"]),
+            min_pts=int(params["min_pts"]),
+            cluster_fraction=float(params["cluster_fraction"]),
+            include_noise=bool(params["include_noise"]),
+            min_region_s=float(params["min_region_s"]),
+            gap_fill_s=float(params["gap_fill_s"]),
+            tracked=params.get("attributes"),
+            recluster_fraction=float(params["recluster_fraction"]),
+            bounds_drift=float(params["bounds_drift"]),
+            quarantine_after=params.get("quarantine_after"),
+            quarantine_rel_epsilon=params.get("quarantine_rel_epsilon"),
+        )
+        S, A = det.n_streams, len(det.arena.attributes)
+        ai_of = det.arena._attr_index
+        n_rows = np.zeros(S, dtype=np.int64)
+        base = np.zeros(S, dtype=np.int64)
+        for s, st in enumerate(states):
+            win = st.get("window")
+            if win is not None:
+                n_rows[s] = len(win["timestamps"])  # type: ignore[index]
+                base[s] = int(win["appended"]) - n_rows[s]  # type: ignore[index]
+        det.arena.appended[:] = base
+        max_rows = int(n_rows.max()) if S else 0
+        for r in range(max_rows):
+            active = n_rows > r
+            times = np.zeros(S)
+            vals = np.zeros((S, A))
+            for s in np.nonzero(active)[0]:
+                win = states[s]["window"]  # type: ignore[index]
+                times[s] = float(win["timestamps"][r])
+                for a in det.arena.attributes:
+                    vals[s, ai_of[a]] = float(win["numeric"][a][r])
+            det.arena.append(times, vals, active)
+        for s, st in enumerate(states):
+            det.tick_counts[s] = int(st["tick_count"])
+            det.recluster_counts[s] = int(st["recluster_count"])
+            det.dropped_counts[s] = int(st["dropped_ticks"])
+            det.sanitized_counts[s] = int(st["sanitized_values"])
+            for a in st["quarantined"]:  # type: ignore[union-attr]
+                det.quarantined[s, ai_of[a]] = True
+            for a, v in dict(st["stuck_runs"]).items():  # type: ignore[arg-type]
+                det._stuck_runs[s, ai_of[a]] = int(v)
+            for a, v in dict(st["prev_value"]).items():  # type: ignore[arg-type]
+                det._prev_value[s, ai_of[a]] = float(v)
+            if det._recent is not None:
+                for a, vals_list in dict(
+                    st.get("recent_values", {})  # type: ignore[arg-type]
+                ).items():
+                    m = len(vals_list)
+                    if m:
+                        det._recent[s, ai_of[a], -m:] = [
+                            float(v) for v in vals_list
+                        ]
+            for a, v in dict(st["last_seen"]).items():  # type: ignore[arg-type]
+                det._last_seen[s, ai_of[a]] = float(v)
+                det._seen[s, ai_of[a]] = True
+            lt = st.get("last_time")
+            if lt is not None:
+                det.last_time[s] = float(lt)
+                det._has_time[s] = True
+            det._emitted[s] = {float(e) for e in st["emitted_ends"]}  # type: ignore[union-attr]
+        return det

@@ -1,0 +1,147 @@
+"""Render fleet health from a metrics snapshot.
+
+The fleet engine and scheduler publish everything an operator needs into
+the process metrics registry (:mod:`repro.obs.metrics`): fleet-wide
+counters (``repro_fleet_*_total``), the amortized per-stream tick
+histogram, and — when the scheduler runs with ``label_metrics=True`` —
+per-tenant labeled families for lag, sheds, verdicts, and
+tick-to-verdict latency.  :func:`render_fleet_status` turns one
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dict (live or loaded
+from a ``to_json`` file) into the plain-text table behind
+``repro-sherlock fleet status``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["render_fleet_status"]
+
+_TENANT_FAMILIES = {
+    "repro_fleet_tenant_lag": "lag",
+    "repro_fleet_tenant_shed_total": "shed",
+    "repro_fleet_tenant_verdicts_total": "verdicts",
+    "repro_fleet_tenant_tick_seconds": "tick",
+}
+
+_FLEET_COUNTERS = (
+    ("repro_fleet_rounds_total", "rounds"),
+    ("repro_fleet_stream_ticks_total", "stream ticks"),
+    ("repro_fleet_reclusters_total", "reclusters"),
+    ("repro_fleet_closed_regions_total", "closed regions"),
+    ("repro_fleet_diagnoses_total", "diagnoses"),
+    ("repro_fleet_shed_total", "shed"),
+    ("repro_fleet_checkpoints_total", "checkpoints"),
+    ("repro_fleet_dropped_ticks_total", "dropped ticks"),
+    ("repro_fleet_quarantine_events_total", "quarantines"),
+)
+
+
+def _family(entry_name: str) -> Optional[str]:
+    base = entry_name.split("{", 1)[0]
+    return _TENANT_FAMILIES.get(base)
+
+
+def _histogram_quantile(entry: Mapping[str, object], q: float) -> float:
+    """Upper-bound estimate of quantile *q* from cumulative buckets."""
+    count = int(entry.get("count", 0))
+    if count == 0:
+        return float("nan")
+    rank = q * count
+    for bound, cum in entry["buckets"]:  # type: ignore[union-attr]
+        if bound == "+Inf":
+            bound = float("inf")
+        if cum >= rank:
+            return float(bound)
+    return float("inf")
+
+
+def _fmt_us(seconds: float) -> str:
+    if seconds != seconds:  # NaN
+        return "-"
+    if seconds == float("inf"):
+        return ">max"
+    return f"{seconds * 1e6:.0f}"
+
+
+def render_fleet_status(
+    snapshot: Mapping[str, Mapping[str, object]],
+    max_tenants: int = 40,
+) -> str:
+    """Plain-text fleet status from a registry snapshot dict."""
+    lines: List[str] = ["fleet status", ""]
+    totals = []
+    for name, label in _FLEET_COUNTERS:
+        entry = snapshot.get(name)
+        if entry is not None and "value" in entry:
+            totals.append(f"{label} {int(entry['value'])}")  # type: ignore[arg-type]
+    stream_hist = snapshot.get("repro_fleet_stream_tick_seconds")
+    if stream_hist is not None and int(stream_hist.get("count", 0)) > 0:
+        p50 = _histogram_quantile(stream_hist, 0.50)
+        p99 = _histogram_quantile(stream_hist, 0.99)
+        totals.append(
+            f"amortized/stream p50<={_fmt_us(p50)}us p99<={_fmt_us(p99)}us"
+        )
+    lines.append("  " + "   ".join(totals) if totals else "  (no fleet metrics)")
+
+    # Group per-tenant families by tenant label.
+    tenants: Dict[str, Dict[str, object]] = {}
+    for name, entry in snapshot.items():
+        fam = _family(name)
+        if fam is None:
+            continue
+        labels = entry.get("labels")
+        if not isinstance(labels, Mapping) or "tenant" not in labels:
+            continue
+        row = tenants.setdefault(str(labels["tenant"]), {})
+        if fam == "verdicts":
+            verdict = str(labels.get("verdict", "?"))
+            counts: Dict[str, int] = row.setdefault("verdicts", {})  # type: ignore[assignment]
+            counts[verdict] = counts.get(verdict, 0) + int(entry["value"])  # type: ignore[arg-type]
+        elif fam == "tick":
+            row["tick"] = entry
+        else:
+            row[fam] = int(entry["value"])  # type: ignore[arg-type]
+
+    if not tenants:
+        lines.append("")
+        lines.append(
+            "  (no per-tenant series; run the scheduler with "
+            "label_metrics=True)"
+        )
+        return "\n".join(lines)
+
+    lines.append("")
+    header = (
+        f"  {'tenant':<12} {'lag':>5} {'shed':>5} {'normal':>8} "
+        f"{'abnormal':>9} {'p99 tick (us)':>14}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+
+    def sort_key(item: Tuple[str, Dict[str, object]]):
+        verdicts = item[1].get("verdicts", {})
+        abnormal = verdicts.get("abnormal", 0) if isinstance(verdicts, dict) else 0
+        return (-int(item[1].get("lag", 0)), -abnormal, item[0])
+
+    shown = sorted(tenants.items(), key=sort_key)
+    for tenant, row in shown[:max_tenants]:
+        verdicts = row.get("verdicts", {})
+        normal = verdicts.get("normal", 0) if isinstance(verdicts, dict) else 0
+        abnormal = (
+            verdicts.get("abnormal", 0) if isinstance(verdicts, dict) else 0
+        )
+        tick = row.get("tick")
+        p99 = (
+            _fmt_us(_histogram_quantile(tick, 0.99))  # type: ignore[arg-type]
+            if tick is not None
+            else "-"
+        )
+        lines.append(
+            f"  {tenant:<12} {int(row.get('lag', 0)):>5} "  # type: ignore[arg-type]
+            f"{int(row.get('shed', 0)):>5} {normal:>8} {abnormal:>9} "  # type: ignore[arg-type]
+            f"{p99:>14}"
+        )
+    if len(shown) > max_tenants:
+        lines.append(f"  ... {len(shown) - max_tenants} more tenants")
+    return "\n".join(lines)

@@ -12,11 +12,17 @@ Exporters: :meth:`MetricsRegistry.to_prometheus` (text exposition
 format) and :meth:`MetricsRegistry.to_json` / :meth:`snapshot` (plain
 dicts — what :mod:`repro.obs.dogfood` samples into a ``Dataset``).
 
-Instruments are deliberately label-free: a label set would turn each
-metric into a family keyed by label values, and nothing in the pipeline
-needs that cardinality — distinct code paths get distinct metric names
-(``repro_dbscan_grid_fits_total`` vs ``repro_dbscan_dense_fits_total``),
-which also keeps the dogfood ``Dataset`` attribute list stable.
+Single-stream instruments are label-free: distinct code paths get
+distinct metric names (``repro_dbscan_grid_fits_total`` vs
+``repro_dbscan_dense_fits_total``), which also keeps the dogfood
+``Dataset`` attribute list stable.  The fleet layer
+(:mod:`repro.fleet.scheduler`) is the one consumer that genuinely needs
+label cardinality — per-tenant lag/shed/verdict series — so
+:meth:`MetricsRegistry.counter` & co. accept an optional ``labelnames``
+tuple and then return a :class:`MetricFamily` whose ``labels(...)``
+children are ordinary instruments exported as ``name{tenant="t42"}``.
+Label-free creation is unchanged, so every pre-fleet call site behaves
+identically.
 """
 
 from __future__ import annotations
@@ -30,9 +36,11 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricFamily",
     "MetricsRegistry",
     "REGISTRY",
     "DEFAULT_BUCKETS",
+    "FINE_BUCKETS",
 ]
 
 #: Default histogram upper bounds (seconds) — spans ~1 ms to 10 s, which
@@ -53,7 +61,40 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     10.0,
 )
 
+#: Fine-grained histogram bounds for the fleet engine: the amortized
+#: per-stream tick cost target is sub-100 µs, so the default ladder's
+#: 1 ms bottom bucket would swallow every observation.  The µs-scale
+#: rungs are prepended to ``DEFAULT_BUCKETS`` (not substituted), so a
+#: fleet histogram can still resolve the occasional slow outlier while
+#: single-stream metrics keep the original bucket set untouched.
+FINE_BUCKETS: Tuple[float, ...] = (
+    0.000001,
+    0.0000025,
+    0.000005,
+    0.00001,
+    0.000025,
+    0.00005,
+    0.0001,
+    0.00025,
+    0.0005,
+) + DEFAULT_BUCKETS
+
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value for the Prometheus text format."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _render_labels(labelnames: Sequence[str], values: Sequence[str]) -> str:
+    return ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(labelnames, values)
+    )
 
 
 class Counter:
@@ -174,44 +215,146 @@ class Histogram:
         self._count = 0
 
 
+class MetricFamily:
+    """A labeled metric: one name, one child instrument per label-value set.
+
+    Children are created lazily by :meth:`labels` (get-or-create, like
+    the registry itself) and are plain :class:`Counter` /
+    :class:`Gauge` / :class:`Histogram` instances, so call sites hold a
+    child handle and pay zero per-observation label cost.  Exporters
+    render each child as ``name{label="value"}``.
+    """
+
+    __slots__ = ("name", "help", "labelnames", "_cls", "_kwargs",
+                 "_children", "_lock")
+
+    def __init__(self, cls, name: str, help: str,
+                 labelnames: Sequence[str], **kwargs) -> None:
+        labelnames = tuple(labelnames)
+        if not labelnames:
+            raise ValueError(f"metric family {name!r} needs label names")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self._cls = cls
+        self._kwargs = kwargs
+        self._children: Dict[Tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def kind(self) -> str:
+        return self._cls.kind
+
+    def labels(self, *values, **kv):
+        """The child instrument for one label-value combination."""
+        if values and kv:
+            raise ValueError("pass label values positionally or by name")
+        if kv:
+            if set(kv) != set(self.labelnames):
+                raise ValueError(
+                    f"family {self.name!r} expects labels "
+                    f"{self.labelnames}, got {sorted(kv)}"
+                )
+            values = tuple(str(kv[name]) for name in self.labelnames)
+        else:
+            if len(values) != len(self.labelnames):
+                raise ValueError(
+                    f"family {self.name!r} expects "
+                    f"{len(self.labelnames)} label values"
+                )
+            values = tuple(str(v) for v in values)
+        with self._lock:
+            child = self._children.get(values)
+            if child is None:
+                child = self._cls(self.name, self.help, **self._kwargs)
+                self._children[values] = child
+            return child
+
+    def children(self) -> List[Tuple[Tuple[str, ...], object]]:
+        """``(label values, child)`` pairs, sorted by label values."""
+        with self._lock:
+            return sorted(self._children.items())
+
+    def _reset(self) -> None:
+        with self._lock:
+            for child in self._children.values():
+                child._reset()
+
+
 class MetricsRegistry:
     """Name → instrument map with get-or-create semantics and exporters."""
 
     def __init__(self) -> None:
-        self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+        self._metrics: Dict[
+            str, Union[Counter, Gauge, Histogram, MetricFamily]
+        ] = {}
         self._lock = threading.Lock()
 
-    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+    def _get_or_create(
+        self,
+        cls,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        **kwargs,
+    ):
         if not _NAME_RE.match(name):
             raise ValueError(f"invalid metric name {name!r}")
+        labelnames = tuple(labelnames)
         with self._lock:
             existing = self._metrics.get(name)
             if existing is not None:
+                if labelnames:
+                    if (
+                        not isinstance(existing, MetricFamily)
+                        or existing._cls is not cls
+                        or existing.labelnames != labelnames
+                    ):
+                        raise TypeError(
+                            f"metric {name!r} already registered with a "
+                            f"different kind or label set"
+                        )
+                    return existing
                 if not isinstance(existing, cls):
                     raise TypeError(
                         f"metric {name!r} already registered as "
                         f"{existing.kind}, requested {cls.kind}"
                     )
                 return existing
-            metric = cls(name, help, **kwargs)
+            if labelnames:
+                metric = MetricFamily(cls, name, help, labelnames, **kwargs)
+            else:
+                metric = cls(name, help, **kwargs)
             self._metrics[name] = metric
             return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get_or_create(Counter, name, help)
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Union[Counter, MetricFamily]:
+        return self._get_or_create(Counter, name, help, labelnames)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get_or_create(Gauge, name, help)
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Union[Gauge, MetricFamily]:
+        return self._get_or_create(Gauge, name, help, labelnames)
 
     def histogram(
         self,
         name: str,
         help: str = "",
         buckets: Sequence[float] = DEFAULT_BUCKETS,
-    ) -> Histogram:
-        return self._get_or_create(Histogram, name, help, buckets=buckets)
+        labelnames: Sequence[str] = (),
+    ) -> Union[Histogram, MetricFamily]:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
 
-    def get(self, name: str) -> Optional[Union[Counter, Gauge, Histogram]]:
+    def get(
+        self, name: str
+    ) -> Optional[Union[Counter, Gauge, Histogram, MetricFamily]]:
         return self._metrics.get(name)
 
     def names(self) -> List[str]:
@@ -223,16 +366,41 @@ class MetricsRegistry:
             for metric in self._metrics.values():
                 metric._reset()
 
+    def _iter_instruments(self):
+        """Yield ``(rendered name, instrument, labels dict | None)``.
+
+        Families expand to one entry per child, rendered as
+        ``name{label="value"}``; plain instruments pass through.
+        """
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, MetricFamily):
+                for values, child in metric.children():
+                    rendered = (
+                        f"{name}{{"
+                        f"{_render_labels(metric.labelnames, values)}}}"
+                    )
+                    yield rendered, child, dict(
+                        zip(metric.labelnames, values)
+                    )
+            else:
+                yield name, metric, None
+
     # ------------------------------------------------------------------
     # Exporters
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, dict]:
-        """Current values as plain dicts, keyed by metric name."""
+        """Current values as plain dicts, keyed by (rendered) metric name.
+
+        Family children appear under their rendered ``name{k="v"}`` key
+        and additionally carry a ``"labels"`` dict so consumers (the
+        ``fleet status`` CLI) can group per-tenant series without
+        parsing the rendered name.
+        """
         out: Dict[str, dict] = {}
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
+        for name, metric, labels in self._iter_instruments():
             if isinstance(metric, Histogram):
-                out[name] = {
+                entry = {
                     "kind": "histogram",
                     "help": metric.help,
                     "count": metric.count,
@@ -242,11 +410,14 @@ class MetricsRegistry:
                     ],
                 }
             else:
-                out[name] = {
+                entry = {
                     "kind": metric.kind,
                     "help": metric.help,
                     "value": metric.value,
                 }
+            if labels is not None:
+                entry["labels"] = labels
+            out[name] = entry
         return out
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -268,7 +439,27 @@ class MetricsRegistry:
             if metric.help:
                 lines.append(f"# HELP {name} {metric.help}")
             lines.append(f"# TYPE {name} {metric.kind}")
-            if isinstance(metric, Histogram):
+            if isinstance(metric, MetricFamily):
+                for values, child in metric.children():
+                    label_body = _render_labels(metric.labelnames, values)
+                    if isinstance(child, Histogram):
+                        for bound, count in child.bucket_counts():
+                            le = "+Inf" if bound == float("inf") else _fmt(bound)
+                            lines.append(
+                                f'{name}_bucket{{{label_body},le="{le}"}} '
+                                f"{count}"
+                            )
+                        lines.append(
+                            f"{name}_sum{{{label_body}}} {_fmt(child.sum)}"
+                        )
+                        lines.append(
+                            f"{name}_count{{{label_body}}} {child.count}"
+                        )
+                    else:
+                        lines.append(
+                            f"{name}{{{label_body}}} {_fmt(child.value)}"
+                        )
+            elif isinstance(metric, Histogram):
                 for bound, count in metric.bucket_counts():
                     le = "+Inf" if bound == float("inf") else _fmt(bound)
                     lines.append(f'{name}_bucket{{le="{le}"}} {count}')

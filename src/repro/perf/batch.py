@@ -26,38 +26,41 @@ __all__ = ["label_numeric_batch", "potential_power_batch"]
 
 
 def potential_power_batch(matrix: np.ndarray, window: int) -> np.ndarray:
-    """Equation 4 for many attributes at once.
+    """Equation 4 for many attributes (and many streams) at once.
 
-    *matrix* is ``(n_attrs, n_rows)`` with each row already normalized to
-    [0, 1].  Returns the per-attribute potential power vector.  The
-    sliding windows are materialized as one ``(n_attrs, n_windows, w)``
+    *matrix* is ``(..., n_rows)`` — any number of leading axes over a
+    trailing sample axis, each lane already normalized to [0, 1].  The
+    single-stream caller passes ``(n_attrs, n_rows)``; the fleet engine
+    passes the whole arena as ``(n_streams, n_attrs, n_rows)``.  Returns
+    the potential power with the trailing axis reduced away.  The
+    sliding windows are materialized as one ``(..., n_windows, w)``
     stride-tricks view and their medians taken in a single
-    ``np.median(axis=2)`` call, so the result is bitwise-identical to
-    calling the scalar :func:`repro.core.anomaly.potential_power` on each
-    row (same window elements, same median reduction).
+    ``np.median(axis=-1)`` call, so the result is bitwise-identical to
+    calling the scalar :func:`repro.core.anomaly.potential_power` on
+    each lane (same window elements, same median reduction) — and
+    independent of how lanes are stacked.
     """
     matrix = np.asarray(matrix, dtype=np.float64)
-    if matrix.ndim != 2:
-        raise ValueError("matrix must be (n_attrs, n_rows)")
-    n_attrs, n = matrix.shape
-    if n_attrs == 0:
-        return np.zeros(0)
-    if n == 0:
-        return np.zeros(n_attrs)
+    if matrix.ndim < 2:
+        raise ValueError("matrix must be (..., n_rows) with ndim >= 2")
+    lead = matrix.shape[:-1]
+    n = matrix.shape[-1]
+    if 0 in lead or n == 0:
+        return np.zeros(lead)
     window = max(min(int(window), n), 1)
-    windows = np.lib.stride_tricks.sliding_window_view(matrix, window, axis=1)
+    windows = np.lib.stride_tricks.sliding_window_view(matrix, window, axis=-1)
     if np.isnan(matrix).any():
         # degraded telemetry: medians over the valid samples only; windows
         # (or attributes) with no valid samples contribute zero power.
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", RuntimeWarning)
-            overall = np.nanmedian(matrix, axis=1)
-            locals_ = np.nanmedian(windows, axis=2)
-            powers = np.nanmax(np.abs(overall[:, None] - locals_), axis=1)
+            overall = np.nanmedian(matrix, axis=-1)
+            locals_ = np.nanmedian(windows, axis=-1)
+            powers = np.nanmax(np.abs(overall[..., None] - locals_), axis=-1)
         return np.nan_to_num(powers, nan=0.0)
-    overall = np.median(matrix, axis=1)
-    locals_ = np.median(windows, axis=2)
-    return np.max(np.abs(overall[:, None] - locals_), axis=1)
+    overall = np.median(matrix, axis=-1)
+    locals_ = np.median(windows, axis=-1)
+    return np.max(np.abs(overall[..., None] - locals_), axis=-1)
 
 
 def label_numeric_batch(

@@ -12,7 +12,12 @@ simulator and the evaluation protocols.  Design constraints:
   work), the map silently re-runs serially.  Work functions must
   therefore be pure.
 * **Override** — the ``REPRO_JOBS`` environment variable sets the default
-  worker count; an explicit ``jobs=`` argument wins over it.
+  worker count; an explicit ``jobs=`` argument wins over it, with one
+  exception: ``REPRO_JOBS=1`` is an operator's "run inline, never spawn
+  a pool" veto and beats even an explicit ``jobs=``.  Small fleet shards
+  hand ``jobs=`` through from their own worker budgets, and without the
+  veto a 4-item map would pay ~100 ms of process-spawn overhead for
+  ~1 ms of work.
 """
 
 from __future__ import annotations
@@ -34,16 +39,27 @@ R = TypeVar("R")
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Effective worker count: explicit argument, else ``REPRO_JOBS``, else 1."""
-    if jobs is not None:
-        return max(1, int(jobs))
+    """Effective worker count: explicit argument, else ``REPRO_JOBS``, else 1.
+
+    ``REPRO_JOBS=1`` means "run inline, no pool spawn" and overrides even
+    an explicit ``jobs=`` argument: callers that fan out on behalf of a
+    larger system (fleet shards, the suite simulator) pass their own
+    worker budgets through, and the environment veto is the only way an
+    operator can globally disable process spawning without threading a
+    flag through every layer.
+    """
     env = os.environ.get(JOBS_ENV, "").strip()
+    env_jobs: Optional[int] = None
     if env:
         try:
-            return max(1, int(env))
+            env_jobs = max(1, int(env))
         except ValueError:
-            return 1
-    return 1
+            env_jobs = 1
+    if env_jobs == 1:
+        return 1
+    if jobs is not None:
+        return max(1, int(jobs))
+    return env_jobs if env_jobs is not None else 1
 
 
 def _pool_context():

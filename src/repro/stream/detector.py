@@ -56,7 +56,13 @@ from repro.obs import metrics
 from repro.stream.median import SlidingExtrema, SlidingMedian
 from repro.stream.window import RingBufferWindow
 
-__all__ = ["StreamTick", "StreamingDetector", "StreamingDiagnoser"]
+__all__ = [
+    "StreamTick",
+    "StreamingDetector",
+    "StreamingDiagnoser",
+    "cluster_window",
+    "close_regions",
+]
 
 _TICK_SECONDS = metrics.REGISTRY.histogram(
     "repro_stream_tick_seconds",
@@ -81,6 +87,56 @@ _CLOSED_REGIONS = metrics.REGISTRY.counter(
     "repro_stream_closed_regions_total",
     "Abnormal regions closed and handed to diagnosis",
 )
+
+
+def cluster_window(
+    batch: AnomalyDetector, window, selected: Sequence[str]
+) -> DetectionResult:
+    """Normalize *selected* columns of *window* and cluster them.
+
+    The single post-selection entry point shared by
+    :class:`StreamingDetector` and the fleet engine
+    (:mod:`repro.fleet.engine`): *window* only needs ``column(attr)`` and
+    ``timestamps``, so a :class:`~repro.stream.window.RingBufferWindow`
+    and an arena view are interchangeable here — both paths run the same
+    ``AnomalyDetector._cluster_and_mask`` on the same matrix, which is
+    what makes their outputs bitwise-comparable.
+    """
+    matrix = np.column_stack(
+        [normalize_values(window.column(a)) for a in selected]
+    )
+    return batch._cluster_and_mask(matrix, window.timestamps, list(selected))
+
+
+def close_regions(
+    regions: Sequence[Region],
+    timestamps: np.ndarray,
+    gap_fill_s: float,
+    emitted_ends: Set[float],
+) -> Tuple[List[Region], Set[float]]:
+    """Split off regions that can no longer be extended by future ticks.
+
+    A flagged region is *closed* once the unflagged gap between its end
+    and the window tail exceeds *gap_fill_s* — no future row can bridge
+    into it.  Each closed region is emitted exactly once, keyed by its
+    end timestamp (ends never shift; starts can, when eviction truncates
+    a region).  Returns ``(closed, emitted_ends)`` where the second
+    element is the pruned dedup set the caller should retain (keys whose
+    timestamps have left the buffer are dropped).
+    """
+    if len(timestamps) == 0:
+        return [], emitted_ends
+    tail = float(timestamps[-1])
+    oldest = float(timestamps[0])
+    emitted_ends = {e for e in emitted_ends if e >= oldest}
+    closed: List[Region] = []
+    for region in regions:
+        if tail - region.end > gap_fill_s and (
+            region.end not in emitted_ends
+        ):
+            emitted_ends.add(region.end)
+            closed.append(region)
+    return closed, emitted_ends
 
 
 class _AttributeTracker:
@@ -507,21 +563,19 @@ class StreamingDetector:
     def _full_cluster(self, selected: List[str]) -> DetectionResult:
         assert self._window is not None
         window = self._window
-        matrix = np.column_stack(
-            [normalize_values(window.column(a)) for a in selected]
-        )
-        result = self.batch._cluster_and_mask(
-            matrix, window.timestamps, selected
-        )
+        result = cluster_window(self.batch, window, selected)
         self.recluster_count += 1
         _RECLUSTERS.inc()
         if self.mode == "incremental":
             raw = self._raw_flags(result)
+            points = np.column_stack(
+                [normalize_values(window.column(a)) for a in selected]
+            )
             self._cluster_state = _ClusterState(
                 selected=tuple(selected),
                 eps=result.eps,
                 bounds={a: window.bounds(a) for a in selected},
-                points=matrix,
+                points=points,
                 raw_flags=raw,
                 appended_at=window.appended,
             )
@@ -774,27 +828,15 @@ class StreamingDetector:
 
     # ------------------------------------------------------------------
     def _closed_regions(self, result: DetectionResult) -> List[Region]:
-        """Regions that can no longer be extended by future ticks.
-
-        A flagged region is *closed* once the unflagged gap between its
-        end and the window tail exceeds ``gap_fill_s`` — no future row
-        can bridge into it.  Each closed region is emitted exactly once,
-        keyed by its end timestamp (ends never shift; starts can, when
-        eviction truncates a region).
-        """
+        """Regions that can no longer be extended (see :func:`close_regions`)."""
         if self._window is None or self._window.n_rows == 0:
             return []
-        tail = float(self._window.timestamps[-1])
-        oldest = float(self._window.timestamps[0])
-        # forget keys that have left the buffer entirely
-        self._emitted_ends = {e for e in self._emitted_ends if e >= oldest}
-        closed = []
-        for region in result.regions:
-            if tail - region.end > self.batch.gap_fill_s and (
-                region.end not in self._emitted_ends
-            ):
-                self._emitted_ends.add(region.end)
-                closed.append(region)
+        closed, self._emitted_ends = close_regions(
+            result.regions,
+            self._window.timestamps,
+            self.batch.gap_fill_s,
+            self._emitted_ends,
+        )
         return closed
 
 

@@ -115,6 +115,42 @@ class TestCauses:
         assert "Lock Contention" in text
 
 
+class TestFleetStatus:
+    def test_renders_snapshot_file(self, tmp_path):
+        import numpy as np
+
+        from repro.fleet import FleetDetector, FleetScheduler, FleetSimSource
+        from repro.obs.metrics import MetricsRegistry
+
+        # run a tiny fleet against a private registry and dump it
+        from repro.fleet import engine as fleet_engine  # noqa: F401
+
+        attrs = ["a", "b"]
+        det = FleetDetector(4, attrs, capacity=30, window=6,
+                            pp_threshold=0.4, min_region_s=2.0)
+        sched = FleetScheduler(det, label_metrics=True)
+        src = FleetSimSource(4, attrs, seed=2, anomaly_fraction=0.5,
+                             anomaly_period=20, anomaly_duration=10,
+                             anomaly_scale=10.0)
+        for times, values, active in src.take(40):
+            sched.run_round(times, values, active)
+        sched.close()
+        from repro.obs.metrics import REGISTRY
+
+        path = tmp_path / "metrics.json"
+        path.write_text(REGISTRY.to_json())
+        code, text = run_cli(["fleet", "status", "--metrics", str(path)])
+        assert code == 0
+        assert "fleet status" in text
+        assert "tenant" in text
+        assert "t0000" in text
+
+    def test_live_registry_without_fleet_metrics(self):
+        code, text = run_cli(["fleet", "status", "--max-tenants", "3"])
+        assert code == 0
+        assert "fleet status" in text
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

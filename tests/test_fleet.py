@@ -1,0 +1,467 @@
+"""Fleet engine: bitwise equivalence, scheduling, durability.
+
+The load-bearing claim of :mod:`repro.fleet` is that the vectorized
+cross-stream engine is *bitwise* interchangeable with N independent
+:class:`~repro.stream.detector.StreamingDetector` instances — same
+verdicts, masks, ε, quarantines, closed regions, and byte-identical
+checkpoints — including under the ``moderate`` chaos profile's degraded
+telemetry.  Everything else (scheduler backpressure, WAL recovery,
+status rendering) is built on that invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.explain import DBSherlock
+from repro.eval.chaos import PROFILES
+from repro.fleet import (
+    FleetDetector,
+    FleetScheduler,
+    FleetSimSource,
+    SortedWindowBank,
+)
+from repro.fleet.arena import FleetArena
+from repro.fleet.status import render_fleet_status
+from repro.obs.metrics import MetricsRegistry
+from repro.stream.detector import StreamingDetector
+
+
+# ----------------------------------------------------------------------
+# Sorted bank: exact order statistics under one-in/one-out
+# ----------------------------------------------------------------------
+class TestSortedWindowBank:
+    def test_matches_numpy_under_fuzz(self):
+        rng = np.random.default_rng(11)
+        lanes, cap = 7, 9
+        bank = SortedWindowBank(lanes, cap)
+        buffers = [[] for _ in range(lanes)]
+        for _ in range(400):
+            values = np.round(rng.normal(size=lanes) * 4.0)  # duplicates
+            active = rng.random(lanes) < 0.8
+            evicted = np.zeros(lanes)
+            for lane in range(lanes):
+                if active[lane]:
+                    if len(buffers[lane]) >= cap:
+                        evicted[lane] = buffers[lane].pop(0)
+                    buffers[lane].append(values[lane])
+            bank.replace(values, active, evicted)
+            meds = bank.medians()
+            mins = bank.mins()
+            maxs = bank.maxs()
+            for lane in range(lanes):
+                buf = np.asarray(buffers[lane])
+                if buf.size == 0:
+                    assert np.isnan(meds[lane])
+                    continue
+                assert meds[lane] == np.median(buf)
+                assert mins[lane] == buf.min()
+                assert maxs[lane] == buf.max()
+                live = bank._sorted[lane, : len(buf)]
+                assert np.array_equal(live, np.sort(buf))
+
+    def test_empty_and_inactive_lanes_are_noops(self):
+        bank = SortedWindowBank(3, 4)
+        bank.replace(
+            np.array([1.0, 2.0, 3.0]),
+            np.array([True, False, True]),
+            np.zeros(3),
+        )
+        assert bank.counts.tolist() == [1, 0, 1]
+        assert np.isnan(bank.medians()[1])
+        assert bank.medians()[0] == 1.0
+
+
+# ----------------------------------------------------------------------
+# Arena: Equation 4 statistics against the naive definition
+# ----------------------------------------------------------------------
+class TestFleetArena:
+    def test_stats_match_naive_definition(self):
+        rng = np.random.default_rng(5)
+        S, attrs, cap, w = 4, ["x", "y"], 12, 4
+        arena = FleetArena(S, attrs, cap, w)
+        history = [[] for _ in range(S)]
+        for t in range(40):
+            values = rng.normal(size=(S, len(attrs))) * 10.0
+            active = rng.random(S) < 0.85
+            times = np.full(S, float(t + 1))
+            arena.append(times, values, active)
+            for s in range(S):
+                if active[s]:
+                    history[s].append(values[s])
+            stats = arena.stats()
+            for s in range(S):
+                rows = np.asarray(history[s][-cap:])
+                if rows.size == 0:
+                    continue
+                matrix = rows.T  # (attrs, n)
+                assert np.array_equal(stats.mins[s], matrix.min(axis=1))
+                assert np.array_equal(stats.maxs[s], matrix.max(axis=1))
+                n = matrix.shape[1]
+                for j in range(len(attrs)):
+                    col = matrix[j]
+                    span = col.max() - col.min()
+                    if n <= w or span <= 0:
+                        assert stats.powers[s, j] == 0.0
+                        continue
+                    wm = np.array(
+                        [
+                            np.median(col[i : i + w])
+                            for i in range(n - w + 1)
+                        ]
+                    )
+                    expect = (
+                        max(
+                            abs(np.median(col) - wm.min()),
+                            abs(np.median(col) - wm.max()),
+                        )
+                        / span
+                    )
+                    assert stats.powers[s, j] == expect
+
+    def test_view_exposes_retained_rows_in_order(self):
+        arena = FleetArena(2, ["a"], 3, 2)
+        for t in range(5):
+            arena.append(
+                np.array([t + 1.0, t + 1.0]),
+                np.array([[float(t)], [float(10 + t)]]),
+                np.array([True, t % 2 == 0]),
+            )
+        v0 = arena.view(0)
+        assert v0.timestamps.tolist() == [3.0, 4.0, 5.0]
+        assert v0.column("a").tolist() == [2.0, 3.0, 4.0]
+        assert v0.bounds("a") == (2.0, 4.0)
+        assert v0.oldest_seq == 2
+
+
+# ----------------------------------------------------------------------
+# Bitwise equivalence with mirrored single-stream detectors
+# ----------------------------------------------------------------------
+DETECTOR_KW = dict(
+    capacity=40,
+    window=8,
+    pp_threshold=0.45,
+    min_pts=3,
+    cluster_fraction=0.2,
+    min_region_s=2.0,
+    gap_fill_s=3.0,
+)
+
+
+def _mirrors(n, attrs, **extra):
+    return [
+        StreamingDetector(mode="exact", **DETECTOR_KW, **extra)
+        for _ in range(n)
+    ]
+
+
+def _assert_tick_equal(tick, mirror_ticks, sizes):
+    for s, mt in enumerate(mirror_ticks):
+        if mt is None:
+            continue
+        res = tick.result(s)
+        assert res.selected_attributes == list(
+            mt.result.selected_attributes
+        )
+        assert np.array_equal(res.mask, mt.result.mask)
+        assert res.regions == mt.result.regions
+        assert res.eps == mt.result.eps
+        assert tick.closed.get(s, []) == mt.closed_regions
+        assert bool(tick.reclustered[s]) == mt.reclustered
+
+
+def _run_equivalence(rounds, fleet, mirrors, attrs):
+    """Feed identical rows to both paths, asserting every tick."""
+    for times, values, active in rounds:
+        tick = fleet.tick(times, values, active)
+        mirror_ticks = []
+        for s, det in enumerate(mirrors):
+            if not active[s]:
+                mirror_ticks.append(None)
+                continue
+            row = {a: values[s, j] for j, a in enumerate(attrs)}
+            mirror_ticks.append(det.tick(times[s], row, {}))
+        _assert_tick_equal(tick, mirror_ticks, tick.sizes)
+    for s, det in enumerate(mirrors):
+        assert fleet.stream_checkpoint(s) == det.checkpoint()
+
+
+class TestFleetEquivalence:
+    def test_clean_stream_bitwise_equal(self):
+        S, attrs = 5, ["a", "b", "c"]
+        src = FleetSimSource(
+            S,
+            attrs,
+            seed=21,
+            anomaly_fraction=0.4,
+            anomaly_period=25,
+            anomaly_duration=12,
+            anomaly_scale=10.0,
+        )
+        fleet = FleetDetector(S, attrs, **DETECTOR_KW)
+        mirrors = _mirrors(S, attrs)
+        _run_equivalence(src.take(90), fleet, mirrors, attrs)
+
+    def test_moderate_chaos_bitwise_equal(self):
+        """Identical verdicts/quarantines/checkpoints under `moderate`.
+
+        Per-tenant tick streams go through the real `moderate` fault
+        plan (5% dropped ticks, 2% NaN cells, one stuck-at attribute),
+        then the *delivered* rows feed both the fleet engine and
+        mirrored single-stream detectors with stuck-at quarantine on.
+        """
+        S, attrs = 4, ["a", "b", "c"]
+        profile = PROFILES["moderate"]
+        base_rng = np.random.default_rng(99)
+        delivered = []
+        for s in range(S):
+            ticks = []
+            for t in range(110):
+                row = {
+                    a: float(
+                        50.0
+                        + 10 * base_rng.standard_normal()
+                        + (40.0 if s < 2 and 60 <= t < 75 and a != "c" else 0)
+                    )
+                    for a in attrs
+                }
+                ticks.append((float(t + 1), row, {}))
+            plan = profile.plan(seed=1000 + s)
+            delivered.append(list(plan.wrap(iter(ticks))))
+
+        def rounds():
+            n_rounds = max(len(d) for d in delivered)
+            for r in range(n_rounds):
+                times = np.zeros(S)
+                values = np.zeros((S, len(attrs)))
+                active = np.zeros(S, dtype=bool)
+                for s in range(S):
+                    if r < len(delivered[s]):
+                        t, row, _ = delivered[s][r]
+                        times[s] = t
+                        values[s] = [
+                            row.get(a, float("nan")) for a in attrs
+                        ]
+                        active[s] = True
+                yield times, values, active
+
+        fleet = FleetDetector(S, attrs, quarantine_after=5, **DETECTOR_KW)
+        mirrors = _mirrors(S, attrs, quarantine_after=5)
+        _run_equivalence(rounds(), fleet, mirrors, attrs)
+        for s, det in enumerate(mirrors):
+            fleet_q = {
+                a
+                for j, a in enumerate(attrs)
+                if fleet.quarantined[s, j]
+            }
+            assert fleet_q == det.quarantined
+            assert fleet.dropped_counts[s] == det.dropped_ticks
+            assert fleet.sanitized_counts[s] == det.sanitized_values
+
+    def test_variance_quarantine_bitwise_equal(self):
+        S, attrs = 3, ["a", "b"]
+        src = FleetSimSource(
+            S,
+            attrs,
+            seed=4,
+            anomaly_fraction=0.5,
+            anomaly_period=20,
+            anomaly_duration=10,
+            anomaly_scale=9.0,
+            stuck_streams=[1],
+            stuck_attr="b",
+        )
+        kw = dict(quarantine_after=6, quarantine_rel_epsilon=1e-3)
+        fleet = FleetDetector(S, attrs, **DETECTOR_KW, **kw)
+        mirrors = _mirrors(S, attrs, **kw)
+        _run_equivalence(src.take(70), fleet, mirrors, attrs)
+        assert fleet.quarantined[1, 1]  # the stuck lane was caught
+
+    def test_checkpoint_restore_is_bitwise(self):
+        S, attrs = 3, ["a", "b"]
+        src = FleetSimSource(
+            S, attrs, seed=13, anomaly_fraction=0.5, anomaly_scale=10.0,
+            anomaly_period=20, anomaly_duration=10,
+        )
+        fleet = FleetDetector(S, attrs, quarantine_after=5, **DETECTOR_KW)
+        batches = list(src.take(120))
+        for times, values, active in batches[:50]:
+            fleet.tick(times, values, active)
+        states = [fleet.stream_checkpoint(s) for s in range(S)]
+        # a single-stream detector accepts the same checkpoint unchanged
+        solo = StreamingDetector.from_checkpoint(states[0])
+        assert solo.checkpoint() == states[0]
+        restored = FleetDetector.from_checkpoints(states)
+        for s in range(S):
+            assert restored.stream_checkpoint(s) == states[s]
+        for times, values, active in batches[50:]:
+            a = fleet.tick(times, values, active)
+            b = restored.tick(times, values, active)
+            assert np.array_equal(a.selected, b.selected)
+            assert np.array_equal(a.powers, b.powers)
+            assert sorted(a.results) == sorted(b.results)
+        for s in range(S):
+            assert fleet.stream_checkpoint(s) == restored.stream_checkpoint(
+                s
+            )
+
+
+# ----------------------------------------------------------------------
+# Scheduler: backpressure, shedding, durability
+# ----------------------------------------------------------------------
+def _busy_source(S, attrs, seed=7):
+    return FleetSimSource(
+        S,
+        attrs,
+        seed=seed,
+        anomaly_fraction=0.6,
+        anomaly_period=25,
+        anomaly_duration=16,
+        anomaly_scale=14.0,
+    )
+
+
+_BUSY_KW = dict(DETECTOR_KW, pp_threshold=0.3)
+
+
+class TestFleetScheduler:
+    ATTRS = ["a", "b", "c"]
+
+    def _detector(self, S, **extra):
+        return FleetDetector(S, self.ATTRS, **_BUSY_KW, **extra)
+
+    def test_block_policy_diagnoses_everything(self):
+        S = 8
+        sched = FleetScheduler(
+            self._detector(S),
+            sherlock=DBSherlock(),
+            max_pending=1,
+            diagnose_jobs=1,
+            shed_policy="block",
+            label_metrics=False,
+        )
+        report = sched.run(_busy_source(S, self.ATTRS).take(120))
+        sched.close()
+        assert report.shed == 0
+        assert report.diagnoses == report.closed_regions > 0
+        assert all(
+            exp.predicates is not None for _, _, exp in sched.diagnoses
+        )
+
+    def test_shedding_policies_bound_the_queue(self):
+        for policy in ("drop_oldest", "reject_new"):
+            S = 8
+            sched = FleetScheduler(
+                self._detector(S),
+                sherlock=DBSherlock(),
+                max_pending=1,
+                diagnose_jobs=1,
+                shed_policy=policy,
+                label_metrics=False,
+            )
+            report = sched.run(_busy_source(S, self.ATTRS).take(120))
+            sched.close()
+            assert report.diagnoses + report.shed == report.closed_regions
+            if report.shed:
+                assert sum(report.shed_by_tenant.values()) == report.shed
+
+    def test_rejects_bad_configuration(self):
+        det = self._detector(2)
+        with pytest.raises(ValueError):
+            FleetScheduler(det, shed_policy="nope")
+        with pytest.raises(ValueError):
+            FleetScheduler(det, tenants=["only-one"])
+        with pytest.raises(ValueError):
+            FleetScheduler(det, tenants=["x", "x"])
+        with pytest.raises(ValueError):
+            FleetScheduler(det, durable=["x"], tenants=["x", "y"])
+
+    def test_wal_crash_recovery_is_bitwise(self, tmp_path):
+        S = 3
+        tenants = ["alpha", "beta", "gamma"]
+        src = _busy_source(S, self.ATTRS, seed=17)
+        batches = list(src.take(70))
+        sched = FleetScheduler(
+            self._detector(S, quarantine_after=5),
+            tenants=tenants,
+            root_dir=tmp_path,
+            durable=tenants,
+            checkpoint_every=20,
+            label_metrics=False,
+        )
+        for times, values, active in batches:
+            sched.run_round(times, values, active)
+        # crash: drop the scheduler without a final checkpoint — the
+        # rows after round 60 live only in the WALs
+        live_states = [
+            sched.detector.stream_checkpoint(s) for s in range(S)
+        ]
+        sched._pool.shutdown(wait=True)
+        for wal in sched._wals.values():
+            wal.close()
+
+        recovered = FleetScheduler.recover(
+            tmp_path, tenants, label_metrics=False
+        )
+        for s in range(S):
+            assert (
+                recovered.detector.stream_checkpoint(s) == live_states[s]
+            )
+        # and the recovered fleet keeps ticking identically
+        src2 = FleetSimSource(S, self.ATTRS, seed=555)
+        for times, values, active in src2.take(5):
+            a = sched.detector.tick(times, values, active)
+            b = recovered.detector.tick(times, values, active)
+            assert np.array_equal(a.selected, b.selected)
+            assert np.array_equal(a.powers, b.powers)
+        recovered.close()
+
+    def test_latency_percentiles_and_verdict_latency(self):
+        S = 4
+        det = self._detector(S)
+        sched = FleetScheduler(det, label_metrics=False)
+        src = _busy_source(S, self.ATTRS)
+        for times, values, active in src.take(30):
+            tick = sched.run_round(times, values, active)
+            lat = tick.verdict_latency
+            assert lat is not None
+            assert np.isfinite(lat[active]).all()
+            assert (lat[active] > 0).all()
+        pcts = sched.latency_percentiles()
+        assert pcts["p50"] <= pcts["p90"] <= pcts["p99"]
+        sched.close()
+
+
+# ----------------------------------------------------------------------
+# Status rendering
+# ----------------------------------------------------------------------
+class TestFleetStatus:
+    def test_renders_per_tenant_rows_from_registry(self):
+        registry = MetricsRegistry()
+        lag = registry.gauge(
+            "repro_fleet_tenant_lag", "lag", labelnames=("tenant",)
+        )
+        verdicts = registry.counter(
+            "repro_fleet_tenant_verdicts_total",
+            "verdicts",
+            labelnames=("tenant", "verdict"),
+        )
+        lag.labels(tenant="t1").set(3)
+        verdicts.labels(tenant="t1", verdict="abnormal").inc(2)
+        verdicts.labels(tenant="t1", verdict="normal").inc(5)
+        rounds = registry.counter("repro_fleet_rounds_total", "rounds")
+        rounds.inc(7)
+        text = render_fleet_status(registry.snapshot())
+        assert "rounds 7" in text
+        assert "t1" in text
+        lines = [l for l in text.splitlines() if l.strip().startswith("t1")]
+        assert len(lines) == 1
+        fields = lines[0].split()
+        assert fields[1] == "3"  # lag
+        assert fields[3] == "5" and fields[4] == "2"  # normal, abnormal
+
+    def test_empty_snapshot_degrades_gracefully(self):
+        text = render_fleet_status({})
+        assert "no fleet metrics" in text
+        assert "label_metrics=True" in text

@@ -290,6 +290,58 @@ class TestExporters:
         assert registry.get("requests_total").value == 1
 
 
+class TestMetricFamilies:
+    def test_labels_get_or_create_children(self):
+        registry = metrics.MetricsRegistry()
+        family = registry.counter(
+            "jobs_total", "Jobs", labelnames=("tenant",)
+        )
+        a = family.labels(tenant="t1")
+        b = family.labels("t1")  # positional form hits the same child
+        assert a is b
+        a.inc(2)
+        family.labels(tenant="t2").inc()
+        snap = registry.snapshot()
+        assert snap['jobs_total{tenant="t1"}']["value"] == 2.0
+        assert snap['jobs_total{tenant="t1"}']["labels"] == {"tenant": "t1"}
+        assert snap['jobs_total{tenant="t2"}']["value"] == 1.0
+
+    def test_label_kind_mismatch_rejected(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("x_total", labelnames=("tenant",))
+        with pytest.raises(TypeError):
+            registry.counter("x_total")  # unlabeled redeclare
+        with pytest.raises(TypeError):
+            registry.gauge("x_total", labelnames=("tenant",))
+
+    def test_prometheus_renders_labeled_histogram(self):
+        registry = metrics.MetricsRegistry()
+        hist = registry.histogram(
+            "tick_seconds",
+            "Tick time",
+            buckets=(0.1, 1.0),
+            labelnames=("tenant",),
+        )
+        hist.labels(tenant="a").observe(0.05)
+        hist.labels(tenant="a").observe(0.5)
+        text = registry.to_prometheus()
+        assert 'tick_seconds_bucket{tenant="a",le="0.1"} 1' in text
+        assert 'tick_seconds_bucket{tenant="a",le="+Inf"} 2' in text
+        assert 'tick_seconds_count{tenant="a"} 2' in text
+
+    def test_fine_buckets_are_microsecond_scale(self):
+        assert metrics.FINE_BUCKETS[0] <= 1e-6
+        assert metrics.FINE_BUCKETS == tuple(sorted(metrics.FINE_BUCKETS))
+        # sub-100us amortized ticks must land in a real bucket, not +Inf
+        assert any(b < 1e-4 for b in metrics.FINE_BUCKETS)
+        hist = metrics.MetricsRegistry().histogram(
+            "f_seconds", buckets=metrics.FINE_BUCKETS
+        )
+        hist.observe(5e-5)
+        below = [c for b, c in hist.bucket_counts() if b <= 1e-4]
+        assert below[-1] == 1
+
+
 # ---------------------------------------------------------------------------
 # Dogfood: registry -> Dataset
 # ---------------------------------------------------------------------------

@@ -374,6 +374,14 @@ class TestParallelMap:
         monkeypatch.setenv("REPRO_JOBS", "0")
         assert resolve_jobs() == 1
 
+    def test_jobs_env_one_is_operator_veto(self, monkeypatch):
+        # REPRO_JOBS=1 means "run inline, never spawn a pool" and beats
+        # even an explicit jobs= argument from library callers
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        assert resolve_jobs() == 1
+        assert resolve_jobs(4) == 1
+        assert parallel_map(lambda x: x * 2, [1, 2, 3], jobs=4) == [2, 4, 6]
+
 
 class TestGeneratorConfigReplace:
     def test_replace_overrides_and_preserves(self):
