@@ -16,16 +16,36 @@ claims:
   identical rows; every tick's verdict and the final checkpoints must
   be *equal*, not approximately equal, before any number is reported.
 
+Two storm legs ride along (the anomaly-storm tentpole):
+
+* **storm fallout clustering** — a fleet where ``--storm-fraction`` of
+  the tenants degrade at once is driven twice over the *same*
+  materialized rounds: once with the batched fallout path
+  (``batch_fallout=True`` → ``cluster_windows_batch`` /
+  ``close_regions_batch``) and once with the serial per-stream loop.
+  Every tick's results are compared bitwise outside the timed sections,
+  and the serial-vs-batched fleet-tick p99 speedup is asserted.  Each
+  path is re-run over the identical rounds several times and the
+  per-tick minimum taken — the work per tick index is deterministic, so
+  the elementwise minimum strips scheduler noise without touching the
+  comparison;
+* **diagnosis throughput scaling** — a replay harness captures closed
+  regions with their windows, then pushes the identical job list
+  through :meth:`~repro.fleet.scheduler.FleetScheduler.submit_diagnosis`
+  at ``diagnose_jobs=1`` and ``diagnose_jobs=8``; the throughput ratio
+  (fused cross-job batching + sharded labeled-space cache) is asserted.
+
 Results land in ``BENCH_fleet.json`` at the repo root.  Run standalone
 (``PERF_BENCH_SCALE=tiny`` is the CI smoke scale, >= 200 tenants):
 
-    python benchmarks/bench_fleet.py
+    python benchmarks/bench_fleet.py [--storm-fraction 1.0]
 
 or via ``pytest benchmarks/ --benchmark-only`` (tiny scale, no JSON).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import sys
@@ -38,7 +58,11 @@ _REPO_ROOT = Path(__file__).resolve().parents[1]
 if __name__ == "__main__":  # allow `python benchmarks/bench_fleet.py`
     sys.path.insert(0, str(_REPO_ROOT / "src"))
 
+from repro.core.explain import DBSherlock  # noqa: E402
+from repro.data.dataset import Dataset  # noqa: E402
+from repro.data.regions import Region, RegionSpec  # noqa: E402
 from repro.fleet import FleetDetector, FleetSimSource  # noqa: E402
+from repro.fleet.scheduler import FleetScheduler  # noqa: E402
 from repro.stream.detector import StreamingDetector  # noqa: E402
 
 SCALES = {
@@ -54,6 +78,10 @@ SCALES = {
         anomaly_fraction=0.02,
         amortized_us_floor=2000.0,
         verdict_p99_ms_floor=500.0,
+        storm=dict(streams=48, rounds=60, passes=2, speedup_floor=2.0),
+        diagnosis=dict(
+            jobs=48, attrs=8, rows=60, trials=3, scaling_floor=1.5
+        ),
     ),
     # The recorded run: the ISSUE's 10k-tenant target.
     "bench": dict(
@@ -66,6 +94,10 @@ SCALES = {
         anomaly_fraction=0.002,
         amortized_us_floor=100.0,  # the tentpole acceptance number
         verdict_p99_ms_floor=None,  # recorded, not asserted
+        storm=dict(streams=384, rounds=120, passes=3, speedup_floor=4.0),
+        diagnosis=dict(
+            jobs=96, attrs=16, rows=100, trials=5, scaling_floor=3.0
+        ),
     ),
 }
 
@@ -76,6 +108,23 @@ DETECTOR_KW = dict(
     min_region_s=2.0,
     gap_fill_s=3.0,
 )
+
+# The storm legs run a hotter fleet: a lower potential-power threshold so
+# a degraded tenant reliably falls out, capacity sized for per-tick
+# re-clustering cost rather than history depth.
+STORM_KW = dict(
+    capacity=40,
+    window=8,
+    pp_threshold=0.3,
+    min_pts=3,
+    cluster_fraction=0.2,
+    min_region_s=2.0,
+    gap_fill_s=3.0,
+)
+
+#: Ticks skipped before percentiles — ring buffers are still filling and
+#: the first re-clusters compile/cache numpy internals.
+_WARMUP_TICKS = 10
 
 
 def _pick_mirrors(src: FleetSimSource, k: int) -> list:
@@ -103,7 +152,28 @@ def _assert_stream_equal(tick, mirror_tick, stream: int) -> None:
     )
 
 
-def run_bench(scale: str = "bench", write_json: bool = True) -> dict:
+def _assert_fleet_ticks_match(a, b) -> None:
+    """Batched and serial fallout ticks must be *equal*, not close."""
+    assert np.array_equal(a.selected, b.selected), "selection diverges"
+    assert np.array_equal(a.powers, b.powers), "powers diverge"
+    assert np.array_equal(a.reclustered, b.reclustered), (
+        "recluster sets diverge"
+    )
+    assert sorted(a.results) == sorted(b.results), "fallout sets diverge"
+    for s in a.results:
+        ra, rb = a.result(s), b.result(s)
+        assert ra.selected_attributes == rb.selected_attributes
+        assert np.array_equal(ra.mask, rb.mask), f"stream {s}: mask"
+        assert ra.regions == rb.regions, f"stream {s}: regions"
+        assert ra.eps == rb.eps, f"stream {s}: eps"
+    assert a.closed == b.closed, "closed regions diverge"
+
+
+def run_bench(
+    scale: str = "bench",
+    write_json: bool = True,
+    storm_fraction: float = 1.0,
+) -> dict:
     params = SCALES[scale]
     S = params["n_tenants"]
     attrs = [f"m{j}" for j in range(params["n_attrs"])]
@@ -189,11 +259,175 @@ def run_bench(scale: str = "bench", write_json: bool = True) -> dict:
         "bitwise_equal_to_per_stream": True,
         "amortized_us_floor": params["amortized_us_floor"],
     }
+    summary["storm"] = run_storm(scale, storm_fraction)
+    summary["diagnosis_scaling"] = run_diagnosis_scaling(scale)
     if write_json:
         out = _REPO_ROOT / "BENCH_fleet.json"
         out.write_text(json.dumps(summary, indent=2) + "\n")
         summary["json"] = str(out)
     return summary
+
+
+def run_storm(scale: str, storm_fraction: float = 1.0) -> dict:
+    """Batched vs serial fallout clustering over identical storm rounds."""
+    params = SCALES[scale]["storm"]
+    S = params["streams"]
+    attrs = [f"m{j}" for j in range(8)]
+    src = FleetSimSource(
+        S,
+        attrs,
+        seed=2016,
+        anomaly_fraction=storm_fraction,
+        anomaly_period=25,
+        anomaly_duration=16,
+        anomaly_scale=14.0,
+    )
+    rounds = list(src.take(params["rounds"]))
+
+    batched_ticks = None
+    serial_ticks = None
+    fallout = served = 0
+    for _ in range(params["passes"]):
+        batched = FleetDetector(S, attrs, batch_fallout=True, **STORM_KW)
+        serial = FleetDetector(S, attrs, batch_fallout=False, **STORM_KW)
+        tb, ts = [], []
+        fallout = served = 0
+        for times, values, active in rounds:
+            t0 = time.perf_counter()
+            a = batched.tick(times, values, active)
+            t1 = time.perf_counter()
+            b = serial.tick(times, values, active)
+            t2 = time.perf_counter()
+            tb.append(t1 - t0)
+            ts.append(t2 - t1)
+            _assert_fleet_ticks_match(a, b)  # outside the timed sections
+            fallout += len(a.results)
+            served += int(active.sum())
+        for s in range(S):
+            assert batched.stream_checkpoint(s) == serial.stream_checkpoint(
+                s
+            ), f"stream {s}: checkpoint diverges"
+        # identical rounds → tick i does identical work every pass, so the
+        # elementwise minimum strips scheduler noise, nothing else
+        tb, ts = np.asarray(tb), np.asarray(ts)
+        batched_ticks = (
+            tb if batched_ticks is None else np.minimum(batched_ticks, tb)
+        )
+        serial_ticks = (
+            ts if serial_ticks is None else np.minimum(serial_ticks, ts)
+        )
+
+    warm = slice(_WARMUP_TICKS, None)
+    p99_batched = float(np.percentile(batched_ticks[warm], 99)) * 1e3
+    p99_serial = float(np.percentile(serial_ticks[warm], 99)) * 1e3
+    return {
+        "streams": S,
+        "rounds": params["rounds"],
+        "passes": params["passes"],
+        "storm_fraction": storm_fraction,
+        "fallout_fraction": round(fallout / served, 3),
+        "fleet_tick_p99_ms": {
+            "batched": round(p99_batched, 3),
+            "serial": round(p99_serial, 3),
+        },
+        "fleet_tick_mean_ms": {
+            "batched": round(float(batched_ticks[warm].mean()) * 1e3, 3),
+            "serial": round(float(serial_ticks[warm].mean()) * 1e3, 3),
+        },
+        "p99_speedup": round(p99_serial / p99_batched, 2),
+        "speedup_floor": params["speedup_floor"],
+        # _assert_fleet_ticks_match / checkpoints would have raised
+        "bitwise_equal_to_serial": True,
+    }
+
+
+def _storm_jobs(params: dict) -> list:
+    """Synthetic closed-region diagnosis jobs with captured windows."""
+    attrs = [f"a{i}" for i in range(params["attrs"])]
+    rows = params["rows"]
+    lo, hi = rows // 3, rows // 3 + max(8, rows // 4)
+    rng = np.random.default_rng(7)
+    jobs = []
+    for j in range(params["jobs"]):
+        times = np.arange(rows, dtype=np.float64)
+        cols = {}
+        for i, a in enumerate(attrs):
+            base = rng.normal(50.0 + 3 * i, 2.0, size=rows)
+            base[lo : hi + 1] += 14.0
+            cols[a] = base
+        ds = Dataset(times, numeric=cols, name=f"storm-job{j}")
+        jobs.append((j % 8, Region(float(lo), float(hi)), ds))
+    return jobs
+
+
+def run_diagnosis_scaling(scale: str) -> dict:
+    """Replay the same diagnosis jobs at diagnose_jobs=1 vs 8."""
+    params = SCALES[scale]["diagnosis"]
+    attrs = [f"a{i}" for i in range(params["attrs"])]
+    jobs = _storm_jobs(params)
+
+    # one known cause so every diagnosis ranks against a real model
+    sherlock = DBSherlock()
+    _, region, ds0 = jobs[0]
+    explanation = sherlock.explain(
+        ds0, RegionSpec(abnormal=[region], normal=None)
+    )
+    sherlock.feedback("storm overload", explanation, ds0)
+
+    def run_once(diagnose_jobs: int) -> float:
+        # fresh Dataset objects per run: the labeled-space cache keys on
+        # object identity, so reuse would turn the replay into pure hits
+        fresh = [
+            (
+                stream,
+                region,
+                Dataset(
+                    ds.timestamps,
+                    numeric={a: np.asarray(ds.column(a)) for a in attrs},
+                    name=ds.name,
+                ),
+            )
+            for stream, region, ds in jobs
+        ]
+        sched = FleetScheduler(
+            FleetDetector(8, attrs, **STORM_KW),
+            sherlock=sherlock,
+            diagnose_jobs=diagnose_jobs,
+            max_pending=1_000_000,
+            shed_policy="block",
+            label_metrics=False,
+        )
+        t0 = time.perf_counter()
+        for stream, reg, dataset in fresh:
+            sched.submit_diagnosis(stream, reg, dataset=dataset)
+        sched.drain()
+        elapsed = time.perf_counter() - t0
+        n_done = len(sched.diagnoses)
+        for _tenant, _region, expl in sched.diagnoses:
+            assert expl is not None and expl.predicates is not None
+        sched.close()
+        assert n_done == len(fresh), (
+            f"lost diagnoses: {n_done}/{len(fresh)}"
+        )
+        return elapsed
+
+    run_once(1)  # warm both code paths and numpy internals
+    run_once(8)
+    t1 = min(run_once(1) for _ in range(params["trials"]))
+    t8 = min(run_once(8) for _ in range(params["trials"]))
+    n_jobs = params["jobs"]
+    return {
+        "jobs": n_jobs,
+        "attrs": params["attrs"],
+        "rows": params["rows"],
+        "trials": params["trials"],
+        "diagnose_jobs_1_ms": round(t1 * 1e3, 2),
+        "diagnose_jobs_8_ms": round(t8 * 1e3, 2),
+        "jobs_per_s_at_1": round(n_jobs / t1, 1),
+        "jobs_per_s_at_8": round(n_jobs / t8, 1),
+        "throughput_ratio": round(t1 / t8, 2),
+        "scaling_floor": params["scaling_floor"],
+    }
 
 
 def _report(summary: dict) -> None:
@@ -225,6 +459,24 @@ def _report(summary: dict) -> None:
         f"{len(summary['mirrored_streams'])} mirrored streams: "
         f"{summary['bitwise_equal_to_per_stream']}"
     )
+    storm = summary["storm"]
+    print(
+        f"storm ({storm['streams']} streams, "
+        f"fallout {storm['fallout_fraction']:.0%}): "
+        f"tick p99 batched {storm['fleet_tick_p99_ms']['batched']:.2f}ms "
+        f"vs serial {storm['fleet_tick_p99_ms']['serial']:.2f}ms "
+        f"-> {storm['p99_speedup']:.2f}x "
+        f"(floor {storm['speedup_floor']}x, bitwise equal: "
+        f"{storm['bitwise_equal_to_serial']})"
+    )
+    diag = summary["diagnosis_scaling"]
+    print(
+        f"diagnosis ({diag['jobs']} jobs x {diag['attrs']} attrs): "
+        f"{diag['jobs_per_s_at_1']:.0f} jobs/s at diagnose_jobs=1 vs "
+        f"{diag['jobs_per_s_at_8']:.0f} at diagnose_jobs=8 "
+        f"-> {diag['throughput_ratio']:.2f}x "
+        f"(floor {diag['scaling_floor']}x)"
+    )
 
 
 def _check(summary: dict) -> None:
@@ -242,6 +494,22 @@ def _check(summary: dict) -> None:
             f"p99 tick-to-verdict {summary['tick_to_verdict_ms']['p99']}ms "
             f"exceeds the {p99_floor}ms floor"
         )
+    storm = summary["storm"]
+    assert storm["bitwise_equal_to_serial"]
+    if storm["storm_fraction"] >= 0.5:
+        assert storm["fallout_fraction"] >= 0.5, (
+            f"storm produced only {storm['fallout_fraction']:.0%} fallout; "
+            "the speedup claim needs a majority-fallout tick"
+        )
+        assert storm["p99_speedup"] >= storm["speedup_floor"], (
+            f"storm tick p99 speedup {storm['p99_speedup']}x below the "
+            f"{storm['speedup_floor']}x floor"
+        )
+    diag = summary["diagnosis_scaling"]
+    assert diag["throughput_ratio"] >= diag["scaling_floor"], (
+        f"diagnosis throughput ratio {diag['throughput_ratio']}x below "
+        f"the {diag['scaling_floor']}x floor"
+    )
 
 
 def test_fleet(benchmark):
@@ -253,8 +521,21 @@ def test_fleet(benchmark):
 
 
 if __name__ == "__main__":
-    chosen = os.environ.get("PERF_BENCH_SCALE", "bench")
-    bench_summary = run_bench(chosen)
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--scale",
+        default=os.environ.get("PERF_BENCH_SCALE", "bench"),
+        choices=sorted(SCALES),
+    )
+    parser.add_argument(
+        "--storm-fraction",
+        type=float,
+        default=1.0,
+        help="fraction of tenants degrading at once in the storm leg "
+        "(the speedup floor is only asserted at >= 0.5)",
+    )
+    cli = parser.parse_args()
+    bench_summary = run_bench(cli.scale, storm_fraction=cli.storm_fraction)
     _report(bench_summary)
     _check(bench_summary)
     print(f"wrote {bench_summary['json']}")

@@ -26,6 +26,8 @@ __all__ = [
     "impute_missing",
     "AnomalyDetector",
     "mask_to_regions",
+    "mask_runs_batch",
+    "smooth_masks_batch",
 ]
 
 DEFAULT_WINDOW = 20
@@ -102,6 +104,80 @@ def mask_to_regions(timestamps: np.ndarray, mask: np.ndarray) -> List[Region]:
         Region(float(timestamps[s]), float(timestamps[e]))
         for s, e in zip(starts, ends)
     ]
+
+
+def mask_runs_batch(masks: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run boundaries for a stack of boolean row masks at once.
+
+    *masks* is ``(n_lanes, n_rows)``; returns ``(lanes, starts, ends)``
+    index arrays where the k-th entry describes one contiguous True run
+    (``ends`` inclusive).  ``np.nonzero``'s row-major order pairs each
+    lane's k-th rising edge with its k-th falling edge, so per lane the
+    runs come back exactly as :func:`mask_to_regions` would emit them.
+    """
+    masks = np.asarray(masks, dtype=bool)
+    if masks.ndim != 2:
+        raise ValueError("masks must be (n_lanes, n_rows)")
+    n_lanes, n = masks.shape
+    if n_lanes == 0 or n == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    padded = np.zeros((n_lanes, n + 2), dtype=np.int8)
+    padded[:, 1:-1] = masks
+    edges = np.diff(padded, axis=1)
+    lanes, starts = np.nonzero(edges == 1)
+    ends = np.nonzero(edges == -1)[1] - 1
+    return lanes, starts, ends
+
+
+def smooth_masks_batch(
+    masks: np.ndarray,
+    timestamps: np.ndarray,
+    gap_fill_s: float,
+    min_region_s: float,
+) -> np.ndarray:
+    """:meth:`AnomalyDetector._smooth_mask` for many lanes at once.
+
+    *masks* and *timestamps* are ``(n_lanes, n_rows)``; timestamps must
+    be strictly increasing per lane (callers fall back to the serial
+    path otherwise), so a region's member rows are exactly its index
+    span.  Each pass snapshots its run boundaries before mutating, the
+    same order of operations as the serial loops, and every float
+    comparison is the identical ``duration + 1.0 <= threshold``
+    expression — lane ``i`` of the result is bitwise-identical to the
+    serial smoothing of ``masks[i]``.
+    """
+    masks = np.asarray(masks, dtype=bool).copy()
+    n_lanes, n = masks.shape
+    if n_lanes == 0 or n == 0:
+        return masks
+    ts = np.asarray(timestamps, dtype=np.float64)
+    first = ts[:, 0]
+    last = ts[:, -1]
+
+    # pass 1: bridge short interior gaps inside a flagged window
+    lanes, starts, ends = mask_runs_batch(~masks)
+    if lanes.size:
+        start_t = ts[lanes, starts]
+        end_t = ts[lanes, ends]
+        interior = (start_t > first[lanes]) & (end_t < last[lanes])
+        fill = interior & ((end_t - start_t) + 1.0 <= gap_fill_s)
+        if bool(fill.any()):
+            delta = np.zeros((n_lanes, n + 1), dtype=np.int32)
+            np.add.at(delta, (lanes[fill], starts[fill]), 1)
+            np.add.at(delta, (lanes[fill], ends[fill] + 1), -1)
+            masks |= np.cumsum(delta[:, :n], axis=1) > 0
+
+    # pass 2: drop flagged runs too short to be a sustained anomaly
+    lanes, starts, ends = mask_runs_batch(masks)
+    if lanes.size:
+        drop = (ts[lanes, ends] - ts[lanes, starts]) + 1.0 <= min_region_s
+        if bool(drop.any()):
+            delta = np.zeros((n_lanes, n + 1), dtype=np.int32)
+            np.add.at(delta, (lanes[drop], starts[drop]), 1)
+            np.add.at(delta, (lanes[drop], ends[drop] + 1), -1)
+            masks &= ~(np.cumsum(delta[:, :n], axis=1) > 0)
+    return masks
 
 
 @dataclass

@@ -131,14 +131,18 @@ def model_confidence(
     else:
         abnormal = spec.abnormal_mask(dataset)
         normal = spec.normal_mask(dataset)
+    entries: Dict[str, object] = {}
+    if cache is not None:
+        present = [p.attr for p in predicates if p.attr in dataset]
+        if present:
+            # one bulk fetch (single key prefix, batched hit counters)
+            # instead of a per-predicate entry() round-trip
+            entries = cache.entries(dataset, spec, present, n_partitions)
     total = 0.0
     for predicate in predicates:
-        entry = None
-        if cache is not None and predicate.attr in dataset:
-            entry = cache.entry(dataset, spec, predicate.attr, n_partitions)
         power = _predicate_on_partitions(
             predicate, dataset, abnormal, normal, n_partitions,
-            apply_filtering, entry,
+            apply_filtering, entries.get(predicate.attr),
         )
         total += power if power is not None else 0.0
     return total / len(predicates)

@@ -16,7 +16,7 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -192,10 +192,12 @@ class PredicateGenerator:
         names = list(attributes) if attributes is not None else dataset.attributes
         numeric_names = [a for a in names if dataset.is_numeric(a)]
         entries: Dict[str, object] = {}
+        means_hint: Dict[str, Tuple[float, float]] = {}
         if cache is not None:
             entries = cache.entries(
                 dataset, spec, numeric_names, self.config.n_partitions
             )
+            means_hint = cache.peek_norm_means(dataset, spec, numeric_names)
             labeled = {
                 attr: (entry.space, entry.labels_initial)
                 for attr, entry in entries.items()
@@ -217,6 +219,7 @@ class PredicateGenerator:
                 artifacts[attr] = self._numeric_attribute(
                     dataset, spec, attr, abnormal, normal,
                     space, labels, entries.get(attr), timings,
+                    means_hint.get(attr),
                 )
             else:
                 artifacts[attr] = self._categorical_attribute(
@@ -245,6 +248,7 @@ class PredicateGenerator:
         labels: np.ndarray,
         entry: Optional[object] = None,
         timings: Optional[Dict[str, float]] = None,
+        means_hint: Optional[Tuple[float, float]] = None,
     ) -> AttributeArtifacts:
         values = dataset.column(attr)
         art = AttributeArtifacts(
@@ -276,13 +280,27 @@ class PredicateGenerator:
             timings["filter"] = timings.get("filter", 0.0) + (now - start)
             start = now
 
-        if not (filtered == int(Label.ABNORMAL)).any():
+        # When the cache entry already memoized its filtered regions
+        # (seeded by explain_batch, or computed on a previous visit), a
+        # non-None view proves both labels survive — skip both scans.
+        both_present = (
+            entry is not None
+            and self.config.enable_filtering
+            and entry.region_partitions(apply_filtering=True) is not None
+        )
+
+        if not both_present and not (
+            filtered == int(Label.ABNORMAL)
+        ).any():
             art.rejection = "no abnormal partitions after filtering"
             return art
 
+        blocks = None
         if self.config.enable_fill:
             normal_mean_partition = None
-            if not (filtered == int(Label.NORMAL)).any():
+            if not both_present and not (
+                filtered == int(Label.NORMAL)
+            ).any():
                 normal_values = values[normal]
                 if nan.any():
                     normal_values = normal_values[~np.isnan(normal_values)]
@@ -291,9 +309,16 @@ class PredicateGenerator:
                     normal_mean_partition = int(
                         space.partition_indices(np.asarray([mean_normal]))[0]
                     )
-            filled = fill_gaps(
-                filtered, self.config.delta, normal_mean_partition
-            )
+            if entry is not None and self.config.enable_filtering:
+                # shares (and can be pre-seeded with) the cached fill —
+                # entry.filtered_labels() is the `filtered` used above
+                filled, blocks = entry.filled_blocks(
+                    self.config.delta, normal_mean_partition
+                )
+            else:
+                filled = fill_gaps(
+                    filtered, self.config.delta, normal_mean_partition
+                )
         else:
             filled = filtered
         art.labels_filled = filled
@@ -303,7 +328,9 @@ class PredicateGenerator:
             start = now
 
         try:
-            if self.cache is not None:
+            if means_hint is not None:
+                mu_abnormal, mu_normal = means_hint
+            elif self.cache is not None:
                 mu_abnormal, mu_normal = self.cache.normalized_means(
                     dataset, spec, attr
                 )
@@ -318,7 +345,8 @@ class PredicateGenerator:
                 art.rejection = "degraded telemetry: region mean undefined"
                 return art
 
-            blocks = abnormal_blocks(filled)
+            if blocks is None:
+                blocks = abnormal_blocks(filled)
             if len(blocks) != 1:
                 art.rejection = f"{len(blocks)} abnormal blocks (need exactly 1)"
                 return art

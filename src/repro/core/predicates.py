@@ -69,12 +69,14 @@ class NumericPredicate:
     def evaluate_values(self, values: np.ndarray) -> np.ndarray:
         """Boolean mask of values satisfying the predicate."""
         values = np.asarray(values, dtype=np.float64)
-        mask = np.ones(values.shape, dtype=bool)
         if self.lower is not None:
-            mask &= values > self.lower
+            mask = values > self.lower
+            if self.upper is not None:
+                mask &= values < self.upper
+            return mask
         if self.upper is not None:
-            mask &= values < self.upper
-        return mask
+            return values < self.upper
+        return np.ones(values.shape, dtype=bool)
 
     def evaluate(self, dataset: Dataset) -> np.ndarray:
         """Boolean mask of dataset rows satisfying the predicate."""

@@ -7,12 +7,17 @@ non-monotone drop, NaN sanitize, stuck-at quarantine, the incremental
 Equation 4 potential power, bounds, attribute selection — runs here as a
 handful of dense numpy calls over the whole fleet
 (:class:`~repro.fleet.arena.FleetArena`).  Only the *fallout* — DBSCAN
-re-clustering, region closing — is peeled off per stream, and only for
-streams whose selected-attribute set is non-empty this tick, through
-literally the same code paths the single-stream detector uses
+re-clustering, region closing — is peeled off, and only for streams
+whose selected-attribute set is non-empty this tick.  With
+``batch_fallout=True`` (the default) the whole fallout set runs through
+the batched storm kernels
+(:func:`~repro.stream.detector.cluster_windows_batch`,
+:func:`~repro.stream.detector.close_regions_batch`) — bitwise-equal to,
+and asserted against, the serial per-stream path
 (:func:`~repro.stream.detector.cluster_window`,
 :func:`~repro.stream.detector.close_regions`,
-``AnomalyDetector._cluster_and_mask``).
+``AnomalyDetector._cluster_and_mask``), which ``batch_fallout=False``
+still runs verbatim.
 
 The result is asserted bitwise-equal to running N independent
 ``StreamingDetector`` instances on the same rows — verdicts, masks,
@@ -35,7 +40,12 @@ from repro.core.anomaly import AnomalyDetector, DetectionResult
 from repro.data.regions import Region
 from repro.fleet.arena import ArenaWindow, FleetArena
 from repro.obs import metrics
-from repro.stream.detector import close_regions, cluster_window
+from repro.stream.detector import (
+    close_regions,
+    close_regions_batch,
+    cluster_window,
+    cluster_windows_batch,
+)
 
 __all__ = ["FleetDetector", "FleetTick"]
 
@@ -71,6 +81,16 @@ _FLEET_QUARANTINES = metrics.REGISTRY.counter(
 _FLEET_CLOSED = metrics.REGISTRY.counter(
     "repro_fleet_closed_regions_total",
     "Abnormal regions closed by the fleet engine",
+)
+_FLEET_FALLOUT_STREAMS = metrics.REGISTRY.histogram(
+    "repro_fleet_fallout_streams",
+    "Streams leaving the vectorized path per fleet tick (storm pressure)",
+    buckets=metrics.COUNT_BUCKETS,
+)
+_FLEET_FALLOUT_MS = metrics.REGISTRY.histogram(
+    "repro_fleet_fallout_ms",
+    "Wall time of the fallout stage (re-cluster + region close) per tick",
+    buckets=metrics.MS_BUCKETS,
 )
 
 
@@ -152,6 +172,7 @@ class FleetDetector:
         bounds_drift: float = 0.02,
         quarantine_after: Optional[int] = None,
         quarantine_rel_epsilon: Optional[float] = None,
+        batch_fallout: bool = True,
     ) -> None:
         self.batch = AnomalyDetector(
             window=window,
@@ -166,6 +187,10 @@ class FleetDetector:
         self.capacity = int(capacity)
         self.recluster_fraction = float(recluster_fraction)
         self.bounds_drift = float(bounds_drift)
+        # Storm path: batch all fallout streams' re-clustering into the
+        # grouped numpy kernels.  Runtime-only — deliberately absent from
+        # _params() so checkpoints stay byte-identical either way.
+        self.batch_fallout = bool(batch_fallout)
         self._attr_filter = list(tracked) if tracked is not None else None
         self._tracked = (
             [a for a in self._attr_filter if a in self.arena._attr_index]
@@ -290,28 +315,62 @@ class FleetDetector:
         n_closed = 0
         verdict_latency = np.full(S, np.nan)
         verdict_latency[present] = _time.perf_counter() - t0
-        for s in fallout:
-            s = int(s)
-            names = [
-                a
-                for a, ai in zip(self._tracked, self._tracked_idx)
-                if selected[s, ai]
+        fallout_t0 = _time.perf_counter()
+        if self.batch_fallout and fallout.size:
+            streams = [int(s) for s in fallout]
+            views = [self.arena.view(s) for s in streams]
+            selections = [
+                [
+                    a
+                    for a, ai in zip(self._tracked, self._tracked_idx)
+                    if selected[s, ai]
+                ]
+                for s in streams
             ]
-            view = self.arena.view(s)
-            res = cluster_window(self.batch, view, names)
-            self.recluster_counts[s] += 1
-            reclustered[s] = True
-            results[s] = res
-            regions, self._emitted[s] = close_regions(
-                res.regions,
-                view.timestamps,
-                self.batch.gap_fill_s,
-                self._emitted[s],
+            batch_results = cluster_windows_batch(
+                self.batch, views, selections
             )
-            if regions:
-                closed[s] = regions
-                n_closed += len(regions)
-            verdict_latency[s] = _time.perf_counter() - t0
+            closed_lists, emitted_out = close_regions_batch(
+                [res.regions for res in batch_results],
+                [view.timestamps for view in views],
+                self.batch.gap_fill_s,
+                [self._emitted[s] for s in streams],
+            )
+            self.recluster_counts[fallout] += 1
+            reclustered[fallout] = True
+            for s, res, regions, emitted in zip(
+                streams, batch_results, closed_lists, emitted_out
+            ):
+                results[s] = res
+                self._emitted[s] = emitted
+                if regions:
+                    closed[s] = regions
+                    n_closed += len(regions)
+            verdict_latency[fallout] = _time.perf_counter() - t0
+        else:
+            for s in fallout:
+                s = int(s)
+                names = [
+                    a
+                    for a, ai in zip(self._tracked, self._tracked_idx)
+                    if selected[s, ai]
+                ]
+                view = self.arena.view(s)
+                res = cluster_window(self.batch, view, names)
+                self.recluster_counts[s] += 1
+                reclustered[s] = True
+                results[s] = res
+                regions, self._emitted[s] = close_regions(
+                    res.regions,
+                    view.timestamps,
+                    self.batch.gap_fill_s,
+                    self._emitted[s],
+                )
+                if regions:
+                    closed[s] = regions
+                    n_closed += len(regions)
+                verdict_latency[s] = _time.perf_counter() - t0
+        fallout_ms = (_time.perf_counter() - fallout_t0) * 1000.0
 
         elapsed = _time.perf_counter() - t0
         n_present = int(present.sum())
@@ -326,8 +385,11 @@ class FleetDetector:
             _FLEET_SANITIZED.inc(total_sanitized)
         if n_quarantined:
             _FLEET_QUARANTINES.inc(n_quarantined)
+        if n_present:
+            _FLEET_FALLOUT_STREAMS.observe(int(fallout.size))
         if fallout.size:
             _FLEET_RECLUSTERS.inc(int(fallout.size))
+            _FLEET_FALLOUT_MS.observe(fallout_ms)
         if n_closed:
             _FLEET_CLOSED.inc(n_closed)
         return FleetTick(

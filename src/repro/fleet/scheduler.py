@@ -35,6 +35,8 @@ the registry small for 10k-tenant benchmark runs.
 from __future__ import annotations
 
 import threading
+import time as _time
+import zlib
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -94,6 +96,11 @@ _TENANT_TICK_SECONDS = metrics.REGISTRY.histogram(
     buckets=metrics.FINE_BUCKETS,
     labelnames=("tenant",),
 )
+_DIAG_LOCK_WAIT_MS = metrics.REGISTRY.histogram(
+    "repro_fleet_diagnosis_lock_wait_ms",
+    "Time a diagnosis batch waited on the striped explain locks",
+    buckets=metrics.MS_BUCKETS,
+)
 
 
 @dataclass
@@ -115,7 +122,64 @@ class _PendingJob:
     tenant: str
     stream: int
     region: Region
+    #: window snapshot taken at enqueue time (regions refer to it).
+    dataset: object = None
+
+
+@dataclass
+class _PendingBatch:
+    """One submitted diagnosis unit: ≤ ``diagnose_jobs`` fused jobs."""
+
+    jobs: List[_PendingJob]
+    ticket: int
     future: Optional[Future] = None
+
+
+class _Sequencer:
+    """Globally-FIFO publication of diagnosis results.
+
+    Batches run concurrently, but their results are appended to
+    ``FleetScheduler.diagnoses`` strictly in submission-ticket order, so
+    per-tenant verdict order is monotone no matter how the pool
+    interleaves.  :meth:`publish` parks a finished batch until its turn
+    and runs the sink under the sequencer's own lock (two batches can
+    never interleave their appends); :meth:`skip` retires a cancelled
+    ticket without blocking the caller.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._next_issue = 0
+        self._next_publish = 0
+        self._skipped: Set[int] = set()
+
+    def issue(self) -> int:
+        with self._cond:
+            ticket = self._next_issue
+            self._next_issue += 1
+            return ticket
+
+    def _advance_over_skipped(self) -> None:
+        while self._next_publish in self._skipped:
+            self._skipped.discard(self._next_publish)
+            self._next_publish += 1
+
+    def publish(self, ticket: int, sink) -> None:
+        with self._cond:
+            while self._next_publish != ticket:
+                self._cond.wait()
+            try:
+                sink()
+            finally:
+                self._next_publish += 1
+                self._advance_over_skipped()
+                self._cond.notify_all()
+
+    def skip(self, ticket: int) -> None:
+        with self._cond:
+            self._skipped.add(ticket)
+            self._advance_over_skipped()
+            self._cond.notify_all()
 
 
 class FleetScheduler:
@@ -136,9 +200,12 @@ class FleetScheduler:
         Durability root and the subset of tenant names that write a WAL
         and periodic checkpoints there (default: none).
     diagnose_jobs:
-        Worker threads for the diagnosis pool.  Jobs serialize around
-        the shared facade's internal cache; extra workers only overlap
-        dataset snapshotting with explanation.
+        Diagnosis parallelism: both the worker-thread count of the pool
+        and the fused batch size — up to this many closed regions are
+        diagnosed as one ``DBSherlock.explain_batch`` call.  The shared
+        labeled-space cache is lock-striped, so concurrent batches only
+        serialize when their tenants hash to the same explain stripe
+        (wait time lands in ``repro_fleet_diagnosis_lock_wait_ms``).
     max_pending / shed_policy:
         Backpressure bound and policy (see module docstring).
     checkpoint_every:
@@ -211,8 +278,16 @@ class FleetScheduler:
             max_workers=int(diagnose_jobs),
             thread_name_prefix="fleet-diagnose",
         )
-        self._explain_lock = threading.Lock()
-        self._pending: Deque[_PendingJob] = deque()
+        self._batch_size = int(diagnose_jobs)
+        # crc32, not hash(): stable across PYTHONHASHSEED so stripe
+        # assignment (and thus contention behavior) is reproducible.
+        self._n_stripes = 16
+        self._explain_locks = tuple(
+            threading.Lock() for _ in range(self._n_stripes)
+        )
+        self._sequencer = _Sequencer()
+        self._buffer: List[_PendingJob] = []
+        self._pending: Deque[_PendingBatch] = deque()
         self._lag = np.zeros(S, dtype=np.int64)
         #: ``(tenant, region, explanation)`` triples, completion order.
         self.diagnoses: List[Tuple[str, Region, object]] = []
@@ -251,6 +326,8 @@ class FleetScheduler:
         for s, regions in tick.closed.items():
             for region in regions:
                 self._enqueue(int(s), region)
+        # don't let a partial batch sit across quiet rounds
+        self._flush_buffer()
         self.report.rounds += 1
         self.report.stream_ticks += int(present.sum())
         self.report.closed_regions += sum(
@@ -289,11 +366,31 @@ class FleetScheduler:
     # ------------------------------------------------------------------
     # Diagnosis queue
     # ------------------------------------------------------------------
+    def _n_queued(self) -> int:
+        """Diagnosis jobs in flight: buffered plus submitted-batch jobs."""
+        return len(self._buffer) + sum(
+            len(batch.jobs) for batch in self._pending
+        )
+
     def _enqueue(self, stream: int, region: Region) -> None:
+        self.submit_diagnosis(stream, region)
+
+    def submit_diagnosis(
+        self, stream: int, region: Region, dataset=None
+    ) -> None:
+        """Queue one closed region of *stream* for diagnosis.
+
+        The tick loop calls this (via stage 6 fallout) with no *dataset*,
+        snapshotting the stream's current arena window.  Replay and
+        backfill paths — re-diagnosing regions recovered from a WAL, or
+        benchmarking diagnosis throughput in isolation — pass the window
+        captured at closure time instead.  Backpressure and shed policy
+        apply identically either way.
+        """
         tenant = self.tenants[stream]
         if self.sherlock is None:
             return
-        while len(self._pending) >= self.max_pending:
+        while self._n_queued() >= self.max_pending:
             if self.shed_policy == "block":
                 self._wait_oldest()
                 self._reap_finished()
@@ -301,30 +398,81 @@ class FleetScheduler:
             if self.shed_policy == "reject_new":
                 self._shed(tenant)
                 return
-            # drop_oldest: cancel the stalest job still waiting to run
-            victim = self._drop_oldest_waiting()
-            if victim is None:
-                # everything pending is already executing; the incoming
+            # drop_oldest: cancel the stalest work still waiting to run
+            if not self._drop_oldest_waiting():
+                # everything submitted is already executing; the incoming
                 # job is the one that has to give way
                 self._shed(tenant)
                 return
-        dataset = self.detector.arena.view(stream).to_dataset(
-            name=f"fleet:{tenant}"
+        if dataset is None:
+            dataset = self.detector.arena.view(stream).to_dataset(
+                name=f"fleet:{tenant}"
+            )
+        self._buffer.append(
+            _PendingJob(
+                tenant=tenant, stream=stream, region=region, dataset=dataset
+            )
         )
-        job = _PendingJob(tenant=tenant, stream=stream, region=region)
-        job.future = self._pool.submit(self._diagnose, job, dataset)
-        self._pending.append(job)
         self._lag[stream] += 1
+        if len(self._buffer) >= self._batch_size:
+            self._flush_buffer()
 
-    def _diagnose(self, job: _PendingJob, dataset) -> object:
-        spec = RegionSpec(abnormal=[job.region], normal=None)
-        with self._explain_lock:
-            explanation = self.sherlock.explain(dataset, spec)
+    def _flush_buffer(self) -> None:
+        """Submit the buffered jobs as one fused diagnosis batch."""
+        if not self._buffer:
+            return
+        jobs, self._buffer = self._buffer, []
+        batch = _PendingBatch(jobs=jobs, ticket=self._sequencer.issue())
+        batch.future = self._pool.submit(self._diagnose_batch, batch)
+        self._pending.append(batch)
+
+    def _stripe_of(self, tenant: str) -> int:
+        return zlib.crc32(tenant.encode("utf-8")) % self._n_stripes
+
+    def _diagnose_batch(self, batch: _PendingBatch) -> object:
+        # Stripes are acquired in ascending index order (deadlock-free);
+        # two batches contend only when their tenant sets share a stripe.
+        stripes = sorted({self._stripe_of(job.tenant) for job in batch.jobs})
+        t0 = _time.perf_counter()
+        for idx in stripes:
+            self._explain_locks[idx].acquire()
+        _DIAG_LOCK_WAIT_MS.observe(
+            (_time.perf_counter() - t0) * 1000.0
+        )
+        try:
+            pairs = [
+                (
+                    job.dataset,
+                    RegionSpec(abnormal=[job.region], normal=None),
+                )
+                for job in batch.jobs
+            ]
+            explain_batch = getattr(self.sherlock, "explain_batch", None)
+            if explain_batch is not None:
+                explanations = explain_batch(pairs)
+            else:
+                explanations = [
+                    self.sherlock.explain(ds, spec) for ds, spec in pairs
+                ]
+        finally:
+            for idx in reversed(stripes):
+                self._explain_locks[idx].release()
+        items = [
+            (job.tenant, job.region, explanation)
+            for job, explanation in zip(batch.jobs, explanations)
+        ]
+        self._sequencer.publish(
+            batch.ticket, lambda: self._publish_items(items)
+        )
+        return explanations
+
+    def _publish_items(
+        self, items: List[Tuple[str, Region, object]]
+    ) -> None:
         with self._diagnoses_lock:
-            self.diagnoses.append((job.tenant, job.region, explanation))
-            self.report.diagnoses += 1
-        _SCHED_DIAGNOSES.inc()
-        return explanation
+            self.diagnoses.extend(items)
+            self.report.diagnoses += len(items)
+        _SCHED_DIAGNOSES.inc(len(items))
 
     def _shed(self, tenant: str) -> None:
         self.report.shed += 1
@@ -335,16 +483,28 @@ class FleetScheduler:
         if self.label_metrics:
             _TENANT_SHED.labels(tenant=tenant).inc()
 
-    def _drop_oldest_waiting(self) -> Optional[_PendingJob]:
-        for idx, job in enumerate(self._pending):
-            if job.future is not None and job.future.cancel():
+    def _drop_oldest_waiting(self) -> bool:
+        """Shed the stalest not-yet-running work; False if none exists."""
+        for idx, batch in enumerate(self._pending):
+            if batch.future is not None and batch.future.cancel():
                 del self._pending[idx]
-                self._lag[job.stream] -= 1
-                self._shed(job.tenant)
-                return job
-        return None
+                self._sequencer.skip(batch.ticket)
+                for job in batch.jobs:
+                    self._lag[job.stream] -= 1
+                    self._shed(job.tenant)
+                return True
+        if self._buffer:
+            job = self._buffer.pop(0)
+            self._lag[job.stream] -= 1
+            self._shed(job.tenant)
+            return True
+        return False
 
     def _wait_oldest(self) -> None:
+        if not self._pending:
+            # under "block" the bound can be smaller than the batch size;
+            # the buffered jobs themselves are what must make progress
+            self._flush_buffer()
         if self._pending:
             oldest = self._pending[0]
             if oldest.future is not None:
@@ -357,11 +517,13 @@ class FleetScheduler:
         while self._pending and self._pending[0].future is not None and (
             self._pending[0].future.done()
         ):
-            job = self._pending.popleft()
-            self._lag[job.stream] -= 1
+            batch = self._pending.popleft()
+            for job in batch.jobs:
+                self._lag[job.stream] -= 1
 
     def drain(self) -> None:
         """Block until every queued diagnosis has completed."""
+        self._flush_buffer()
         while self._pending:
             self._wait_oldest()
             self._reap_finished()
@@ -454,6 +616,7 @@ class FleetScheduler:
                 for stream, regions in tick.closed.items():
                     for region in regions:
                         scheduler._enqueue(int(stream), region)
+        scheduler._flush_buffer()
         return scheduler
 
     # ------------------------------------------------------------------

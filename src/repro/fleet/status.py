@@ -84,6 +84,26 @@ def render_fleet_status(
         )
     lines.append("  " + "   ".join(totals) if totals else "  (no fleet metrics)")
 
+    # Storm pressure and diagnosis-pool contention, when observed.
+    storm = []
+    fallout_streams = snapshot.get("repro_fleet_fallout_streams")
+    if fallout_streams is not None and int(fallout_streams.get("count", 0)) > 0:
+        p50 = _histogram_quantile(fallout_streams, 0.50)
+        p99 = _histogram_quantile(fallout_streams, 0.99)
+        storm.append(
+            f"fallout streams/tick p50<={p50:g} p99<={p99:g}"
+        )
+    fallout_ms = snapshot.get("repro_fleet_fallout_ms")
+    if fallout_ms is not None and int(fallout_ms.get("count", 0)) > 0:
+        p99 = _histogram_quantile(fallout_ms, 0.99)
+        storm.append(f"fallout stage p99<={p99:g}ms")
+    lock_wait = snapshot.get("repro_fleet_diagnosis_lock_wait_ms")
+    if lock_wait is not None and int(lock_wait.get("count", 0)) > 0:
+        p99 = _histogram_quantile(lock_wait, 0.99)
+        storm.append(f"diagnosis lock wait p99<={p99:g}ms")
+    if storm:
+        lines.append("  " + "   ".join(storm))
+
     # Group per-tenant families by tenant label.
     tenants: Dict[str, Dict[str, object]] = {}
     for name, entry in snapshot.items():

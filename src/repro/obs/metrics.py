@@ -41,6 +41,8 @@ __all__ = [
     "REGISTRY",
     "DEFAULT_BUCKETS",
     "FINE_BUCKETS",
+    "MS_BUCKETS",
+    "COUNT_BUCKETS",
 ]
 
 #: Default histogram upper bounds (seconds) — spans ~1 ms to 10 s, which
@@ -78,6 +80,60 @@ FINE_BUCKETS: Tuple[float, ...] = (
     0.00025,
     0.0005,
 ) + DEFAULT_BUCKETS
+
+#: Millisecond-denominated ladder for instruments whose *unit* is ms
+#: rather than seconds (``repro_fleet_fallout_ms``,
+#: ``repro_fleet_diagnosis_lock_wait_ms``): spans 1 µs to 10 s expressed
+#: in milliseconds, so a storm tick that batches thousands of fallout
+#: streams and a single sub-millisecond lock wait both land in a
+#: resolvable bucket.
+MS_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1000.0,
+    2500.0,
+    5000.0,
+    10000.0,
+)
+
+#: Cardinality ladder for histograms that count things per event (how
+#: many streams fell out of the vectorized path this tick) instead of
+#: timing them.  Powers-of-roughly-ten up to 100k tenants.
+COUNT_BUCKETS: Tuple[float, ...] = (
+    0.0,
+    1.0,
+    2.0,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1000.0,
+    2500.0,
+    5000.0,
+    10000.0,
+    25000.0,
+    50000.0,
+    100000.0,
+)
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")

@@ -22,7 +22,14 @@ from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["label_numeric_batch", "potential_power_batch"]
+__all__ = [
+    "abnormal_blocks_batch",
+    "fill_gaps_batch",
+    "filter_partitions_batch",
+    "label_numeric_batch",
+    "normalize_columns_batch",
+    "potential_power_batch",
+]
 
 
 def potential_power_batch(matrix: np.ndarray, window: int) -> np.ndarray:
@@ -148,3 +155,168 @@ def label_numeric_batch(
         )
         out[attr] = (space, labels_grid[j, : space.n_partitions].copy())
     return out
+
+
+def _nearest_non_empty_rows(labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-batched :func:`repro.core.filtering._nearest_non_empty`.
+
+    *labels* is ``(n_rows, n_partitions)``; returns ``(left, right)`` of
+    the same shape with -1 where no non-Empty partition exists on that
+    side.  Prefix max / suffix min scans along axis 1 — integer ops, so
+    each row is exactly the serial scan.
+    """
+    from repro.core.partition import Label
+
+    m, n = labels.shape
+    nonempty = labels != int(Label.EMPTY)
+    idx = np.arange(n, dtype=np.int64)
+    last = np.where(nonempty, idx[None, :], -1)
+    left = np.empty((m, n), dtype=np.int64)
+    left[:, 0] = -1
+    if n > 1:
+        left[:, 1:] = np.maximum.accumulate(last, axis=1)[:, :-1]
+    nxt = np.where(nonempty, idx[None, :], n)
+    right = np.empty((m, n), dtype=np.int64)
+    right[:, -1] = -1
+    if n > 1:
+        right[:, :-1] = np.minimum.accumulate(nxt[:, ::-1], axis=1)[:, ::-1][:, 1:]
+        right[right == n] = -1
+    return left, right
+
+
+def filter_partitions_batch(labels: np.ndarray) -> np.ndarray:
+    """Section 4.3 filtering for many label rows at once.
+
+    *labels* is ``(n_rows, n_partitions)``; row ``i`` of the result is
+    bitwise-identical to ``filter_partitions(labels[i])`` — same
+    neighbour scans, same lone-label exemptions, all integer ops.
+    """
+    from repro.core.partition import Label
+
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 2:
+        raise ValueError("labels must be (n_rows, n_partitions)")
+    result = labels.copy()
+    if 0 in labels.shape:
+        return result
+    left, right = _nearest_non_empty_rows(labels)
+    is_abnormal = labels == int(Label.ABNORMAL)
+    is_normal = labels == int(Label.NORMAL)
+    eligible = (labels != int(Label.EMPTY)) & (left >= 0) & (right >= 0)
+    lone_abnormal = is_abnormal.sum(axis=1) == 1
+    eligible &= ~(lone_abnormal[:, None] & is_abnormal)
+    lone_normal = is_normal.sum(axis=1) == 1
+    eligible &= ~(lone_normal[:, None] & is_normal)
+    left_label = np.take_along_axis(labels, np.clip(left, 0, None), axis=1)
+    right_label = np.take_along_axis(labels, np.clip(right, 0, None), axis=1)
+    disagree = (left_label != labels) | (right_label != labels)
+    result[eligible & disagree] = int(Label.EMPTY)
+    return result
+
+
+def fill_gaps_batch(labels: np.ndarray, delta: float) -> np.ndarray:
+    """Section 4.4 gap filling for many label rows at once.
+
+    Row ``i`` of the result is bitwise-identical to
+    ``fill_gaps(labels[i], delta)``.  Rows where only Abnormal labels
+    remain need a ``normal_mean_partition`` and must be handled by the
+    serial path — passing one raises, exactly like the serial function.
+    Rows with no non-Empty partitions at all pass through unchanged.
+    """
+    from repro.core.partition import Label
+
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 2:
+        raise ValueError("labels must be (n_rows, n_partitions)")
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    filled = labels.copy()
+    if 0 in labels.shape:
+        return filled
+    has_abnormal = (labels == int(Label.ABNORMAL)).any(axis=1)
+    has_normal = (labels == int(Label.NORMAL)).any(axis=1)
+    if bool((has_abnormal & ~has_normal).any()):
+        raise ValueError(
+            "only Abnormal partitions remain; normal_mean_partition required"
+        )
+    # Rows with neither label present stay unchanged: every cell is Empty,
+    # so left/right are -1 everywhere and no branch below touches them.
+    left, right = _nearest_non_empty_rows(labels)
+    empty = labels == int(Label.EMPTY)
+    left_label = np.take_along_axis(labels, np.clip(left, 0, None), axis=1)
+    right_label = np.take_along_axis(labels, np.clip(right, 0, None), axis=1)
+
+    only_left = empty & (left >= 0) & (right < 0)
+    filled[only_left] = left_label[only_left]
+    only_right = empty & (left < 0) & (right >= 0)
+    filled[only_right] = right_label[only_right]
+
+    both = empty & (left >= 0) & (right >= 0)
+    agree = both & (left_label == right_label)
+    filled[agree] = left_label[agree]
+
+    idx = np.arange(labels.shape[1], dtype=np.int64)
+    dist_left = (idx[None, :] - left).astype(np.float64)
+    dist_right = (right - idx[None, :]).astype(np.float64)
+    left_is_abnormal = left_label == int(Label.ABNORMAL)
+    dist_abnormal = np.where(left_is_abnormal, dist_left, dist_right)
+    dist_normal = np.where(left_is_abnormal, dist_right, dist_left)
+    abnormal_label = np.where(left_is_abnormal, left_label, right_label)
+    normal_label = np.where(left_is_abnormal, right_label, left_label)
+    chosen = np.where(
+        dist_abnormal * delta < dist_normal, abnormal_label, normal_label
+    )
+    disagree = both & (left_label != right_label)
+    filled[disagree] = chosen[disagree]
+    return filled
+
+
+def abnormal_blocks_batch(labels: np.ndarray) -> list:
+    """Per-row contiguous Abnormal runs, matching ``abnormal_blocks``.
+
+    Returns a list of ``n_rows`` lists of ``(start, end)`` int tuples.
+    One padded ``np.diff`` + ``np.nonzero`` finds every run edge; the
+    row-major order of ``np.nonzero`` pairs the k-th start of a row with
+    its k-th end.
+    """
+    from repro.core.partition import Label
+
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 2:
+        raise ValueError("labels must be (n_rows, n_partitions)")
+    m, n = labels.shape
+    blocks: list = [[] for _ in range(m)]
+    if m == 0 or n == 0:
+        return blocks
+    padded = np.zeros((m, n + 2), dtype=np.int8)
+    padded[:, 1:-1] = labels == int(Label.ABNORMAL)
+    edges = np.diff(padded, axis=1)
+    row_s, starts = np.nonzero(edges == 1)
+    ends = np.nonzero(edges == -1)[1] - 1
+    for r, s, e in zip(row_s.tolist(), starts.tolist(), ends.tolist()):
+        blocks[r].append((s, e))
+    return blocks
+
+
+def normalize_columns_batch(matrix: np.ndarray) -> np.ndarray:
+    """Row-batched :func:`repro.core.separation.normalize_values`.
+
+    *matrix* is ``(n_attrs, n_rows)`` and must be NaN-free (callers fall
+    back to the serial function for degraded columns).  Each row is
+    min/max-scaled with the exact elementwise ``(v - lo) / span``
+    expression of the serial path; constant rows (span <= 0) become
+    zeros.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be (n_attrs, n_rows)")
+    if 0 in matrix.shape:
+        return matrix.copy()
+    mins = matrix.min(axis=1)
+    maxs = matrix.max(axis=1)
+    spans = maxs - mins
+    degenerate = spans <= 0
+    safe = np.where(degenerate, 1.0, spans)
+    normalized = (matrix - mins[:, None]) / safe[:, None]
+    normalized[degenerate] = 0.0
+    return normalized

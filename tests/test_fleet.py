@@ -465,3 +465,176 @@ class TestFleetStatus:
         text = render_fleet_status({})
         assert "no fleet metrics" in text
         assert "label_metrics=True" in text
+
+
+# ----------------------------------------------------------------------
+# Batched fallout: the storm path vs the serial stage-6 loop
+# ----------------------------------------------------------------------
+def _assert_fleet_ticks_match(a, b):
+    assert np.array_equal(a.selected, b.selected)
+    assert np.array_equal(a.powers, b.powers)
+    assert np.array_equal(a.reclustered, b.reclustered)
+    assert sorted(a.results) == sorted(b.results)
+    for s in a.results:
+        ra, rb = a.result(s), b.result(s)
+        assert ra.selected_attributes == rb.selected_attributes
+        assert np.array_equal(ra.mask, rb.mask)
+        assert ra.regions == rb.regions
+        assert ra.eps == rb.eps
+    assert a.closed == b.closed
+
+
+class TestBatchedFalloutEquivalence:
+    """``batch_fallout=True`` is bitwise-identical to the serial loop.
+
+    The fleet engine's storm path re-clusters every fallout stream
+    through ``cluster_windows_batch``/``close_regions_batch``; these
+    tests drive a batched and a serial detector in lockstep over the
+    same rows — clean, under chaos-degraded telemetry, and across a
+    checkpoint/restore boundary — asserting every tick and the final
+    checkpoints match exactly.
+    """
+
+    def _lockstep(self, rounds, S, attrs, **kw):
+        batched = FleetDetector(S, attrs, batch_fallout=True, **kw)
+        serial = FleetDetector(S, attrs, batch_fallout=False, **kw)
+        for times, values, active in rounds:
+            a = batched.tick(times, values, active)
+            b = serial.tick(times, values, active)
+            _assert_fleet_ticks_match(a, b)
+        for s in range(S):
+            assert batched.stream_checkpoint(s) == serial.stream_checkpoint(
+                s
+            )
+        return batched, serial
+
+    def test_storm_source_bitwise_equal(self):
+        S, attrs = 6, ["a", "b", "c"]
+        rounds = list(_busy_source(S, attrs, seed=29).take(100))
+        batched, _ = self._lockstep(rounds, S, attrs, **_BUSY_KW)
+        # the source must actually have produced fallout work
+        assert batched.recluster_counts.sum() > 0
+
+    def test_moderate_chaos_bitwise_equal(self):
+        S, attrs = 4, ["a", "b", "c"]
+        profile = PROFILES["moderate"]
+        base_rng = np.random.default_rng(31)
+        delivered = []
+        for s in range(S):
+            ticks = []
+            for t in range(110):
+                row = {
+                    a: float(
+                        50.0
+                        + 10 * base_rng.standard_normal()
+                        + (40.0 if s < 2 and 60 <= t < 75 and a != "c" else 0)
+                    )
+                    for a in attrs
+                }
+                ticks.append((float(t + 1), row, {}))
+            plan = profile.plan(seed=2000 + s)
+            delivered.append(list(plan.wrap(iter(ticks))))
+
+        rounds = []
+        n_rounds = max(len(d) for d in delivered)
+        for r in range(n_rounds):
+            times = np.zeros(S)
+            values = np.zeros((S, len(attrs)))
+            active = np.zeros(S, dtype=bool)
+            for s in range(S):
+                if r < len(delivered[s]):
+                    t, row, _ = delivered[s][r]
+                    times[s] = t
+                    values[s] = [row.get(a, float("nan")) for a in attrs]
+                    active[s] = True
+            rounds.append((times, values, active))
+        self._lockstep(
+            rounds, S, attrs, quarantine_after=5, **_BUSY_KW
+        )
+
+    def test_checkpoint_restore_continues_bitwise(self):
+        S, attrs = 4, ["a", "b"]
+        batches = list(_busy_source(S, attrs, seed=43).take(110))
+        batched = FleetDetector(S, attrs, batch_fallout=True, **_BUSY_KW)
+        for times, values, active in batches[:60]:
+            batched.tick(times, values, active)
+        states = [batched.stream_checkpoint(s) for s in range(S)]
+        serial = FleetDetector.from_checkpoints(states)
+        serial.batch_fallout = False  # runtime-only flag, not in the schema
+        for s in range(S):
+            assert serial.stream_checkpoint(s) == states[s]
+        for times, values, active in batches[60:]:
+            a = batched.tick(times, values, active)
+            b = serial.tick(times, values, active)
+            _assert_fleet_ticks_match(a, b)
+        for s in range(S):
+            assert batched.stream_checkpoint(s) == serial.stream_checkpoint(
+                s
+            )
+
+
+# ----------------------------------------------------------------------
+# Scheduler under storm: fused batches, striped locks, shed policies
+# ----------------------------------------------------------------------
+class TestSchedulerStormStress:
+    """All three shed policies at ``diagnose_jobs=8``: no diagnosis is
+    lost or duplicated, and per-tenant verdict order stays monotone even
+    though batches complete on a thread pool."""
+
+    ATTRS = ["a", "b", "c"]
+
+    def _drive(self, policy, max_pending):
+        S = 8
+        sched = FleetScheduler(
+            FleetDetector(S, self.ATTRS, **_BUSY_KW),
+            sherlock=DBSherlock(),
+            diagnose_jobs=8,
+            max_pending=max_pending,
+            shed_policy=policy,
+            label_metrics=False,
+        )
+        closed = {t: [] for t in sched.tenants}
+        for times, values, active in _busy_source(S, self.ATTRS).take(120):
+            tick = sched.run_round(times, values, active)
+            for s in sorted(tick.closed):
+                for region in tick.closed[s]:
+                    closed[sched.tenants[s]].append(region)
+        sched.drain()
+        diagnosed = {t: [] for t in sched.tenants}
+        for tenant, region, explanation in sched.diagnoses:
+            assert explanation is not None
+            assert explanation.predicates is not None
+            diagnosed[tenant].append(region)
+        report = sched.report
+        sched.close()
+        return report, closed, diagnosed
+
+    @staticmethod
+    def _is_subsequence(sub, full):
+        it = iter(full)
+        return all(any(x == y for y in it) for x in sub)
+
+    @pytest.mark.parametrize(
+        "policy,max_pending",
+        [("block", 4), ("drop_oldest", 4), ("reject_new", 4)],
+    )
+    def test_no_lost_or_duplicated_diagnoses(self, policy, max_pending):
+        report, closed, diagnosed = self._drive(policy, max_pending)
+        assert report.closed_regions > 0
+        # conservation: every closed region was diagnosed or shed, never both
+        assert report.diagnoses + report.shed == report.closed_regions
+        assert sum(len(v) for v in diagnosed.values()) == report.diagnoses
+        for tenant in closed:
+            shed_t = report.shed_by_tenant.get(tenant, 0)
+            assert len(diagnosed[tenant]) + shed_t == len(closed[tenant]), (
+                policy,
+                tenant,
+            )
+            # monotone verdict order: diagnoses arrive in closed order
+            assert self._is_subsequence(
+                diagnosed[tenant], closed[tenant]
+            ), (policy, tenant)
+        if policy == "block":
+            assert report.shed == 0
+            for tenant in closed:
+                assert diagnosed[tenant] == closed[tenant]

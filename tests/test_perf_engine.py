@@ -480,3 +480,263 @@ class TestVectorizedFiltering:
         assert np.array_equal(
             filter_partitions(labels), golden_filter_partitions(labels)
         )
+
+
+# ----------------------------------------------------------------------
+# Row-batched kernels: stacked passes vs the serial seed functions
+# ----------------------------------------------------------------------
+class TestBatchKernelsBitwise:
+    """The explain_batch/fleet kernels match their serial counterparts.
+
+    Every kernel here feeds the fused diagnosis path
+    (``DBSherlock.explain_batch``) or the fleet storm path
+    (``cluster_windows_batch``); each row/lane of a batched result must be
+    bitwise-identical to the serial function on that row alone.
+    """
+
+    @staticmethod
+    def _random_labels(rng, m, n):
+        return rng.choice([0, 1, 2], size=(m, n), p=[0.5, 0.25, 0.25]).astype(
+            np.int64
+        )
+
+    def test_filter_partitions_batch_rows_match_serial(self):
+        from repro.perf.batch import filter_partitions_batch
+
+        rng = np.random.default_rng(91)
+        for n in (1, 2, 3, 7, 50, 250):
+            rows = self._random_labels(rng, 24, n)
+            batched = filter_partitions_batch(rows)
+            for i in range(rows.shape[0]):
+                assert np.array_equal(
+                    batched[i], filter_partitions(rows[i])
+                ), (n, i)
+
+    def test_fill_gaps_batch_rows_match_serial(self):
+        from repro.core.partition import Label
+        from repro.perf.batch import fill_gaps_batch
+
+        rng = np.random.default_rng(92)
+        for n in (2, 3, 7, 50, 250):
+            rows = self._random_labels(rng, 40, n)
+            # abnormal-only rows need a normal_mean_partition: serial-only
+            has_abnormal = (rows == int(Label.ABNORMAL)).any(axis=1)
+            has_normal = (rows == int(Label.NORMAL)).any(axis=1)
+            rows = rows[has_normal | ~has_abnormal]
+            for delta in (0.5, 1.0, 10.0):
+                batched = fill_gaps_batch(rows, delta)
+                for i in range(rows.shape[0]):
+                    assert np.array_equal(
+                        batched[i], fill_gaps(rows[i], delta)
+                    ), (n, i, delta)
+
+    def test_fill_gaps_batch_rejects_abnormal_only_rows(self):
+        from repro.core.partition import Label
+        from repro.perf.batch import fill_gaps_batch
+
+        row = np.full(6, int(Label.EMPTY), dtype=np.int64)
+        row[2] = int(Label.ABNORMAL)
+        with pytest.raises(ValueError):
+            fill_gaps_batch(row[None, :], 1.0)
+
+    def test_abnormal_blocks_batch_rows_match_serial(self):
+        from repro.perf.batch import abnormal_blocks_batch
+
+        rng = np.random.default_rng(93)
+        for n in (1, 2, 5, 50, 250):
+            rows = self._random_labels(rng, 24, n)
+            batched = abnormal_blocks_batch(rows)
+            for i in range(rows.shape[0]):
+                assert batched[i] == abnormal_blocks(rows[i]), (n, i)
+
+    def test_normalize_columns_batch_rows_match_serial(self):
+        from repro.core.separation import normalize_values
+        from repro.perf.batch import normalize_columns_batch
+
+        rng = np.random.default_rng(94)
+        matrix = rng.normal(size=(6, 80)) * rng.uniform(0.1, 100.0, (6, 1))
+        matrix[3] = 7.5  # constant row: span == 0 edge case
+        batched = normalize_columns_batch(matrix)
+        for i in range(matrix.shape[0]):
+            assert np.array_equal(batched[i], normalize_values(matrix[i])), i
+
+    def test_dbscan_labels_batch_matches_serial(self):
+        from repro.cluster.dbscan import DBSCAN, dbscan_labels_batch
+
+        rng = np.random.default_rng(95)
+        for n, d in ((6, 1), (20, 2), (40, 3)):
+            pts = rng.normal(size=(12, n, d))
+            pts[::2, : n // 2] += 8.0  # force real clusters in half the sets
+            pts[1] = pts[1, :1]  # degenerate: all points identical
+            labels, eps = dbscan_labels_batch(pts, min_pts=3)
+            for i in range(pts.shape[0]):
+                model = DBSCAN(eps=None, min_pts=3).fit(pts[i])
+                assert np.array_equal(labels[i], model.labels_), (n, d, i)
+                assert eps[i] == model.eps_, (n, d, i)
+
+
+# ----------------------------------------------------------------------
+# Sharded cache: concurrency, GC-pressure eviction, publication races
+# ----------------------------------------------------------------------
+class TestShardedCacheConcurrency:
+    def test_rejects_bad_shard_count_and_reports_shards(self):
+        with pytest.raises(ValueError):
+            LabeledSpaceCache(n_shards=0)
+        assert LabeledSpaceCache(n_shards=1).stats()["shards"] == 1
+        assert LabeledSpaceCache().stats()["shards"] >= 1
+
+    def test_concurrent_readers_share_one_published_entry(self):
+        import threading
+
+        cache = LabeledSpaceCache()
+        datasets = [_synthetic_dataset(seed=s) for s in range(4)]
+        n_threads = 8
+        results = [[] for _ in range(n_threads)]
+        errors = []
+        barrier = threading.Barrier(n_threads)
+
+        def worker(k):
+            try:
+                barrier.wait()
+                for ds in datasets:
+                    for attr in ("step", "drop", "noise"):
+                        results[k].append(cache.entry(ds, SPEC, attr, 250))
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(k,))
+            for k in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # first writer wins: every thread got the *same* entry object
+        for k in range(1, n_threads):
+            assert all(
+                a is b for a, b in zip(results[0], results[k])
+            ), k
+        stats = cache.stats()
+        assert stats["entries"] == len(datasets) * 3
+        assert stats["datasets"] == len(datasets)
+
+    def test_gc_pressure_does_not_race_eviction(self):
+        """The historical failure: a dataset's weakref callback mutating the
+        tables mid-iteration (``RuntimeError: dictionary changed size during
+        iteration``).  Eviction is now deferred to cache entry points, so
+        hammering ``stats()``/``resident_bytes()``/lookups while datasets are
+        created and collected must never raise."""
+        import gc
+        import threading
+
+        cache = LabeledSpaceCache()
+        errors = []
+        stop = threading.Event()
+
+        def hammer():
+            keep = _synthetic_dataset(seed=999)
+            try:
+                while not stop.is_set():
+                    cache.stats()
+                    cache.resident_bytes()
+                    cache.entry(keep, SPEC, "step", 50)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for i in range(120):
+                ds = _synthetic_dataset(seed=i % 9, n_rows=96)
+                cache.entry(ds, SPEC, "step", 50)
+                cache.masks(ds, SPEC)
+                del ds
+                if i % 7 == 0:
+                    gc.collect()
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not errors
+        gc.collect()
+        stats = cache.stats()  # entry point: drains pending evictions
+        assert stats["datasets"] <= 4 + 1  # the threads' keep-alives at most
+        assert stats["evictions"] > 0
+
+    def test_seeded_normalized_means_match_computed(self):
+        from repro.core.separation import normalize_values, region_means
+
+        ds = _synthetic_dataset()
+        fresh = LabeledSpaceCache()
+        want = fresh.normalized_means(ds, SPEC, "step")
+        seeded = LabeledSpaceCache()
+        abnormal, normal = SPEC.abnormal_mask(ds), SPEC.normal_mask(ds)
+        means = region_means(
+            normalize_values(ds.column("step")), abnormal, normal
+        )
+        seeded.seed_normalized_means(ds, SPEC, "step", means)
+        hits = seeded.hits
+        assert seeded.normalized_means(ds, SPEC, "step") == want
+        assert seeded.hits == hits + 1  # served from the seeded entry
+
+
+# ----------------------------------------------------------------------
+# Fused explain_batch: identical Explanations, warmed from batch kernels
+# ----------------------------------------------------------------------
+class TestExplainBatchEquivalence:
+    def _jobs(self, k=6):
+        return [(_synthetic_dataset(seed=100 + i), SPEC) for i in range(k)]
+
+    def _seeded_sherlock(self):
+        from repro.core.explain import DBSherlock
+
+        sherlock = DBSherlock()
+        teach = _synthetic_dataset(seed=3)
+        explanation = sherlock.explain(teach, SPEC)
+        sherlock.feedback("step storm", explanation, teach)
+        return sherlock
+
+    @staticmethod
+    def _assert_explanations_equal(got, want):
+        assert len(got) == len(want)
+        for a, b in zip(got, want):
+            assert a.predicates.predicates == b.predicates.predicates
+            assert a.pruned == b.pruned
+            assert a.causes == b.causes
+            assert a.all_cause_scores == b.all_cause_scores
+            assert a.abstained == b.abstained
+
+    def test_explain_batch_identical_to_serial(self):
+        jobs = self._jobs()
+        want = [
+            self._seeded_sherlock().explain(ds, spec) for ds, spec in jobs
+        ]
+        got = self._seeded_sherlock().explain_batch(jobs)
+        self._assert_explanations_equal(got, want)
+
+    def test_degraded_jobs_fall_back_to_serial_inside_batch(self):
+        # a NaN-ridden dataset cannot be seeded by the NaN-free kernels;
+        # it must silently take the serial path and still match exactly
+        rng = np.random.default_rng(5)
+        ts = np.arange(120, dtype=float)
+        abnormal = (ts >= 40) & (ts <= 69)
+        step = rng.normal(10.0, 1.0, 120)
+        step[abnormal] += 30.0
+        noisy = rng.normal(size=120)
+        noisy[::9] = np.nan
+        nan_ds = Dataset(ts, numeric={"step": step, "noisy": noisy})
+        jobs = self._jobs(3) + [(nan_ds, SPEC)]
+        want = [
+            self._seeded_sherlock().explain(ds, spec) for ds, spec in jobs
+        ]
+        got = self._seeded_sherlock().explain_batch(jobs)
+        self._assert_explanations_equal(got, want)
+
+    def test_single_job_batch_is_plain_explain(self):
+        jobs = self._jobs(1)
+        want = self._seeded_sherlock().explain(*jobs[0])
+        got = self._seeded_sherlock().explain_batch(jobs)
+        self._assert_explanations_equal(got, [want])
