@@ -46,7 +46,13 @@ from repro.faults import (
 )
 from repro.schema.reconcile import SchemaReconciler
 
-__all__ = ["FaultProfile", "PROFILES", "run_chaos_suite"]
+__all__ = [
+    "FaultProfile",
+    "PROFILES",
+    "FleetFaultProfile",
+    "FLEET_PROFILES",
+    "run_chaos_suite",
+]
 
 
 @dataclass(frozen=True)
@@ -126,6 +132,77 @@ PROFILES: Dict[str, FaultProfile] = {
     # reconciliation, not by the telemetry repair path.
     "drift": FaultProfile(
         name="drift", rename_rate=0.35, schema_drop_rate=0.02, add_junk=3
+    ),
+}
+
+
+@dataclass(frozen=True)
+class FleetFaultProfile:
+    """A tenant-targeted fault bundle for fleet chaos runs.
+
+    Unlike :class:`FaultProfile`, which corrupts *telemetry*, this
+    profile picks hostile *tenants*: a deterministic
+    ``tenant_fraction`` slice of the fleet is partitioned into lanes
+    that raise mid-detection (:class:`~repro.faults.LaneExceptionFault`),
+    tenants whose diagnoses hang past the scheduler's deadlines
+    (:class:`~repro.faults.DiagnosisHang`), and tenants whose durable
+    state rots on disk between shutdown and recovery
+    (:class:`~repro.faults.CorruptTenantState`).  Everything outside the
+    slice must be bitwise-unaffected — that blast-radius bound is what
+    ``benchmarks/bench_fleet_chaos.py`` asserts.
+    """
+
+    name: str
+    #: fraction of the fleet that is faulted at all.
+    tenant_fraction: float = 0.2
+    #: share of the faulted slice whose detection lane raises; the
+    #: remainder (minus the corrupt tenants) hangs in diagnosis.
+    lane_share: float = 0.5
+    #: how long a hanging tenant's explain sleeps, seconds.
+    hang_s: float = 0.3
+    #: tenants whose on-disk state is corrupted before recovery.
+    corrupt_tenants: int = 1
+    #: corruption flavour — see ``CorruptTenantState.MODES``.
+    corrupt_mode: str = "checkpoint"
+
+    def assign(self, tenants: Sequence[str], seed: int) -> Dict[str, List[str]]:
+        """Deterministically partition ``tenants`` into fault roles.
+
+        Returns ``{"lane": [...], "hang": [...], "corrupt": [...],
+        "clean": [...]}`` — disjoint, covering every tenant, and
+        identical for identical ``(tenants, seed)``.  Corrupt tenants
+        are drawn from the faulted slice first so the total blast
+        radius never exceeds ``tenant_fraction``.
+        """
+        names = list(tenants)
+        n_fault = int(round(len(names) * self.tenant_fraction))
+        n_fault = max(0, min(len(names), n_fault))
+        rng = np.random.default_rng(seed)
+        picked = sorted(
+            rng.choice(len(names), size=n_fault, replace=False).tolist()
+        )
+        faulted = [names[i] for i in picked]
+        n_corrupt = min(self.corrupt_tenants, len(faulted))
+        corrupt = faulted[:n_corrupt]
+        rest = faulted[n_corrupt:]
+        n_lane = int(round(len(rest) * self.lane_share))
+        lane = rest[:n_lane]
+        hang = rest[n_lane:]
+        faulted_set = set(faulted)
+        clean = [n for n in names if n not in faulted_set]
+        return {"lane": lane, "hang": hang, "corrupt": corrupt, "clean": clean}
+
+
+#: Fleet chaos ladder.  ``storm`` is the acceptance profile: 20 % of
+#: tenants faulted, split between raising lanes and hanging diagnoses,
+#: with one durably corrupted tenant.
+FLEET_PROFILES: Dict[str, FleetFaultProfile] = {
+    "calm": FleetFaultProfile(
+        name="calm", tenant_fraction=0.05, corrupt_tenants=0
+    ),
+    "storm": FleetFaultProfile(name="storm", tenant_fraction=0.2),
+    "monsoon": FleetFaultProfile(
+        name="monsoon", tenant_fraction=0.4, corrupt_tenants=2, hang_s=0.5
     ),
 }
 

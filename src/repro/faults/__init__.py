@@ -15,7 +15,15 @@ so robustness can be measured instead of asserted:
                :class:`DuplicateTicks`, :class:`NaNValues`,
                :class:`StuckAtCounter`, :class:`SpikeCorruption`,
                :class:`ClockSkew`, :class:`SchemaDrift`,
-               :class:`CollectorCrash` (raises :class:`CollectorFault`).
+               :class:`CollectorCrash` (raises :class:`CollectorFault`),
+               plus the fleet in-process faults —
+               :class:`LaneExceptionFault` (a detection lane that
+               raises, exercising the bulkhead),
+               :class:`DiagnosisHang` (a tenant whose explains pin a
+               diagnosis worker, exercising the deadline tiers and the
+               circuit breaker), and :class:`CorruptTenantState`
+               (durable state rotting on disk, exercising partial
+               recovery).
 
 Every injector is a no-op at rate 0 and fully determined by the plan's
 seed: applying the same plan to the same input twice yields bitwise
@@ -26,9 +34,12 @@ from repro.faults.injectors import (
     ClockSkew,
     CollectorCrash,
     CollectorFault,
+    CorruptTenantState,
+    DiagnosisHang,
     DropTicks,
     DuplicateTicks,
     FaultInjector,
+    LaneExceptionFault,
     NaNValues,
     SchemaDrift,
     SpikeCorruption,
@@ -40,10 +51,13 @@ __all__ = [
     "ClockSkew",
     "CollectorCrash",
     "CollectorFault",
+    "CorruptTenantState",
+    "DiagnosisHang",
     "DropTicks",
     "DuplicateTicks",
     "FaultInjector",
     "FaultPlan",
+    "LaneExceptionFault",
     "NaNValues",
     "SchemaDrift",
     "SpikeCorruption",

@@ -16,7 +16,9 @@ plan can be applied any number of times with identical results.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
+import time as _time
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -38,6 +40,9 @@ __all__ = [
     "ClockSkew",
     "SchemaDrift",
     "CollectorCrash",
+    "LaneExceptionFault",
+    "DiagnosisHang",
+    "CorruptTenantState",
 ]
 
 
@@ -473,3 +478,171 @@ class CollectorCrash(FaultInjector):
                 )
             delivered += 1
             yield tick
+
+
+# ----------------------------------------------------------------------
+# Fleet in-process faults
+# ----------------------------------------------------------------------
+# Unlike the telemetry injectors above, these target the *fleet runtime*
+# rather than the data: a detection lane that raises, a tenant whose
+# diagnoses hang the worker pool, a tenant whose durable state rots on
+# disk.  They are not FaultInjector subclasses — there is no table or
+# tick stream to transform — but they follow the same contract:
+# deterministic, parameterized, no-op when given no targets.
+
+
+class LaneExceptionFault:
+    """A detection lane that raises mid-fallout for targeted streams.
+
+    Install via
+    :meth:`~repro.fleet.engine.FleetDetector.install_lane_fault`; the
+    engine calls the hook at the start of each faulted lane's fallout
+    processing, so raising here exercises the bulkhead exactly like an
+    exception inside the clustering kernels.  ``after_fallouts`` delays
+    the fault until the lane has fallen out that many times (0 = first
+    fallout raises), so a lane can produce good verdicts before going
+    bad.  Deactivate with :attr:`active` to simulate an operator fixing
+    the lane before :meth:`~repro.fleet.scheduler.FleetScheduler.readmit`.
+    """
+
+    def __init__(
+        self,
+        streams: Sequence[int],
+        after_fallouts: int = 0,
+        message: str = "injected lane fault",
+    ) -> None:
+        self.streams = {int(s) for s in streams}
+        self.after_fallouts = int(after_fallouts)
+        if self.after_fallouts < 0:
+            raise ValueError("after_fallouts must be non-negative")
+        self.message = str(message)
+        self.active = True
+        self.raised: Dict[int, int] = {}
+        self._fallouts: Dict[int, int] = {}
+
+    def __call__(self, stream: int, view: object) -> None:
+        s = int(stream)
+        if not self.active or s not in self.streams:
+            return
+        seen = self._fallouts.get(s, 0)
+        self._fallouts[s] = seen + 1
+        if seen < self.after_fallouts:
+            return
+        self.raised[s] = self.raised.get(s, 0) + 1
+        raise RuntimeError(f"{self.message} (stream {s})")
+
+    def __repr__(self) -> str:
+        return (
+            f"LaneExceptionFault(streams={sorted(self.streams)}, "
+            f"after_fallouts={self.after_fallouts})"
+        )
+
+
+class DiagnosisHang:
+    """A sherlock proxy whose explains hang for targeted tenants.
+
+    Wraps the shared ``DBSherlock`` facade handed to a
+    :class:`~repro.fleet.scheduler.FleetScheduler`; every attribute
+    passes through to the wrapped object (so the degraded-ranking path
+    still reaches ``store`` / ``config`` / ``cache``), but ``explain``
+    and ``explain_batch`` sleep ``hang_s`` seconds first when any job's
+    dataset belongs to a targeted tenant (the scheduler names window
+    snapshots ``fleet:<tenant>``).  That is the deadline tiers' threat
+    model: a worker thread pinned by one hostile tenant.  Clear
+    :attr:`active` to let the tenant recover (breaker probe succeeds).
+    """
+
+    def __init__(self, tenants: Sequence[str], hang_s: float = 0.5) -> None:
+        self._targets = {f"fleet:{t}" for t in tenants}
+        self.hang_s = float(hang_s)
+        if self.hang_s < 0:
+            raise ValueError("hang_s must be non-negative")
+        self.active = True
+        self.hangs = 0
+
+    def wrap(self, sherlock: object) -> object:
+        """Return the hanging proxy around *sherlock*."""
+        return _DiagnosisHangProxy(sherlock, self)
+
+    def _maybe_hang(self, dataset: object) -> None:
+        if not self.active or self.hang_s == 0.0:
+            return
+        if getattr(dataset, "name", None) in self._targets:
+            self.hangs += 1
+            _time.sleep(self.hang_s)
+
+    def __repr__(self) -> str:
+        return (
+            f"DiagnosisHang(tenants={sorted(self._targets)}, "
+            f"hang_s={self.hang_s})"
+        )
+
+
+class _DiagnosisHangProxy:
+    """Pass-through sherlock wrapper; see :class:`DiagnosisHang`."""
+
+    def __init__(self, inner: object, fault: DiagnosisHang) -> None:
+        self._inner = inner
+        self._fault = fault
+
+    def __getattr__(self, name: str) -> object:
+        return getattr(self._inner, name)
+
+    def explain(self, dataset, spec=None, **kwargs):
+        self._fault._maybe_hang(dataset)
+        return self._inner.explain(dataset, spec, **kwargs)
+
+    def explain_batch(self, jobs, **kwargs):
+        for dataset, _spec in jobs:
+            self._fault._maybe_hang(dataset)
+        inner_batch = getattr(self._inner, "explain_batch", None)
+        if inner_batch is not None:
+            return inner_batch(jobs, **kwargs)
+        return [self._inner.explain(ds, spec) for ds, spec in jobs]
+
+
+class CorruptTenantState(FaultInjector):
+    """Rot a tenant's durable state on disk.
+
+    ``mode`` picks the failure: ``"checkpoint"`` overwrites
+    ``checkpoint.json`` with non-JSON garbage (torn atomic replace),
+    ``"wal"`` appends a torn half-record to ``ticks.wal`` (the replay
+    path is torn-tail tolerant, so this alone is survivable — pair it
+    with ``"checkpoint"`` for a truly lost tenant), and ``"missing"``
+    deletes the tenant directory outright.  ``apply(root_dir)`` is the
+    whole interface: call it between fleet shutdown and
+    :meth:`~repro.fleet.scheduler.FleetScheduler.recover`.
+    """
+
+    MODES = ("checkpoint", "wal", "missing")
+
+    def __init__(self, tenants: Sequence[str], mode: str = "checkpoint") -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        self.tenants = list(tenants)
+        self.mode = mode
+
+    def _params(self):
+        return {"tenants": self.tenants, "mode": self.mode}
+
+    def apply(self, root_dir: Union[str, Path]) -> List[str]:
+        """Corrupt each tenant's state under *root_dir*; returns hits."""
+        root = Path(root_dir)
+        corrupted: List[str] = []
+        for tenant in self.tenants:
+            tenant_dir = root / tenant
+            if not tenant_dir.exists():
+                continue
+            if self.mode == "missing":
+                for child in sorted(tenant_dir.iterdir()):
+                    child.unlink()
+                tenant_dir.rmdir()
+            elif self.mode == "checkpoint":
+                (tenant_dir / "checkpoint.json").write_text(
+                    '{"version": 1, "detector": {"version'
+                )
+            else:  # wal: torn trailing record
+                with (tenant_dir / "ticks.wal").open("a") as handle:
+                    handle.write('{"t": 99999.0, "numeric": {"m0"')
+            corrupted.append(tenant)
+        return corrupted

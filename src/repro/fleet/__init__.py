@@ -14,25 +14,49 @@ Layers, bottom up:
 * :mod:`repro.fleet.arena` — the columnar ring + Equation 4 stats;
 * :mod:`repro.fleet.engine` — the vectorized detector pipeline;
 * :mod:`repro.fleet.scheduler` — multi-tenant diagnosis scheduling,
-  backpressure/shed policies, per-tenant durability and metrics;
+  backpressure/shed policies, deadline tiers with degraded fallbacks,
+  retry with backoff, per-tenant durability and metrics;
+* :mod:`repro.fleet.health` — the tenant health model (healthy /
+  degraded / quarantined / ejected), per-tenant circuit breakers, the
+  durable health journal, and partial-recovery reports;
 * :mod:`repro.fleet.sim` — synthetic fleet tick sources for benchmarks.
+
+Failure containment is load-bearing: a hostile tenant — a lane that
+raises, a diagnosis that hangs, durable state that rots — loses service
+*itself* (bulkhead quarantine, degraded ranking, breaker ejection,
+recovery skip) while every other tenant's outputs stay bitwise-equal to
+a fault-free run (asserted by ``benchmarks/bench_fleet_chaos.py``).
 """
 
 from repro.fleet.arena import ArenaStats, ArenaWindow, FleetArena
 from repro.fleet.bank import SortedWindowBank
 from repro.fleet.engine import FleetDetector, FleetTick
+from repro.fleet.health import (
+    HEALTH_STATES,
+    CircuitBreaker,
+    HealthTracker,
+    RecoveryReport,
+    TenantRecovery,
+    read_health_journal,
+)
 from repro.fleet.scheduler import SHED_POLICIES, FleetScheduler, SchedulerReport
 from repro.fleet.sim import FleetSimSource
 
 __all__ = [
     "ArenaStats",
     "ArenaWindow",
+    "CircuitBreaker",
     "FleetArena",
     "FleetDetector",
     "FleetScheduler",
     "FleetSimSource",
     "FleetTick",
+    "HEALTH_STATES",
+    "HealthTracker",
+    "RecoveryReport",
     "SHED_POLICIES",
     "SchedulerReport",
     "SortedWindowBank",
+    "TenantRecovery",
+    "read_health_journal",
 ]

@@ -26,10 +26,24 @@ regions, ε, quarantine sets, counters, and even
 ``StreamingDetector.checkpoint()`` schema so per-tenant recovery rides
 the existing :class:`~repro.stream.wal.CheckpointStore` /
 :class:`~repro.stream.wal.TickWAL` machinery unchanged.
+
+**Lane bulkheads.**  The fallout stage is the only per-stream Python in
+the tick, and therefore the only place one tenant's pathological window
+can raise.  Both fallout paths wrap each lane in a bulkhead: an
+exception poisons *that lane only* — its last-good checkpoint is frozen
+(the ingest stages had already completed consistently), the lane stops
+ingesting and emits abstaining (empty) verdicts, and every other lane's
+outputs remain bitwise-identical to a fault-free run, because all
+shared stages are elementwise and the batched fallout kernels fall back
+to the bitwise-equal serial loop when a fused call fails.
+:meth:`FleetDetector.unpoison` readmits a lane from its retained state;
+durable tenants keep WAL'ing offered rows meanwhile, so nothing is lost
+across the outage.
 """
 
 from __future__ import annotations
 
+import copy
 import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
@@ -92,6 +106,15 @@ _FLEET_FALLOUT_MS = metrics.REGISTRY.histogram(
     "Wall time of the fallout stage (re-cluster + region close) per tick",
     buckets=metrics.MS_BUCKETS,
 )
+_FLEET_POISONED = metrics.REGISTRY.counter(
+    "repro_fleet_poisoned_lanes_total",
+    "Lanes quarantined by a fallout bulkhead (exception contained)",
+)
+_FLEET_POISON_SKIPPED = metrics.REGISTRY.counter(
+    "repro_fleet_poison_skipped_rows_total",
+    "Rows offered to poisoned lanes and skipped (retained in the WAL "
+    "for durable tenants)",
+)
 
 
 @dataclass
@@ -127,6 +150,11 @@ class FleetTick:
     #: vector phase completes; fallout streams when their re-cluster and
     #: region-closing finish.
     verdict_latency: Optional[np.ndarray] = None
+    #: snapshot of the engine's poisoned-lane mask after this tick.
+    poisoned: Optional[np.ndarray] = None
+    #: lanes newly poisoned *this tick*, keyed by stream index, valued
+    #: by the contained error's ``type: message`` string.
+    lane_errors: Dict[int, str] = field(default_factory=dict)
 
     def result(self, stream: int) -> DetectionResult:
         """The per-stream verdict (empty result for quiet streams)."""
@@ -240,6 +268,68 @@ class FleetDetector:
             else None
         )
         self._emitted: List[Set[float]] = [set() for _ in range(S)]
+        #: lanes quarantined by a fallout bulkhead: no ingest, no
+        #: fallout, abstaining verdicts, frozen last-good checkpoint.
+        self.poisoned = np.zeros(S, dtype=bool)
+        self.poison_skipped = np.zeros(S, dtype=np.int64)
+        self._poison_errors: Dict[int, str] = {}
+        self._poison_checkpoints: Dict[int, Dict[str, object]] = {}
+        self._lane_fault = None
+
+    # ------------------------------------------------------------------
+    def install_lane_fault(self, hook) -> None:
+        """Install an in-process lane-fault hook (chaos injection seam).
+
+        *hook* is ``hook(stream, view) -> None`` and is called at the
+        start of each lane's fallout processing; raising from it
+        simulates a pathological window and exercises the bulkhead
+        exactly like an exception inside the clustering kernels would.
+        Pass ``None`` to uninstall.
+        """
+        self._lane_fault = hook
+
+    def poison(self, stream: int, reason: str = "operator") -> str:
+        """Quarantine one lane, freezing its last-good checkpoint.
+
+        The lane's state is consistent when this is called (the
+        bulkhead fires only after the elementwise ingest stages have
+        completed fleet-wide), so the captured checkpoint is the exact
+        state a fault-free detector would checkpoint at this row.
+        Subsequent ticks skip the lane entirely; every other lane is
+        bitwise-unaffected.  Idempotent — repoisoning keeps the first
+        frozen checkpoint and reason.
+        """
+        s = int(stream)
+        if self.poisoned[s]:
+            return self._poison_errors[s]
+        state = self.stream_checkpoint(s)
+        self.poisoned[s] = True
+        self._poison_checkpoints[s] = state
+        self._poison_errors[s] = str(reason)
+        _FLEET_POISONED.inc()
+        return self._poison_errors[s]
+
+    def _contain(self, stream: int, exc: BaseException) -> str:
+        return self.poison(stream, f"{type(exc).__name__}: {exc}")
+
+    def unpoison(self, stream: int) -> None:
+        """Readmit a quarantined lane from its retained last-good state.
+
+        While poisoned the lane's live arrays were never touched, so
+        clearing the flag resumes it bitwise-identically to a detector
+        restored from the frozen checkpoint.  Rows offered during the
+        quarantine were skipped (``poison_skipped``); durable tenants
+        still hold them in their WAL for replay.
+        """
+        s = int(stream)
+        if not self.poisoned[s]:
+            return
+        self.poisoned[s] = False
+        self._poison_checkpoints.pop(s, None)
+        self._poison_errors.pop(s, None)
+
+    def poison_reason(self, stream: int) -> Optional[str]:
+        return self._poison_errors.get(int(stream))
 
     # ------------------------------------------------------------------
     @property
@@ -272,6 +362,18 @@ class FleetDetector:
             if active is None
             else np.asarray(active, dtype=bool)
         )
+
+        # Stage 0 — bulkhead gate: poisoned lanes skip the tick entirely
+        # (their frozen checkpoint stays the source of truth; offered
+        # rows are counted and, for durable tenants, retained in the
+        # WAL).  Elementwise, so clean lanes see identical inputs.
+        if self.poisoned.any():
+            skipped = present & self.poisoned
+            n_skipped = int(skipped.sum())
+            if n_skipped:
+                self.poison_skipped += skipped
+                _FLEET_POISON_SKIPPED.inc(n_skipped)
+            present = present & ~self.poisoned
 
         # Stage 1 — drop non-monotone rows (before sanitize, exactly as
         # StreamingDetector.observe does).
@@ -315,61 +417,84 @@ class FleetDetector:
         n_closed = 0
         verdict_latency = np.full(S, np.nan)
         verdict_latency[present] = _time.perf_counter() - t0
+        lane_errors: Dict[int, str] = {}
         fallout_t0 = _time.perf_counter()
         if self.batch_fallout and fallout.size:
             streams = [int(s) for s in fallout]
-            views = [self.arena.view(s) for s in streams]
-            selections = [
-                [
-                    a
-                    for a, ai in zip(self._tracked, self._tracked_idx)
-                    if selected[s, ai]
-                ]
-                for s in streams
-            ]
-            batch_results = cluster_windows_batch(
-                self.batch, views, selections
-            )
-            closed_lists, emitted_out = close_regions_batch(
-                [res.regions for res in batch_results],
-                [view.timestamps for view in views],
-                self.batch.gap_fill_s,
-                [self._emitted[s] for s in streams],
-            )
-            self.recluster_counts[fallout] += 1
-            reclustered[fallout] = True
-            for s, res, regions, emitted in zip(
-                streams, batch_results, closed_lists, emitted_out
-            ):
-                results[s] = res
-                self._emitted[s] = emitted
-                if regions:
-                    closed[s] = regions
-                    n_closed += len(regions)
-            verdict_latency[fallout] = _time.perf_counter() - t0
+            if self._lane_fault is not None:
+                # evaluate the fault hook per lane up front so a raising
+                # lane never enters the fused kernels
+                surviving = []
+                for s in streams:
+                    try:
+                        self._lane_fault(s, self.arena.view(s))
+                    except Exception as exc:
+                        lane_errors[s] = self._contain(s, exc)
+                    else:
+                        surviving.append(s)
+                streams = surviving
+            if streams:
+                try:
+                    views = [self.arena.view(s) for s in streams]
+                    selections = [
+                        [
+                            a
+                            for a, ai in zip(
+                                self._tracked, self._tracked_idx
+                            )
+                            if selected[s, ai]
+                        ]
+                        for s in streams
+                    ]
+                    batch_results = cluster_windows_batch(
+                        self.batch, views, selections
+                    )
+                    closed_lists, emitted_out = close_regions_batch(
+                        [res.regions for res in batch_results],
+                        [view.timestamps for view in views],
+                        self.batch.gap_fill_s,
+                        [self._emitted[s] for s in streams],
+                    )
+                except Exception:
+                    # one pathological lane sank the fused kernels: fall
+                    # back to the bitwise-equal serial loop, whose
+                    # per-lane bulkhead quarantines only the offender
+                    # (the hook already ran above, so it is skipped).
+                    n_closed += self._fallout_serial(
+                        streams,
+                        selected,
+                        results,
+                        closed,
+                        reclustered,
+                        verdict_latency,
+                        t0,
+                        lane_errors,
+                        run_hook=False,
+                    )
+                else:
+                    idx = np.asarray(streams, dtype=np.intp)
+                    self.recluster_counts[idx] += 1
+                    reclustered[idx] = True
+                    for s, res, regions, emitted in zip(
+                        streams, batch_results, closed_lists, emitted_out
+                    ):
+                        results[s] = res
+                        self._emitted[s] = emitted
+                        if regions:
+                            closed[s] = regions
+                            n_closed += len(regions)
+                    verdict_latency[idx] = _time.perf_counter() - t0
         else:
-            for s in fallout:
-                s = int(s)
-                names = [
-                    a
-                    for a, ai in zip(self._tracked, self._tracked_idx)
-                    if selected[s, ai]
-                ]
-                view = self.arena.view(s)
-                res = cluster_window(self.batch, view, names)
-                self.recluster_counts[s] += 1
-                reclustered[s] = True
-                results[s] = res
-                regions, self._emitted[s] = close_regions(
-                    res.regions,
-                    view.timestamps,
-                    self.batch.gap_fill_s,
-                    self._emitted[s],
-                )
-                if regions:
-                    closed[s] = regions
-                    n_closed += len(regions)
-                verdict_latency[s] = _time.perf_counter() - t0
+            n_closed += self._fallout_serial(
+                [int(s) for s in fallout],
+                selected,
+                results,
+                closed,
+                reclustered,
+                verdict_latency,
+                t0,
+                lane_errors,
+            )
         fallout_ms = (_time.perf_counter() - fallout_t0) * 1000.0
 
         elapsed = _time.perf_counter() - t0
@@ -387,8 +512,10 @@ class FleetDetector:
             _FLEET_QUARANTINES.inc(n_quarantined)
         if n_present:
             _FLEET_FALLOUT_STREAMS.observe(int(fallout.size))
+        n_reclustered = int(reclustered.sum())
+        if n_reclustered:
+            _FLEET_RECLUSTERS.inc(n_reclustered)
         if fallout.size:
-            _FLEET_RECLUSTERS.inc(int(fallout.size))
             _FLEET_FALLOUT_MS.observe(fallout_ms)
         if n_closed:
             _FLEET_CLOSED.inc(n_closed)
@@ -403,7 +530,61 @@ class FleetDetector:
             results=results,
             closed=closed,
             verdict_latency=verdict_latency,
+            poisoned=self.poisoned.copy(),
+            lane_errors=lane_errors,
         )
+
+    def _fallout_serial(
+        self,
+        streams: Sequence[int],
+        selected: np.ndarray,
+        results: Dict[int, DetectionResult],
+        closed: Dict[int, List[Region]],
+        reclustered: np.ndarray,
+        verdict_latency: np.ndarray,
+        t0: float,
+        lane_errors: Dict[int, str],
+        run_hook: bool = True,
+    ) -> int:
+        """The per-lane fallout loop, each lane behind its own bulkhead.
+
+        An exception anywhere in a lane's re-cluster or region-closing
+        poisons that lane and moves on; the lane's state is untouched
+        (``cluster_window`` and ``close_regions`` are pure with respect
+        to the detector), so the frozen checkpoint is its exact
+        last-good state.  Returns the number of regions closed.
+        """
+        n_closed = 0
+        for s in streams:
+            s = int(s)
+            try:
+                view = self.arena.view(s)
+                if run_hook and self._lane_fault is not None:
+                    self._lane_fault(s, view)
+                names = [
+                    a
+                    for a, ai in zip(self._tracked, self._tracked_idx)
+                    if selected[s, ai]
+                ]
+                res = cluster_window(self.batch, view, names)
+                regions, emitted = close_regions(
+                    res.regions,
+                    view.timestamps,
+                    self.batch.gap_fill_s,
+                    self._emitted[s],
+                )
+            except Exception as exc:
+                lane_errors[s] = self._contain(s, exc)
+                continue
+            self.recluster_counts[s] += 1
+            reclustered[s] = True
+            results[s] = res
+            self._emitted[s] = emitted
+            if regions:
+                closed[s] = regions
+                n_closed += len(regions)
+            verdict_latency[s] = _time.perf_counter() - t0
+        return n_closed
 
     # ------------------------------------------------------------------
     def _update_quarantine(
@@ -473,8 +654,15 @@ class FleetDetector:
         + ``StreamingDetector.from_checkpoint``) works unchanged —
         and so the equivalence suite can compare checkpoints
         byte-for-byte against mirrored single-stream detectors.
+
+        A poisoned lane returns its frozen last-good checkpoint — the
+        state captured the moment the bulkhead fired — so durable
+        checkpointing keeps writing a consistent, restorable state for
+        the tenant throughout the quarantine.
         """
         s = int(stream)
+        if self.poisoned[s]:
+            return copy.deepcopy(self._poison_checkpoints[s])
         arena = self.arena
         ai_of = arena._attr_index
         appended = int(arena.appended[s])

@@ -30,6 +30,21 @@ Per-tenant observability (lag, sheds, verdicts, tick latency) lands in
 the process metrics registry as labeled families
 (``repro_fleet_tenant_*{tenant="..."}``); ``label_metrics=False`` keeps
 the registry small for 10k-tenant benchmark runs.
+
+**Failure containment.**  Diagnosis failures never vanish: a worker
+exception retries each job individually on a jitterless exponential
+backoff (the single-stream supervisor's schedule) and, past
+``max_retries``, lands in ``repro_fleet_diagnosis_failures_total`` and
+``SchedulerReport.diagnosis_failures``.  Optional per-job deadlines add
+two tiers: past ``soft_deadline_s`` the batch is settled with a
+*degraded* cached-models-only ranking (``CausalModelStore.rank``
+against the sharded labeled-space cache, no predicate generation);
+past ``hard_deadline_s`` it is abandoned and shed.  A per-tenant
+circuit breaker (:class:`~repro.fleet.health.CircuitBreaker`) ejects
+tenants whose diagnoses keep failing or hanging so one hostile tenant
+cannot starve the pool, and readmits them via a half-open probe.  All
+of it is tracked by :class:`~repro.fleet.health.HealthTracker` and
+rendered by ``repro-sherlock fleet status``.
 """
 
 from __future__ import annotations
@@ -39,6 +54,7 @@ import time as _time
 import zlib
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -56,6 +72,7 @@ import numpy as np
 
 from repro.data.regions import Region, RegionSpec
 from repro.fleet.engine import FleetDetector, FleetTick
+from repro.fleet.health import HealthTracker, RecoveryReport, TenantRecovery
 from repro.obs import metrics
 from repro.stream.wal import CheckpointStore, TickWAL
 
@@ -101,6 +118,24 @@ _DIAG_LOCK_WAIT_MS = metrics.REGISTRY.histogram(
     "Time a diagnosis batch waited on the striped explain locks",
     buckets=metrics.MS_BUCKETS,
 )
+_DIAG_FAILURES = metrics.REGISTRY.counter(
+    "repro_fleet_diagnosis_failures_total",
+    "Diagnosis jobs that failed terminally (retries exhausted)",
+    labelnames=("tenant",),
+)
+_DIAG_RETRIES = metrics.REGISTRY.counter(
+    "repro_fleet_diagnosis_retries_total",
+    "Diagnosis jobs requeued on the backoff schedule after a failure",
+)
+_DEADLINE_MISSES = metrics.REGISTRY.counter(
+    "repro_fleet_deadline_misses_total",
+    "Diagnosis deadline misses by tier (soft = degraded, hard = shed)",
+    labelnames=("tier",),
+)
+_DEGRADED_RANKINGS = metrics.REGISTRY.counter(
+    "repro_fleet_degraded_rankings_total",
+    "Soft-deadline fallbacks served as cached-models-only rankings",
+)
 
 
 @dataclass
@@ -115,6 +150,17 @@ class SchedulerReport:
     checkpoints: int = 0
     abnormal_verdicts: int = 0
     closed_regions: int = 0
+    #: jobs whose diagnosis failed terminally (retries exhausted).
+    diagnosis_failures: int = 0
+    failures_by_tenant: Dict[str, int] = field(default_factory=dict)
+    #: jobs requeued on the backoff schedule after a worker failure.
+    retries: int = 0
+    #: soft + hard deadline misses (each tier counts per job).
+    deadline_misses: int = 0
+    #: soft-deadline fallbacks published as cached-models-only rankings.
+    degraded_rankings: int = 0
+    breaker_opens: int = 0
+    breaker_readmits: int = 0
 
 
 @dataclass
@@ -124,15 +170,47 @@ class _PendingJob:
     region: Region
     #: window snapshot taken at enqueue time (regions refer to it).
     dataset: object = None
+    #: worker failures so far (drives the backoff schedule).
+    attempts: int = 0
+    #: admitted as the single half-open circuit-breaker probe.
+    probe: bool = False
 
 
 @dataclass
 class _PendingBatch:
-    """One submitted diagnosis unit: ≤ ``diagnose_jobs`` fused jobs."""
+    """One submitted diagnosis unit: ≤ ``diagnose_jobs`` fused jobs.
+
+    Exactly one party may *settle* a batch — the worker (publish or
+    retry/fail) or the deadline enforcer on the tick thread (degrade or
+    abandon).  :meth:`try_settle` is the compare-and-swap that decides
+    the race; the loser discards its result.
+    """
 
     jobs: List[_PendingJob]
     ticket: int
     future: Optional[Future] = None
+    submitted_at: float = 0.0
+    #: hard-deadline accounting already done for this batch.
+    hard_counted: bool = False
+    _settled: bool = field(default=False, repr=False)
+    _settle_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False
+    )
+
+    def try_settle(self) -> bool:
+        with self._settle_lock:
+            if self._settled:
+                return False
+            self._settled = True
+            return True
+
+    def mark_hard_counted(self) -> bool:
+        """CAS for hard-tier accounting: True exactly once per batch."""
+        with self._settle_lock:
+            if self.hard_counted:
+                return False
+            self.hard_counted = True
+            return True
 
 
 class _Sequencer:
@@ -182,6 +260,35 @@ class _Sequencer:
             self._cond.notify_all()
 
 
+def _fresh_lane_state(params: Dict[str, object]) -> Dict[str, object]:
+    """An empty-lane checkpoint for a tenant skipped during recovery.
+
+    Shares the fleet's parameter set (``from_checkpoints`` requires
+    one config per fleet) but carries no window, counters, or emitted
+    regions — the tenant restarts from scratch.
+    """
+    import copy as _copy
+
+    return {
+        "version": FleetDetector.CHECKPOINT_VERSION,
+        "params": _copy.deepcopy(params),
+        "tick_count": 0,
+        "recluster_count": 0,
+        "dropped_ticks": 0,
+        "sanitized_values": 0,
+        "quarantined": [],
+        "stuck_runs": {},
+        "recent_values": {},
+        "prev_value": {},
+        "last_seen": {},
+        "last_cat": {},
+        "last_time": None,
+        "emitted_ends": [],
+        "window": None,
+        "cluster_state": None,
+    }
+
+
 class FleetScheduler:
     """Drive a :class:`FleetDetector` with bounded diagnosis fallout.
 
@@ -214,6 +321,21 @@ class FleetScheduler:
         Emit per-tenant labeled metric families.  Disable for very
         large fleets where per-tenant registry children would dominate
         the round cost.
+    soft_deadline_s / hard_deadline_s:
+        Per-job diagnosis deadlines (``None`` disables a tier).  Past
+        the soft deadline a batch is settled with a degraded
+        cached-models-only ranking; past the hard deadline it is
+        abandoned and its jobs shed.  Python threads cannot be killed,
+        so the abandoned worker keeps running and its late result is
+        discarded — the hard tier frees the *queue*, not the thread.
+    max_retries / backoff_s / backoff_factor / max_backoff_s:
+        Retry schedule for worker failures — each failed job is
+        requeued individually (isolating a poison job fused into a
+        batch) after ``min(backoff_s * factor**(attempt-1),
+        max_backoff_s)`` seconds, deterministically, no jitter.
+    breaker_threshold / breaker_cooldown_rounds:
+        Per-tenant circuit breaker: consecutive terminal failures to
+        open, and scheduler rounds before a half-open probe.
     """
 
     def __init__(
@@ -229,6 +351,14 @@ class FleetScheduler:
         checkpoint_every: int = 0,
         label_metrics: bool = True,
         fsync_every: int = 8,
+        soft_deadline_s: Optional[float] = None,
+        hard_deadline_s: Optional[float] = None,
+        max_retries: int = 2,
+        backoff_s: float = 0.05,
+        backoff_factor: float = 2.0,
+        max_backoff_s: float = 2.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown_rounds: int = 8,
     ) -> None:
         if shed_policy not in SHED_POLICIES:
             raise ValueError(
@@ -239,6 +369,14 @@ class FleetScheduler:
             raise ValueError("max_pending must be at least 1")
         if diagnose_jobs < 1:
             raise ValueError("diagnose_jobs must be at least 1")
+        if (
+            soft_deadline_s is not None
+            and hard_deadline_s is not None
+            and hard_deadline_s < soft_deadline_s
+        ):
+            raise ValueError("hard_deadline_s must be >= soft_deadline_s")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         S = detector.n_streams
         self.detector = detector
         self.tenants = (
@@ -295,6 +433,27 @@ class FleetScheduler:
         self.report = SchedulerReport()
         #: p99 source: per-stream verdict latencies from recent rounds.
         self._latencies: List[np.ndarray] = []
+        self.soft_deadline_s = soft_deadline_s
+        self.hard_deadline_s = hard_deadline_s
+        self.max_retries = int(max_retries)
+        self.backoff_s = float(backoff_s)
+        self.backoff_factor = float(backoff_factor)
+        self.max_backoff_s = float(max_backoff_s)
+        #: (not_before monotonic, job) — drained by the tick thread.
+        self._retry: List[Tuple[float, _PendingJob]] = []
+        self._retry_lock = threading.Lock()
+        #: settled-by-enforcer batches whose worker is still running.
+        self._zombies: List[_PendingBatch] = []
+        self.health = HealthTracker(
+            self.tenants,
+            root_dir=self.root_dir,
+            durable=durable,
+            label_metrics=self.label_metrics,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown_rounds=breaker_cooldown_rounds,
+        )
+        #: set by :meth:`recover` — per-tenant recovery outcomes.
+        self.recovery_report: Optional[RecoveryReport] = None
 
     # ------------------------------------------------------------------
     def run_round(
@@ -322,7 +481,17 @@ class FleetScheduler:
                     {},
                 )
         tick = self.detector.tick(times, values, present)
+        if tick.lane_errors:
+            for s, err in tick.lane_errors.items():
+                self.health.set_state(
+                    self.tenants[int(s)],
+                    "quarantined",
+                    reason=f"lane poisoned: {err}",
+                    round_no=self.report.rounds,
+                )
         self._reap_finished()
+        self._enforce_deadlines()
+        self._requeue_due_retries()
         for s, regions in tick.closed.items():
             for region in regions:
                 self._enqueue(int(s), region)
@@ -390,19 +559,26 @@ class FleetScheduler:
         tenant = self.tenants[stream]
         if self.sherlock is None:
             return
+        verdict = self.health.breaker_admit(tenant, self.report.rounds)
+        if verdict == "reject":
+            self._shed(tenant)
+            return
+        probe = verdict == "probe"
         while self._n_queued() >= self.max_pending:
             if self.shed_policy == "block":
                 self._wait_oldest()
                 self._reap_finished()
+                self._enforce_deadlines()
+                self._requeue_due_retries()
                 continue
             if self.shed_policy == "reject_new":
-                self._shed(tenant)
+                self._shed_job_admission(tenant, probe)
                 return
             # drop_oldest: cancel the stalest work still waiting to run
             if not self._drop_oldest_waiting():
                 # everything submitted is already executing; the incoming
                 # job is the one that has to give way
-                self._shed(tenant)
+                self._shed_job_admission(tenant, probe)
                 return
         if dataset is None:
             dataset = self.detector.arena.view(stream).to_dataset(
@@ -410,19 +586,35 @@ class FleetScheduler:
             )
         self._buffer.append(
             _PendingJob(
-                tenant=tenant, stream=stream, region=region, dataset=dataset
+                tenant=tenant,
+                stream=stream,
+                region=region,
+                dataset=dataset,
+                probe=probe,
             )
         )
         self._lag[stream] += 1
         if len(self._buffer) >= self._batch_size:
             self._flush_buffer()
 
+    def _shed_job_admission(self, tenant: str, probe: bool) -> None:
+        """Shed a just-admitted job; a shed probe reopens the breaker."""
+        self._shed(tenant)
+        if probe:
+            # the half-open probe never ran — reopen so a later round
+            # gets to probe again instead of wedging in half_open
+            self.health.breaker_failure(tenant, self.report.rounds)
+
     def _flush_buffer(self) -> None:
         """Submit the buffered jobs as one fused diagnosis batch."""
         if not self._buffer:
             return
         jobs, self._buffer = self._buffer, []
-        batch = _PendingBatch(jobs=jobs, ticket=self._sequencer.issue())
+        batch = _PendingBatch(
+            jobs=jobs,
+            ticket=self._sequencer.issue(),
+            submitted_at=_time.monotonic(),
+        )
         batch.future = self._pool.submit(self._diagnose_batch, batch)
         self._pending.append(batch)
 
@@ -440,39 +632,152 @@ class FleetScheduler:
             (_time.perf_counter() - t0) * 1000.0
         )
         try:
-            pairs = [
-                (
-                    job.dataset,
-                    RegionSpec(abnormal=[job.region], normal=None),
-                )
-                for job in batch.jobs
-            ]
-            explain_batch = getattr(self.sherlock, "explain_batch", None)
-            if explain_batch is not None:
-                explanations = explain_batch(pairs)
-            else:
-                explanations = [
-                    self.sherlock.explain(ds, spec) for ds, spec in pairs
+            try:
+                pairs = [
+                    (
+                        job.dataset,
+                        RegionSpec(abnormal=[job.region], normal=None),
+                    )
+                    for job in batch.jobs
                 ]
+                explain_batch = getattr(self.sherlock, "explain_batch", None)
+                if explain_batch is not None:
+                    explanations = explain_batch(pairs)
+                else:
+                    explanations = [
+                        self.sherlock.explain(ds, spec) for ds, spec in pairs
+                    ]
+            except Exception as exc:
+                if batch.try_settle():
+                    self._sequencer.skip(batch.ticket)
+                    self._handle_batch_failure(batch, exc)
+                return None
         finally:
             for idx in reversed(stripes):
                 self._explain_locks[idx].release()
+        if not batch.try_settle():
+            # the deadline enforcer already spoke for these jobs
+            # (degraded or abandoned); discard the late result
+            self._late_result(batch)
+            return None
         items = [
             (job.tenant, job.region, explanation)
             for job, explanation in zip(batch.jobs, explanations)
         ]
         self._sequencer.publish(
-            batch.ticket, lambda: self._publish_items(items)
+            batch.ticket, lambda: self._publish_items(items, batch.jobs)
         )
         return explanations
 
     def _publish_items(
-        self, items: List[Tuple[str, Region, object]]
+        self,
+        items: List[Tuple[str, Region, object]],
+        jobs: Optional[List[_PendingJob]] = None,
     ) -> None:
         with self._diagnoses_lock:
             self.diagnoses.extend(items)
             self.report.diagnoses += len(items)
         _SCHED_DIAGNOSES.inc(len(items))
+        if jobs is None:
+            return
+        # full (non-degraded) results count as breaker successes
+        round_no = self.report.rounds
+        for job in jobs:
+            if self.health.breaker_success(job.tenant, round_no):
+                with self._diagnoses_lock:
+                    self.report.breaker_readmits += 1
+            elif self.health.state(job.tenant) == "degraded":
+                self.health.set_state(
+                    job.tenant,
+                    "healthy",
+                    reason="diagnosis recovered",
+                    round_no=round_no,
+                )
+
+    def _late_result(self, batch: _PendingBatch) -> None:
+        """Worker finished after the enforcer settled its batch.
+
+        If the run overran the hard deadline, charge the hard tier now
+        (deterministically — the zombie sweep in ``_enforce_deadlines``
+        only catches workers still running when it happens to look).
+        Otherwise the batch merely missed the soft tier; an in-flight
+        probe is inconclusive and reopens the breaker.
+        """
+        hard = self.hard_deadline_s
+        elapsed = _time.monotonic() - batch.submitted_at
+        if hard is not None and elapsed >= hard:
+            self._charge_hard_tier(batch)
+            return
+        for job in batch.jobs:
+            if job.probe:
+                if self.health.breaker_failure(
+                    job.tenant, self.report.rounds
+                ):
+                    with self._diagnoses_lock:
+                        self.report.breaker_opens += 1
+
+    def _charge_hard_tier(self, batch: _PendingBatch) -> None:
+        """Hard-deadline accounting, exactly once per batch."""
+        if not batch.mark_hard_counted():
+            return
+        round_no = self.report.rounds
+        for job in batch.jobs:
+            _DEADLINE_MISSES.labels(tier="hard").inc()
+            with self._diagnoses_lock:
+                self.report.deadline_misses += 1
+                if self.health.breaker_failure(job.tenant, round_no):
+                    self.report.breaker_opens += 1
+
+    def _handle_batch_failure(
+        self, batch: _PendingBatch, exc: BaseException
+    ) -> None:
+        """Worker failure: retry each job individually, or surface it.
+
+        Runs on the worker thread.  Jobs with attempts left are pushed
+        onto the deterministic backoff schedule as singleton batches
+        (isolating a poison job that was fused with healthy ones);
+        exhausted jobs and probes become terminal failures — counted in
+        ``repro_fleet_diagnosis_failures_total`` and the report, and fed
+        to the tenant's circuit breaker.  Nothing is ever swallowed.
+        """
+        detail = f"{type(exc).__name__}: {exc}"
+        round_no = self.report.rounds
+        retries: List[Tuple[float, _PendingJob]] = []
+        failures: List[_PendingJob] = []
+        for job in batch.jobs:
+            job.attempts += 1
+            if job.attempts <= self.max_retries and not job.probe:
+                delay = min(
+                    self.backoff_s
+                    * self.backoff_factor ** (job.attempts - 1),
+                    self.max_backoff_s,
+                )
+                retries.append((_time.monotonic() + delay, job))
+            else:
+                failures.append(job)
+        if retries:
+            _DIAG_RETRIES.inc(len(retries))
+            with self._retry_lock:
+                self._retry.extend(retries)
+            with self._diagnoses_lock:
+                self.report.retries += len(retries)
+        for job in failures:
+            _DIAG_FAILURES.labels(tenant=job.tenant).inc()
+            with self._diagnoses_lock:
+                self.report.diagnosis_failures += 1
+                self.report.failures_by_tenant[job.tenant] = (
+                    self.report.failures_by_tenant.get(job.tenant, 0) + 1
+                )
+            if self.health.breaker_failure(job.tenant, round_no):
+                with self._diagnoses_lock:
+                    self.report.breaker_opens += 1
+            elif self.health.state(job.tenant) == "healthy":
+                self.health.set_state(
+                    job.tenant,
+                    "degraded",
+                    reason=f"diagnosis failed: {detail}",
+                    round_no=round_no,
+                )
 
     def _shed(self, tenant: str) -> None:
         self.report.shed += 1
@@ -489,14 +794,15 @@ class FleetScheduler:
             if batch.future is not None and batch.future.cancel():
                 del self._pending[idx]
                 self._sequencer.skip(batch.ticket)
+                batch.try_settle()
                 for job in batch.jobs:
                     self._lag[job.stream] -= 1
-                    self._shed(job.tenant)
+                    self._shed_job_admission(job.tenant, job.probe)
                 return True
         if self._buffer:
             job = self._buffer.pop(0)
             self._lag[job.stream] -= 1
-            self._shed(job.tenant)
+            self._shed_job_admission(job.tenant, job.probe)
             return True
         return False
 
@@ -505,13 +811,31 @@ class FleetScheduler:
             # under "block" the bound can be smaller than the batch size;
             # the buffered jobs themselves are what must make progress
             self._flush_buffer()
-        if self._pending:
-            oldest = self._pending[0]
-            if oldest.future is not None:
-                try:
-                    oldest.future.result()
-                except Exception:
-                    pass
+        if not self._pending:
+            return
+        oldest = self._pending[0]
+        future = oldest.future
+        if future is None:
+            return
+        if self.soft_deadline_s is None and self.hard_deadline_s is None:
+            try:
+                future.result()
+            except Exception:
+                # not swallowed: _reap_finished routes the exception
+                # through _handle_batch_failure via future.exception()
+                pass
+            return
+        # with deadlines configured a hung worker must not block the
+        # tick thread: poll, enforcing deadlines between waits
+        while not future.done():
+            try:
+                future.result(timeout=0.01)
+            except _FutureTimeout:
+                self._enforce_deadlines()
+                if not self._pending or self._pending[0] is not oldest:
+                    return  # the enforcer settled and removed it
+            except Exception:
+                return
 
     def _reap_finished(self) -> None:
         while self._pending and self._pending[0].future is not None and (
@@ -520,19 +844,196 @@ class FleetScheduler:
             batch = self._pending.popleft()
             for job in batch.jobs:
                 self._lag[job.stream] -= 1
+            exc = batch.future.exception()  # type: ignore[union-attr]
+            if exc is not None and batch.try_settle():
+                # the worker died outside its own failure guard (a bug,
+                # or a BaseException): surface it, never swallow it
+                self._sequencer.skip(batch.ticket)
+                self._handle_batch_failure(batch, exc)
+
+    def _requeue_due_retries(self, wait: bool = False) -> None:
+        """Resubmit failed jobs whose backoff delay has elapsed.
+
+        Each retry runs as its own singleton batch so a poison job that
+        was fused with healthy neighbours fails alone the second time.
+        With *wait* (drain path, nothing else in flight) this sleeps
+        until the earliest retry comes due.
+        """
+        with self._retry_lock:
+            if not self._retry:
+                return
+            now = _time.monotonic()
+            if wait and not self._pending and not self._buffer:
+                earliest = min(nb for nb, _ in self._retry)
+                if earliest > now:
+                    sleep_s = earliest - now
+                else:
+                    sleep_s = 0.0
+            else:
+                sleep_s = 0.0
+        if sleep_s:
+            _time.sleep(sleep_s)
+        with self._retry_lock:
+            now = _time.monotonic()
+            due = [job for nb, job in self._retry if nb <= now]
+            self._retry = [
+                (nb, job) for nb, job in self._retry if nb > now
+            ]
+        for job in due:
+            verdict = self.health.breaker_admit(
+                job.tenant, self.report.rounds
+            )
+            if verdict == "reject":
+                self._shed(job.tenant)
+                continue
+            job.probe = verdict == "probe"
+            batch = _PendingBatch(
+                jobs=[job],
+                ticket=self._sequencer.issue(),
+                submitted_at=_time.monotonic(),
+            )
+            batch.future = self._pool.submit(self._diagnose_batch, batch)
+            self._pending.append(batch)
+            self._lag[job.stream] += 1
+
+    def _degraded_explanation(self, job: _PendingJob) -> object:
+        """Cached-models-only ranking for a soft-deadline fallback.
+
+        Skips predicate generation entirely: ranks the stored causal
+        models against the job's window via ``CausalModelStore.rank``
+        and the shared lock-striped labeled-space cache, and wraps the
+        scores in an ``Explanation`` with no predicates and
+        ``degraded=True``.
+        """
+        from repro.core.explain import DEFAULT_LAMBDA, Explanation
+        from repro.core.predicates import Conjunction
+
+        spec = RegionSpec(abnormal=[job.region], normal=None)
+        try:
+            scores = self.sherlock.store.rank(
+                job.dataset,
+                spec,
+                n_partitions=self.sherlock.config.n_partitions,
+                cache=self.sherlock.cache,
+            )
+        except Exception:
+            scores = []
+        lam = getattr(self.sherlock, "lambda_threshold", DEFAULT_LAMBDA)
+        explanation = Explanation(
+            predicates=Conjunction(),
+            causes=[(c, conf) for c, conf in scores if conf > lam],
+            all_cause_scores=list(scores),
+        )
+        explanation.degraded = True  # type: ignore[attr-defined]
+        return explanation
+
+    def _enforce_deadlines(self) -> None:
+        """Settle batches past their deadline tier (tick thread only).
+
+        Soft tier: the batch is settled, its ticket skipped, and a
+        degraded cached-models-only ranking is published for each job.
+        Hard tier: the batch is abandoned and its jobs shed.  Either
+        way the still-running worker becomes a *zombie*: its eventual
+        result is discarded, and if it is still running at the hard
+        deadline its tenants take a breaker failure (a hang is hostile
+        whether or not a degraded answer already went out).
+        """
+        soft = self.soft_deadline_s
+        hard = self.hard_deadline_s
+        if soft is None and hard is None:
+            return
+        now = _time.monotonic()
+        for batch in list(self._pending):
+            future = batch.future
+            if future is None or future.done():
+                continue
+            age = now - batch.submitted_at
+            if hard is not None and age >= hard:
+                if not batch.try_settle():
+                    continue
+                self._pending.remove(batch)
+                self._sequencer.skip(batch.ticket)
+                round_no = self.report.rounds
+                for job in batch.jobs:
+                    self._lag[job.stream] -= 1
+                    self._shed(job.tenant)
+                self._charge_hard_tier(batch)
+                for job in batch.jobs:
+                    if self.health.state(job.tenant) == "healthy":
+                        self.health.set_state(
+                            job.tenant,
+                            "degraded",
+                            reason="hard diagnosis deadline",
+                            round_no=round_no,
+                        )
+                self._zombies.append(batch)
+            elif soft is not None and age >= soft:
+                if not batch.try_settle():
+                    continue
+                self._pending.remove(batch)
+                self._sequencer.skip(batch.ticket)
+                round_no = self.report.rounds
+                items = []
+                for job in batch.jobs:
+                    self._lag[job.stream] -= 1
+                    _DEADLINE_MISSES.labels(tier="soft").inc()
+                    _DEGRADED_RANKINGS.inc()
+                    items.append(
+                        (job.tenant, job.region,
+                         self._degraded_explanation(job))
+                    )
+                with self._diagnoses_lock:
+                    self.report.deadline_misses += len(batch.jobs)
+                    self.report.degraded_rankings += len(batch.jobs)
+                self._publish_items(items)
+                for job in batch.jobs:
+                    if self.health.state(job.tenant) == "healthy":
+                        self.health.set_state(
+                            job.tenant,
+                            "degraded",
+                            reason="soft deadline: cached-models-only "
+                            "ranking",
+                            round_no=round_no,
+                        )
+                self._zombies.append(batch)
+        for batch in list(self._zombies):
+            future = batch.future
+            if future is not None and future.done():
+                self._zombies.remove(batch)
+                continue
+            if hard is not None and now - batch.submitted_at >= hard:
+                self._charge_hard_tier(batch)
 
     def drain(self) -> None:
-        """Block until every queued diagnosis has completed."""
+        """Block until every queued diagnosis has completed or settled."""
         self._flush_buffer()
-        while self._pending:
-            self._wait_oldest()
-            self._reap_finished()
+        while True:
+            if self._pending:
+                self._wait_oldest()
+                self._reap_finished()
+                self._enforce_deadlines()
+                self._flush_buffer()
+                continue
+            if self._buffer:
+                self._flush_buffer()
+                continue
+            with self._retry_lock:
+                has_retry = bool(self._retry)
+            if not has_retry:
+                break
+            self._requeue_due_retries(wait=True)
 
     # ------------------------------------------------------------------
     # Durability
     # ------------------------------------------------------------------
     def checkpoint(self) -> None:
-        """Durably checkpoint every durable tenant and truncate its WAL."""
+        """Durably checkpoint every durable tenant and truncate its WAL.
+
+        A poisoned lane checkpoints its frozen last-good state but
+        keeps its WAL: rows offered since the poison were skipped by
+        the engine, and truncating would lose them for the replay that
+        happens when the tenant is readmitted or recovered.
+        """
         for name in sorted(self._durable):
             s = self._stream_of[name]
             self._ckpts[name].save(
@@ -546,9 +1047,26 @@ class FleetScheduler:
                     ),
                 }
             )
-            self._wals[name].truncate()
+            if not bool(self.detector.poisoned[s]):
+                self._wals[name].truncate()
             self.report.checkpoints += 1
             _SCHED_CHECKPOINTS.inc()
+
+    def readmit(self, tenant: str) -> None:
+        """Clear a tenant's lane poison and restore it to full service.
+
+        The lane resumes from its frozen last-good state — rows offered
+        while poisoned were never ingested, exactly as if the tenant
+        had been offline.
+        """
+        s = self._stream_of[tenant]
+        self.detector.unpoison(s)
+        self.health.set_state(
+            tenant,
+            "healthy",
+            reason="lane readmitted",
+            round_no=self.report.rounds,
+        )
 
     @classmethod
     def recover(
@@ -565,32 +1083,83 @@ class FleetScheduler:
         tenant's write-ahead log through the engine — the same
         recovery contract as the single-stream supervisor: zero ticks
         lost, zero re-processed.
+
+        Recovery is *partial*: a tenant whose checkpoint is missing,
+        torn, or corrupt — or whose WAL replay raises — is skipped and
+        reported instead of aborting the whole fleet.  Skipped tenants
+        come back with a fresh empty lane in ``quarantined`` health
+        (``replay_failed`` lanes stay poisoned at their last-good
+        state), and the per-tenant verdicts land on
+        ``scheduler.recovery_report`` (a
+        :class:`~repro.fleet.health.RecoveryReport`).  Only an empty
+        fleet — zero recoverable tenants — still raises.
         """
         root = Path(root_dir)
-        states = []
-        replays: List[List[Tuple[float, Dict[str, float]]]] = []
+        outcomes: Dict[str, TenantRecovery] = {}
+        states: Dict[str, Dict[str, object]] = {}
+        replays: Dict[str, List[Tuple[float, Dict[str, float]]]] = {}
         for name in tenants:
-            store = CheckpointStore(root / name / "checkpoint.json")
+            ckpt_path = root / name / "checkpoint.json"
+            store = CheckpointStore(ckpt_path)
             stored = store.load()
             if stored is None:
-                raise FileNotFoundError(
-                    f"no durable checkpoint for tenant {name!r}"
+                # CheckpointStore.load() returns None for both absent
+                # and unreadable payloads; the path tells them apart
+                status = "corrupt" if ckpt_path.exists() else "missing"
+                outcomes[name] = TenantRecovery(
+                    tenant=name,
+                    status=status,
+                    detail=f"checkpoint {status} at {ckpt_path}",
                 )
-            states.append(stored["detector"])
+                continue
+            detector_state = (
+                stored.get("detector") if isinstance(stored, dict) else None
+            )
+            if not isinstance(detector_state, dict) or (
+                detector_state.get("version")
+                != FleetDetector.CHECKPOINT_VERSION
+            ):
+                outcomes[name] = TenantRecovery(
+                    tenant=name,
+                    status="corrupt",
+                    detail="malformed checkpoint payload",
+                )
+                continue
             until = stored.get("processed_until")
             until = None if until is None else float(until)
             wal = TickWAL(root / name / "ticks.wal")
-            rows = []
+            rows: List[Tuple[float, Dict[str, float]]] = []
             try:
                 for time, numeric_row, _cat in wal.replay():
                     if until is not None and time <= until:
                         continue
                     rows.append((float(time), dict(numeric_row)))
+            except Exception as exc:
+                outcomes[name] = TenantRecovery(
+                    tenant=name,
+                    status="corrupt",
+                    detail=f"WAL replay failed: {exc}",
+                )
+                continue
             finally:
                 wal.close()
-            replays.append(rows)
+            states[name] = detector_state
+            replays[name] = rows
+        recovered = [name for name in tenants if name in states]
+        if not recovered:
+            raise FileNotFoundError(
+                f"no recoverable durable tenants under {root}"
+            )
+        # skipped tenants restart with a fresh empty lane sharing the
+        # fleet's parameter set, so the tenant list (and stream order)
+        # survives a partial recovery
+        params = states[recovered[0]]["params"]
+        state_list = [
+            states.get(name) or _fresh_lane_state(params)
+            for name in tenants
+        ]
         detector = FleetDetector.from_checkpoints(
-            states, attributes=attributes
+            state_list, attributes=attributes
         )
         scheduler = cls(
             detector,
@@ -602,21 +1171,52 @@ class FleetScheduler:
         S = detector.n_streams
         attrs = detector.attributes
         ai_of = {a: j for j, a in enumerate(attrs)}
-        for s, rows in enumerate(replays):
-            for time, numeric_row in rows:
-                times = np.zeros(S)
-                vals = np.zeros((S, len(attrs)))
-                active = np.zeros(S, dtype=bool)
-                times[s] = time
-                active[s] = True
-                for a, v in numeric_row.items():
-                    if a in ai_of:
-                        vals[s, ai_of[a]] = v
-                tick = detector.tick(times, vals, active)
-                for stream, regions in tick.closed.items():
-                    for region in regions:
-                        scheduler._enqueue(int(stream), region)
+        for name in recovered:
+            s = scheduler._stream_of[name]
+            rows = replays[name]
+            replayed = 0
+            try:
+                for time, numeric_row in rows:
+                    times = np.zeros(S)
+                    vals = np.zeros((S, len(attrs)))
+                    active = np.zeros(S, dtype=bool)
+                    times[s] = time
+                    active[s] = True
+                    for a, v in numeric_row.items():
+                        if a in ai_of:
+                            vals[s, ai_of[a]] = v
+                    tick = detector.tick(times, vals, active)
+                    replayed += 1
+                    for stream, regions in tick.closed.items():
+                        for region in regions:
+                            scheduler._enqueue(int(stream), region)
+            except Exception as exc:
+                # freeze the lane at wherever replay got to; the
+                # bulkhead keeps the rest of the fleet clean
+                detector.poison(s, reason=f"replay failed: {exc}")
+                outcomes[name] = TenantRecovery(
+                    tenant=name,
+                    status="replay_failed",
+                    replayed_ticks=replayed,
+                    detail=str(exc),
+                )
+                continue
+            outcomes[name] = TenantRecovery(
+                tenant=name, status="recovered", replayed_ticks=replayed
+            )
         scheduler._flush_buffer()
+        report = RecoveryReport(
+            outcomes=[outcomes[name] for name in tenants]
+        )
+        scheduler.recovery_report = report
+        for outcome in report.outcomes:
+            if outcome.status != "recovered":
+                scheduler.health.set_state(
+                    outcome.tenant,
+                    "quarantined",
+                    reason=f"recovery: {outcome.status}",
+                    round_no=0,
+                )
         return scheduler
 
     # ------------------------------------------------------------------
@@ -658,6 +1258,7 @@ class FleetScheduler:
         self._pool.shutdown(wait=True)
         for wal in self._wals.values():
             wal.close()
+        self.health.close()
 
     def __enter__(self) -> "FleetScheduler":
         return self

@@ -3,9 +3,12 @@
 The fleet engine and scheduler publish everything an operator needs into
 the process metrics registry (:mod:`repro.obs.metrics`): fleet-wide
 counters (``repro_fleet_*_total``), the amortized per-stream tick
-histogram, and — when the scheduler runs with ``label_metrics=True`` —
-per-tenant labeled families for lag, sheds, verdicts, and
-tick-to-verdict latency.  :func:`render_fleet_status` turns one
+histogram, the failure-containment instruments (diagnosis failures and
+retries, deadline misses by tier, degraded rankings, circuit-breaker
+opens/readmits, health-state transitions), and — when the scheduler runs
+with ``label_metrics=True`` — per-tenant labeled families for lag,
+sheds, verdicts, tick-to-verdict latency, health state, and breaker
+state.  :func:`render_fleet_status` turns one
 :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dict (live or loaded
 from a ``to_json`` file) into the plain-text table behind
 ``repro-sherlock fleet status``.
@@ -22,7 +25,13 @@ _TENANT_FAMILIES = {
     "repro_fleet_tenant_shed_total": "shed",
     "repro_fleet_tenant_verdicts_total": "verdicts",
     "repro_fleet_tenant_tick_seconds": "tick",
+    "repro_fleet_tenant_health": "health",
+    "repro_fleet_breaker_state": "breaker",
 }
+
+#: Gauge codes published by :mod:`repro.fleet.health`.
+_HEALTH_NAMES = {0: "healthy", 1: "degraded", 2: "quarantined", 3: "ejected"}
+_BREAKER_NAMES = {0: "closed", 1: "half-open", 2: "open"}
 
 _FLEET_COUNTERS = (
     ("repro_fleet_rounds_total", "rounds"),
@@ -35,6 +44,30 @@ _FLEET_COUNTERS = (
     ("repro_fleet_dropped_ticks_total", "dropped ticks"),
     ("repro_fleet_quarantine_events_total", "quarantines"),
 )
+
+#: Unlabeled containment counters, shown on their own line when nonzero.
+_CONTAINMENT_COUNTERS = (
+    ("repro_fleet_diagnosis_retries_total", "retries"),
+    ("repro_fleet_degraded_rankings_total", "degraded rankings"),
+    ("repro_fleet_breaker_opens_total", "breaker opens"),
+    ("repro_fleet_breaker_readmits_total", "breaker readmits"),
+)
+
+
+def _sum_labeled(
+    snapshot: Mapping[str, Mapping[str, object]], base: str, label: str
+) -> Dict[str, int]:
+    """Aggregate a labeled counter family by one label's values."""
+    out: Dict[str, int] = {}
+    for name, entry in snapshot.items():
+        if name.split("{", 1)[0] != base:
+            continue
+        labels = entry.get("labels")
+        if not isinstance(labels, Mapping) or label not in labels:
+            continue
+        key = str(labels[label])
+        out[key] = out.get(key, 0) + int(entry.get("value", 0))  # type: ignore[arg-type]
+    return out
 
 
 def _family(entry_name: str) -> Optional[str]:
@@ -104,6 +137,37 @@ def render_fleet_status(
     if storm:
         lines.append("  " + "   ".join(storm))
 
+    # Failure containment: breaker/deadline/health activity, when any.
+    containment = []
+    for name, label in _CONTAINMENT_COUNTERS:
+        entry = snapshot.get(name)
+        if entry is not None and int(entry.get("value", 0)) > 0:
+            containment.append(f"{label} {int(entry['value'])}")  # type: ignore[arg-type]
+    failures = _sum_labeled(
+        snapshot, "repro_fleet_diagnosis_failures_total", "tenant"
+    )
+    if failures:
+        containment.append(f"diagnosis failures {sum(failures.values())}")
+    misses = _sum_labeled(
+        snapshot, "repro_fleet_deadline_misses_total", "tier"
+    )
+    if misses:
+        by_tier = " ".join(
+            f"{tier}={misses[tier]}" for tier in sorted(misses)
+        )
+        containment.append(f"deadline misses {by_tier}")
+    transitions = _sum_labeled(
+        snapshot, "repro_fleet_health_transitions_total", "state"
+    )
+    unhealthy = {k: v for k, v in transitions.items() if k != "healthy"}
+    if unhealthy:
+        by_state = " ".join(
+            f"{state}={unhealthy[state]}" for state in sorted(unhealthy)
+        )
+        containment.append(f"health transitions {by_state}")
+    if containment:
+        lines.append("  " + "   ".join(containment))
+
     # Group per-tenant families by tenant label.
     tenants: Dict[str, Dict[str, object]] = {}
     for name, entry in snapshot.items():
@@ -133,8 +197,8 @@ def render_fleet_status(
 
     lines.append("")
     header = (
-        f"  {'tenant':<12} {'lag':>5} {'shed':>5} {'normal':>8} "
-        f"{'abnormal':>9} {'p99 tick (us)':>14}"
+        f"  {'tenant':<12} {'health':<12} {'breaker':<9} {'lag':>5} "
+        f"{'shed':>5} {'normal':>8} {'abnormal':>9} {'p99 tick (us)':>14}"
     )
     lines.append(header)
     lines.append("  " + "-" * (len(header) - 2))
@@ -142,7 +206,13 @@ def render_fleet_status(
     def sort_key(item: Tuple[str, Dict[str, object]]):
         verdicts = item[1].get("verdicts", {})
         abnormal = verdicts.get("abnormal", 0) if isinstance(verdicts, dict) else 0
-        return (-int(item[1].get("lag", 0)), -abnormal, item[0])
+        # sickest first: ejected/quarantined tenants ahead of lag
+        return (
+            -int(item[1].get("health", 0)),  # type: ignore[arg-type]
+            -int(item[1].get("lag", 0)),  # type: ignore[arg-type]
+            -abnormal,
+            item[0],
+        )
 
     shown = sorted(tenants.items(), key=sort_key)
     for tenant, row in shown[:max_tenants]:
@@ -157,8 +227,11 @@ def render_fleet_status(
             if tick is not None
             else "-"
         )
+        health = _HEALTH_NAMES.get(int(row.get("health", 0)), "?")  # type: ignore[arg-type]
+        breaker = _BREAKER_NAMES.get(int(row.get("breaker", 0)), "?")  # type: ignore[arg-type]
         lines.append(
-            f"  {tenant:<12} {int(row.get('lag', 0)):>5} "  # type: ignore[arg-type]
+            f"  {tenant:<12} {health:<12} {breaker:<9} "
+            f"{int(row.get('lag', 0)):>5} "  # type: ignore[arg-type]
             f"{int(row.get('shed', 0)):>5} {normal:>8} {abnormal:>9} "  # type: ignore[arg-type]
             f"{p99:>14}"
         )

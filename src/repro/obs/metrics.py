@@ -23,6 +23,18 @@ tuple and then return a :class:`MetricFamily` whose ``labels(...)``
 children are ordinary instruments exported as ``name{tenant="t42"}``.
 Label-free creation is unchanged, so every pre-fleet call site behaves
 identically.
+
+The fleet failure-containment layer adds its own instrument family on
+top: ``repro_fleet_diagnosis_failures_total{tenant=…}`` and
+``…_retries_total`` (worker failures and their backoff retries),
+``repro_fleet_deadline_misses_total{tier="soft"|"hard"}`` and
+``repro_fleet_degraded_rankings_total`` (deadline tiers),
+``repro_fleet_tenant_health{tenant=…}`` /
+``repro_fleet_health_transitions_total{state=…}`` (the health ladder),
+and ``repro_fleet_breaker_state{tenant=…}`` /
+``…_breaker_opens_total`` / ``…_breaker_readmits_total`` (per-tenant
+circuit breakers).  ``repro-sherlock fleet status`` renders all of them
+from one :meth:`snapshot`.
 """
 
 from __future__ import annotations

@@ -458,8 +458,10 @@ class TestFleetStatus:
         lines = [l for l in text.splitlines() if l.strip().startswith("t1")]
         assert len(lines) == 1
         fields = lines[0].split()
-        assert fields[1] == "3"  # lag
-        assert fields[3] == "5" and fields[4] == "2"  # normal, abnormal
+        # columns: tenant  health  breaker  lag  shed  normal  abnormal
+        assert fields[1] == "healthy" and fields[2] == "closed"
+        assert fields[3] == "3"  # lag
+        assert fields[5] == "5" and fields[6] == "2"  # normal, abnormal
 
     def test_empty_snapshot_degrades_gracefully(self):
         text = render_fleet_status({})
@@ -638,3 +640,129 @@ class TestSchedulerStormStress:
             assert report.shed == 0
             for tenant in closed:
                 assert diagnosed[tenant] == closed[tenant]
+
+
+# ----------------------------------------------------------------------
+# Shutdown races: close()/drain() while diagnosis work is in flight
+# ----------------------------------------------------------------------
+class TestSchedulerShutdownRaces:
+    """Tearing the scheduler down mid-storm must not lose, duplicate, or
+    leak work: ``close()`` called with fused batches still executing on
+    the pool settles every job exactly once, under all three shed
+    policies."""
+
+    ATTRS = ["a", "b", "c"]
+
+    def _storm_scheduler(self, policy, **extra):
+        S = 8
+        return FleetScheduler(
+            FleetDetector(S, self.ATTRS, **_BUSY_KW),
+            sherlock=DBSherlock(),
+            diagnose_jobs=8,
+            max_pending=4,
+            shed_policy=policy,
+            label_metrics=False,
+            **extra,
+        )
+
+    @pytest.mark.parametrize("policy", ("block", "drop_oldest", "reject_new"))
+    def test_close_with_batches_in_flight(self, policy):
+        sched = self._storm_scheduler(policy)
+        closed = {t: [] for t in sched.tenants}
+        for times, values, active in _busy_source(8, self.ATTRS).take(60):
+            tick = sched.run_round(times, values, active)
+            for s in sorted(tick.closed):
+                closed[sched.tenants[s]].extend(tick.closed[s])
+        # no drain(): batches are still buffered and executing when the
+        # shutdown starts — close() must settle them, not strand them
+        assert sched._pending or sched._buffer or sched.report.diagnoses
+        sched.close()
+        report = sched.report
+        assert report.closed_regions > 0
+        assert (
+            report.diagnoses + report.shed + report.diagnosis_failures
+            == report.closed_regions
+        )
+        assert report.diagnosis_failures == 0
+        diagnosed = {t: [] for t in sched.tenants}
+        for tenant, region, explanation in sched.diagnoses:
+            assert explanation is not None
+            diagnosed[tenant].append(region)
+        for tenant in closed:
+            shed_t = report.shed_by_tenant.get(tenant, 0)
+            assert len(diagnosed[tenant]) + shed_t == len(closed[tenant]), (
+                policy,
+                tenant,
+            )
+
+    @pytest.mark.parametrize("policy", ("block", "drop_oldest", "reject_new"))
+    def test_drain_midflight_then_resume(self, policy):
+        sched = self._storm_scheduler(policy)
+        src = _busy_source(8, self.ATTRS)
+        batches = list(src.take(90))
+        for times, values, active in batches[:45]:
+            sched.run_round(times, values, active)
+        sched.drain()  # barrier mid-storm, work still arriving after
+        mid = sched.report.diagnoses + sched.report.shed
+        assert mid == sched.report.closed_regions
+        for times, values, active in batches[45:]:
+            sched.run_round(times, values, active)
+        sched.close()
+        report = sched.report
+        assert report.diagnoses + report.shed == report.closed_regions
+        assert report.diagnoses + report.shed > mid
+
+    def test_double_close_is_idempotent(self):
+        sched = self._storm_scheduler("drop_oldest")
+        for times, values, active in _busy_source(8, self.ATTRS).take(20):
+            sched.run_round(times, values, active)
+        sched.close()
+        first = (sched.report.diagnoses, sched.report.shed)
+        sched.close()  # second close: no new work, no exception
+        assert (sched.report.diagnoses, sched.report.shed) == first
+
+    def test_midstorm_checkpoint_restores_bitwise(self, tmp_path):
+        """An explicit checkpoint taken while anomalies are open (regions
+        growing, diagnosis batches in flight) restores bitwise."""
+        S = 4
+        tenants = [f"mid{i}" for i in range(S)]
+        batches = list(_busy_source(S, self.ATTRS, seed=23).take(55))
+        sched = FleetScheduler(
+            FleetDetector(S, self.ATTRS, **_BUSY_KW),
+            sherlock=DBSherlock(),
+            tenants=tenants,
+            root_dir=tmp_path,
+            durable=tenants,
+            diagnose_jobs=4,
+            label_metrics=False,
+        )
+        for i, (times, values, active) in enumerate(batches):
+            sched.run_round(times, values, active)
+            if i == 34:  # inside the second anomaly window (25..40)
+                sched.checkpoint()
+        live = [sched.detector.stream_checkpoint(s) for s in range(S)]
+        # crash without a final checkpoint: rounds 36..55 live in WALs
+        sched._pool.shutdown(wait=True)
+        for wal in sched._wals.values():
+            wal.close()
+        sched.health.close()
+
+        recovered = FleetScheduler.recover(tmp_path, tenants, label_metrics=False)
+        for s in range(S):
+            assert recovered.detector.stream_checkpoint(s) == live[s], s
+        report = recovered.recovery_report
+        assert report is not None and report.recovered == tenants
+        assert all(
+            report.outcome(t).replayed_ticks > 0 for t in tenants
+        )
+        # and it keeps ticking in lockstep with the crashed live fleet
+        for times, values, active in FleetSimSource(
+            S, self.ATTRS, seed=777
+        ).take(5):
+            a = sched.detector.tick(times, values, active)
+            b = recovered.detector.tick(times, values, active)
+            assert np.array_equal(a.selected, b.selected)
+            assert np.array_equal(a.powers, b.powers, equal_nan=True)
+            for s in range(S):
+                assert a.closed.get(s, []) == b.closed.get(s, [])
+        recovered.close()
