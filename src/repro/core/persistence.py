@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import Dict, List, Union
 
 from repro.core.causal import CausalModel, CausalModelStore
+from repro.faults import fs as _fs
 from repro.core.predicates import (
     CategoricalPredicate,
     NumericPredicate,
@@ -95,15 +96,31 @@ def model_from_dict(payload: Dict) -> CausalModel:
 
 
 def save_store(store: CausalModelStore, path: Union[str, Path]) -> None:
-    """Write every model in *store* to a JSON file."""
+    """Atomically write every model in *store* to a JSON file.
+
+    Write-to-temp + fsync + rename (through the fault-injectable storage
+    shim), so a crash or I/O error mid-save can never leave a torn model
+    store — the previous file survives intact.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "schema": SCHEMA_VERSION,
         "models": [model_to_dict(m) for m in store],
     }
-    with path.open("w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
+    fsio = _fs.get_fs()
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with tmp.open("w") as fh:
+            fsio.write(fh, json.dumps(payload, indent=2, sort_keys=True))
+            fsio.fsync(fh)
+        fsio.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
 
 
 def load_store(
@@ -111,8 +128,7 @@ def load_store(
 ) -> CausalModelStore:
     """Load a store previously written by :func:`save_store`."""
     path = Path(path)
-    with path.open("r") as fh:
-        payload = json.load(fh)
+    payload = json.loads(_fs.get_fs().read_text(path))
     schema = payload.get("schema")
     if schema not in SUPPORTED_SCHEMAS:
         raise ValueError(

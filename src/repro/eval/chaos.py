@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import traceback
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,10 +39,16 @@ from repro.faults import (
     DuplicateTicks,
     FaultInjector,
     FaultPlan,
+    FlakyIO,
+    FSFault,
+    FullDisk,
     NaNValues,
+    ReadCorruption,
     SchemaDrift,
+    SlowFsync,
     SpikeCorruption,
     StuckAtCounter,
+    TornRename,
 )
 from repro.schema.reconcile import SchemaReconciler
 
@@ -51,6 +57,8 @@ __all__ = [
     "PROFILES",
     "FleetFaultProfile",
     "FLEET_PROFILES",
+    "StorageFaultProfile",
+    "STORAGE_PROFILES",
     "run_chaos_suite",
 ]
 
@@ -203,6 +211,159 @@ FLEET_PROFILES: Dict[str, FleetFaultProfile] = {
     "storm": FleetFaultProfile(name="storm", tenant_fraction=0.2),
     "monsoon": FleetFaultProfile(
         name="monsoon", tenant_fraction=0.4, corrupt_tenants=2, hang_s=0.5
+    ),
+}
+
+
+@dataclass(frozen=True)
+class StorageFaultProfile:
+    """A tenant-targeted *disk* fault bundle for storage chaos runs.
+
+    Where :class:`FleetFaultProfile` corrupts computation (lanes,
+    diagnoses), this profile makes the filesystem misbehave underneath
+    a slice of the fleet: full disks (ENOSPC), flaky transient EIO,
+    torn atomic renames, and read corruption, built from the
+    :mod:`repro.faults.fs` injectors.  Fault path filters target each
+    victim tenant's ``ticks.wal`` and ``checkpoint.json`` specifically
+    — never ``health.log`` — so the health journal keeps recording the
+    degraded/re-promoted transitions the storage faults cause (the
+    invariant ``benchmarks/bench_storage_chaos.py`` asserts).
+    """
+
+    name: str
+    #: fraction of the fleet whose disk misbehaves at all.
+    tenant_fraction: float = 0.25
+    #: tenants whose disk fills (ENOSPC) after a few good writes.
+    full_disk_tenants: int = 1
+    #: tenants whose next checkpoint replace tears.
+    torn_rename_tenants: int = 1
+    #: tenants whose reads come back rotted.
+    read_corrupt_tenants: int = 1
+    #: per-op transient-EIO rate for the remaining faulted tenants.
+    flaky_rate: float = 0.05
+    #: fsync latency injection for flaky tenants (0 disables).
+    slow_fsync_s: float = 0.0
+    #: writes a full-disk tenant gets before the disk fills.
+    full_disk_after_writes: int = 24
+
+    def assign(self, tenants: Sequence[str], seed: int) -> Dict[str, List[str]]:
+        """Deterministically partition ``tenants`` into disk-fault roles.
+
+        Returns ``{"full_disk": [...], "torn": [...], "read_corrupt":
+        [...], "flaky": [...], "clean": [...]}`` — disjoint, covering
+        every tenant, identical for identical ``(tenants, seed)``.
+        """
+        names = list(tenants)
+        n_fault = int(round(len(names) * self.tenant_fraction))
+        n_fault = max(0, min(len(names), n_fault))
+        rng = np.random.default_rng(seed)
+        picked = sorted(
+            rng.choice(len(names), size=n_fault, replace=False).tolist()
+        )
+        faulted = [names[i] for i in picked]
+        roles: Dict[str, List[str]] = {
+            "full_disk": [],
+            "torn": [],
+            "read_corrupt": [],
+            "flaky": [],
+        }
+        quota = [
+            ("full_disk", self.full_disk_tenants),
+            ("torn", self.torn_rename_tenants),
+            ("read_corrupt", self.read_corrupt_tenants),
+        ]
+        rest = list(faulted)
+        for role, count in quota:
+            take = min(count, len(rest))
+            roles[role] = rest[:take]
+            rest = rest[take:]
+        roles["flaky"] = rest
+        faulted_set = set(faulted)
+        roles["clean"] = [n for n in names if n not in faulted_set]
+        return roles
+
+    def build(
+        self,
+        root_dir,
+        roles: Mapping[str, Sequence[str]],
+        seed: int,
+    ) -> List[FSFault]:
+        """Instantiate the storage faults for an assigned role partition.
+
+        ``root_dir`` is the fleet's durability root; each fault's path
+        filter lists the victim tenant's WAL directory and checkpoint
+        paths (current + previous generation + temp), leaving the
+        health journal untouched.
+        """
+        from pathlib import Path
+
+        root = Path(root_dir)
+
+        def targets(tenant: str) -> List[str]:
+            return [
+                str(root / tenant / "ticks.wal"),
+                str(root / tenant / "checkpoint.json"),
+            ]
+
+        faults: List[FSFault] = []
+        for tenant in roles.get("full_disk", ()):
+            faults.append(
+                FullDisk(
+                    path_filter=targets(tenant),
+                    after_writes=self.full_disk_after_writes,
+                )
+            )
+        for i, tenant in enumerate(roles.get("torn", ())):
+            faults.append(
+                TornRename(path_filter=targets(tenant), nth=3 + i)
+            )
+        for i, tenant in enumerate(roles.get("read_corrupt", ())):
+            faults.append(
+                ReadCorruption(
+                    mode="bitflip" if i % 2 == 0 else "truncate",
+                    rate=1.0,
+                    seed=seed * 31 + i,
+                    path_filter=targets(tenant),
+                )
+            )
+        for i, tenant in enumerate(roles.get("flaky", ())):
+            if self.flaky_rate:
+                faults.append(
+                    FlakyIO(
+                        rate=self.flaky_rate,
+                        seed=seed * 97 + i,
+                        path_filter=targets(tenant),
+                    )
+                )
+            if self.slow_fsync_s:
+                faults.append(
+                    SlowFsync(
+                        self.slow_fsync_s, path_filter=targets(tenant)
+                    )
+                )
+        return faults
+
+
+#: Storage chaos ladder.  ``thrash`` is the acceptance profile: a
+#: quarter of the fleet on misbehaving disks — one filling up, one
+#: tearing renames, one rotting reads, the rest flaky — all healable.
+STORAGE_PROFILES: Dict[str, StorageFaultProfile] = {
+    "scratch": StorageFaultProfile(
+        name="scratch",
+        tenant_fraction=0.1,
+        torn_rename_tenants=0,
+        read_corrupt_tenants=0,
+        flaky_rate=0.02,
+    ),
+    "thrash": StorageFaultProfile(name="thrash"),
+    "grind": StorageFaultProfile(
+        name="grind",
+        tenant_fraction=0.5,
+        full_disk_tenants=2,
+        torn_rename_tenants=2,
+        read_corrupt_tenants=2,
+        flaky_rate=0.1,
+        slow_fsync_s=0.001,
     ),
 }
 

@@ -23,7 +23,15 @@ so robustness can be measured instead of asserted:
                diagnosis worker, exercising the deadline tiers and the
                circuit breaker), and :class:`CorruptTenantState`
                (durable state rotting on disk, exercising partial
-               recovery).
+               recovery);
+``fs``         the storage-fault shim — :class:`~repro.faults.fs.StorageShim`
+               routing every persistence path's write/fsync/rename/read,
+               with :class:`~repro.faults.fs.FullDisk` (ENOSPC),
+               :class:`~repro.faults.fs.FlakyIO` (transient EIO),
+               :class:`~repro.faults.fs.TornRename`,
+               :class:`~repro.faults.fs.SlowFsync`, and
+               :class:`~repro.faults.fs.ReadCorruption` (bit flips /
+               truncated JSON) making the *filesystem itself* misbehave.
 
 Every injector is a no-op at rate 0 and fully determined by the plan's
 seed: applying the same plan to the same input twice yields bitwise
@@ -45,6 +53,18 @@ from repro.faults.injectors import (
     SpikeCorruption,
     StuckAtCounter,
 )
+from repro.faults.fs import (
+    FlakyIO,
+    FSFault,
+    FullDisk,
+    ReadCorruption,
+    SlowFsync,
+    StorageShim,
+    TornRename,
+    get_fs,
+    scoped_fs,
+    set_fs,
+)
 from repro.faults.plan import FaultPlan, TelemetryTable
 
 __all__ = [
@@ -55,12 +75,22 @@ __all__ = [
     "DiagnosisHang",
     "DropTicks",
     "DuplicateTicks",
+    "FSFault",
     "FaultInjector",
     "FaultPlan",
+    "FlakyIO",
+    "FullDisk",
     "LaneExceptionFault",
     "NaNValues",
+    "ReadCorruption",
     "SchemaDrift",
+    "SlowFsync",
     "SpikeCorruption",
+    "StorageShim",
     "StuckAtCounter",
     "TelemetryTable",
+    "TornRename",
+    "get_fs",
+    "scoped_fs",
+    "set_fs",
 ]

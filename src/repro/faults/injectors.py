@@ -604,17 +604,20 @@ class _DiagnosisHangProxy:
 class CorruptTenantState(FaultInjector):
     """Rot a tenant's durable state on disk.
 
-    ``mode`` picks the failure: ``"checkpoint"`` overwrites
-    ``checkpoint.json`` with non-JSON garbage (torn atomic replace),
-    ``"wal"`` appends a torn half-record to ``ticks.wal`` (the replay
-    path is torn-tail tolerant, so this alone is survivable — pair it
-    with ``"checkpoint"`` for a truly lost tenant), and ``"missing"``
-    deletes the tenant directory outright.  ``apply(root_dir)`` is the
-    whole interface: call it between fleet shutdown and
-    :meth:`~repro.fleet.scheduler.FleetScheduler.recover`.
+    ``mode`` picks the failure: ``"checkpoint"`` overwrites *every*
+    checkpoint generation with non-JSON garbage (the checkpoint store
+    keeps ``checkpoint.json`` plus a ``.1`` fallback, so a truly lost
+    tenant needs both rotted); ``"generation"`` rots only the newest
+    generation, exercising the verified fallback to the previous one;
+    ``"wal"`` appends a torn half-record to the active WAL segment (the
+    replay path is torn-tail tolerant, so this alone is survivable —
+    pair it with ``"checkpoint"`` for a truly lost tenant); and
+    ``"missing"`` deletes the tenant directory outright.
+    ``apply(root_dir)`` is the whole interface: call it between fleet
+    shutdown and :meth:`~repro.fleet.scheduler.FleetScheduler.recover`.
     """
 
-    MODES = ("checkpoint", "wal", "missing")
+    MODES = ("checkpoint", "generation", "wal", "missing")
 
     def __init__(self, tenants: Sequence[str], mode: str = "checkpoint") -> None:
         if mode not in self.MODES:
@@ -625,24 +628,38 @@ class CorruptTenantState(FaultInjector):
     def _params(self):
         return {"tenants": self.tenants, "mode": self.mode}
 
+    @staticmethod
+    def _active_wal_segment(tenant_dir: Path) -> Path:
+        wal_path = tenant_dir / "ticks.wal"
+        if wal_path.is_dir():
+            segments = sorted(wal_path.glob("seg-*.wal"))
+            if segments:
+                return segments[-1]
+            return wal_path / "seg-00000000.wal"
+        return wal_path  # legacy single-file log
+
     def apply(self, root_dir: Union[str, Path]) -> List[str]:
         """Corrupt each tenant's state under *root_dir*; returns hits."""
+        import shutil
+
         root = Path(root_dir)
+        garbage = '{"version": 1, "detector": {"version'
         corrupted: List[str] = []
         for tenant in self.tenants:
             tenant_dir = root / tenant
             if not tenant_dir.exists():
                 continue
             if self.mode == "missing":
-                for child in sorted(tenant_dir.iterdir()):
-                    child.unlink()
-                tenant_dir.rmdir()
+                shutil.rmtree(tenant_dir)
             elif self.mode == "checkpoint":
-                (tenant_dir / "checkpoint.json").write_text(
-                    '{"version": 1, "detector": {"version'
-                )
-            else:  # wal: torn trailing record
-                with (tenant_dir / "ticks.wal").open("a") as handle:
+                (tenant_dir / "checkpoint.json").write_text(garbage)
+                fallback = tenant_dir / "checkpoint.json.1"
+                if fallback.exists():
+                    fallback.write_text(garbage)
+            elif self.mode == "generation":
+                (tenant_dir / "checkpoint.json").write_text(garbage)
+            else:  # wal: torn trailing record in the active segment
+                with self._active_wal_segment(tenant_dir).open("a") as handle:
                     handle.write('{"t": 99999.0, "numeric": {"m0"')
             corrupted.append(tenant)
         return corrupted

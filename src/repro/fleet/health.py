@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.faults import fs as _fs
 from repro.obs import metrics
 
 __all__ = [
@@ -361,18 +362,29 @@ class HealthTracker:
     def _journal(self, tenant: str, record: Dict[str, object]) -> None:
         if self.root_dir is None or tenant not in self._durable:
             return
-        handle = self._journals.get(tenant)
-        if handle is None:
-            path = self.root_dir / tenant / self.JOURNAL_NAME
-            path.parent.mkdir(parents=True, exist_ok=True)
-            handle = path.open("a", encoding="utf-8")
-            self._journals[tenant] = handle
-        handle.write(json.dumps(record, sort_keys=True) + "\n")
-        handle.flush()
+        # A sick disk must never turn a health transition into an
+        # exception — the in-memory state is authoritative; a journal
+        # write that fails is counted and dropped.
+        try:
+            handle = self._journals.get(tenant)
+            if handle is None:
+                path = self.root_dir / tenant / self.JOURNAL_NAME
+                path.parent.mkdir(parents=True, exist_ok=True)
+                handle = path.open("a", encoding="utf-8")
+                self._journals[tenant] = handle
+            _fs.get_fs().write(
+                handle, json.dumps(record, sort_keys=True) + "\n"
+            )
+            handle.flush()
+        except OSError:
+            _fs.count_write_error()
 
     def close(self) -> None:
         for handle in self._journals.values():
-            handle.close()  # type: ignore[union-attr]
+            try:
+                handle.close()  # type: ignore[union-attr]
+            except OSError:
+                _fs.count_write_error()
         self._journals.clear()
 
 

@@ -74,7 +74,12 @@ from repro.data.regions import Region, RegionSpec
 from repro.fleet.engine import FleetDetector, FleetTick
 from repro.fleet.health import HealthTracker, RecoveryReport, TenantRecovery
 from repro.obs import metrics
-from repro.stream.wal import CheckpointStore, TickWAL
+from repro.stream.durability import TenantDurability
+from repro.stream.wal import (
+    DEFAULT_SEGMENT_BYTES,
+    CheckpointStore,
+    TickWAL,
+)
 
 __all__ = ["FleetScheduler", "SchedulerReport", "SHED_POLICIES"]
 
@@ -135,6 +140,15 @@ _DEADLINE_MISSES = metrics.REGISTRY.counter(
 _DEGRADED_RANKINGS = metrics.REGISTRY.counter(
     "repro_fleet_degraded_rankings_total",
     "Soft-deadline fallbacks served as cached-models-only rankings",
+)
+_WAL_BYTES = metrics.REGISTRY.gauge(
+    "repro_fleet_wal_bytes",
+    "Retained WAL bytes per durable tenant (poisoned lanes included)",
+    labelnames=("tenant",),
+)
+_WAL_BYTES_TOTAL = metrics.REGISTRY.gauge(
+    "repro_fleet_wal_bytes_total",
+    "Retained WAL bytes summed across all durable tenants",
 )
 
 
@@ -336,6 +350,20 @@ class FleetScheduler:
     breaker_threshold / breaker_cooldown_rounds:
         Per-tenant circuit breaker: consecutive terminal failures to
         open, and scheduler rounds before a half-open probe.
+    wal_segment_bytes / max_wal_bytes_per_tenant:
+        WAL segment size and the per-tenant retained-bytes cap applied
+        at every checkpoint via whole-segment compaction — this is what
+        bounds a poisoned lane's kept-for-replay log.
+    storage_retries / storage_backoff_s / storage_probe_every /
+    max_volatile_ticks:
+        Per-tenant durability policy (see
+        :class:`~repro.stream.durability.TenantDurability`): transient
+        I/O errors retry with bounded backoff; exhaustion drops the
+        tenant into degraded in-memory persistence (acknowledged but
+        volatile, bounded buffer) with automatic re-promotion when a
+        probe finds the disk healed.  Degrade/re-promote transitions
+        surface through :class:`HealthTracker` with ``storage:``
+        reasons and the durability column of ``fleet status``.
     """
 
     def __init__(
@@ -359,6 +387,12 @@ class FleetScheduler:
         max_backoff_s: float = 2.0,
         breaker_threshold: int = 3,
         breaker_cooldown_rounds: int = 8,
+        wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        max_wal_bytes_per_tenant: int = 8 * 1024 * 1024,
+        storage_retries: int = 2,
+        storage_backoff_s: float = 0.01,
+        storage_probe_every: int = 8,
+        max_volatile_ticks: int = 4096,
     ) -> None:
         if shed_policy not in SHED_POLICIES:
             raise ValueError(
@@ -404,14 +438,29 @@ class FleetScheduler:
             raise ValueError("durable tenants need a root_dir")
         self.root_dir = Path(root_dir) if root_dir is not None else None
         self._durable: Set[str] = set(durable)
+        self.max_wal_bytes_per_tenant = int(max_wal_bytes_per_tenant)
         self._wals: Dict[str, TickWAL] = {}
         self._ckpts: Dict[str, CheckpointStore] = {}
+        self._durability: Dict[str, TenantDurability] = {}
         for name in durable:
             tenant_dir = self.root_dir / name  # type: ignore[operator]
             self._wals[name] = TickWAL(
-                tenant_dir / "ticks.wal", fsync_every=fsync_every
+                tenant_dir / "ticks.wal",
+                fsync_every=fsync_every,
+                segment_bytes=wal_segment_bytes,
             )
             self._ckpts[name] = CheckpointStore(tenant_dir / "checkpoint.json")
+            self._durability[name] = TenantDurability(
+                name,
+                self._wals[name],
+                self._ckpts[name],
+                max_retries=storage_retries,
+                backoff_s=storage_backoff_s,
+                probe_every=storage_probe_every,
+                max_volatile_ticks=max_volatile_ticks,
+                on_transition=self._make_durability_callback(name),
+                label_metrics=label_metrics,
+            )
         self._pool = ThreadPoolExecutor(
             max_workers=int(diagnose_jobs),
             thread_name_prefix="fleet-diagnose",
@@ -456,6 +505,46 @@ class FleetScheduler:
         self.recovery_report: Optional[RecoveryReport] = None
 
     # ------------------------------------------------------------------
+    def _make_durability_callback(self, tenant: str):
+        """Health-journal hook for one tenant's durability transitions.
+
+        Storage-degraded is deliberately conservative about the health
+        ladder: it only moves a *healthy* tenant to ``degraded`` (a
+        quarantined or ejected tenant already lost more service than
+        volatile persistence costs), and re-promotion only restores
+        ``healthy`` when the degradation it is undoing was storage's —
+        it must not mask a diagnosis-deadline degradation.
+        """
+
+        def on_transition(mode: str, reason: str) -> None:
+            round_no = self.report.rounds
+            if mode == "degraded":
+                if self.health.state(tenant) == "healthy":
+                    self.health.set_state(
+                        tenant,
+                        "degraded",
+                        reason=f"storage: {reason}",
+                        round_no=round_no,
+                    )
+            else:
+                if self.health.state(tenant) == "degraded" and self.health.reason(
+                    tenant
+                ).startswith("storage:"):
+                    self.health.set_state(
+                        tenant,
+                        "healthy",
+                        reason="storage: disk healed",
+                        round_no=round_no,
+                    )
+
+        return on_transition
+
+    def durability_mode(self, tenant: str) -> Optional[str]:
+        """``"durable"`` / ``"degraded"``, or None for volatile tenants."""
+        managed = self._durability.get(tenant)
+        return managed.mode if managed is not None else None
+
+    # ------------------------------------------------------------------
     def run_round(
         self,
         times: np.ndarray,
@@ -475,7 +564,7 @@ class FleetScheduler:
         for name in self._durable:
             s = self._stream_of[name]
             if present[s]:
-                self._wals[name].append(
+                self._durability[name].append(
                     float(times[s]),
                     {a: float(values[s, j]) for j, a in enumerate(attrs)},
                     {},
@@ -1027,16 +1116,22 @@ class FleetScheduler:
     # Durability
     # ------------------------------------------------------------------
     def checkpoint(self) -> None:
-        """Durably checkpoint every durable tenant and truncate its WAL.
+        """Durably checkpoint every durable tenant and retire old WAL.
 
-        A poisoned lane checkpoints its frozen last-good state but
-        keeps its WAL: rows offered since the poison were skipped by
-        the engine, and truncating would lose them for the replay that
-        happens when the tenant is readmitted or recovered.
+        A saved checkpoint advances the WAL's retention mark —
+        segments older than the *previous* checkpoint generation are
+        deleted (generation fallback still finds its replay ticks).  A
+        poisoned lane keeps all segments instead: rows offered since
+        the poison were skipped by the engine, and dropping them would
+        lose the replay that happens when the tenant is readmitted or
+        recovered.  Both cases are then bounded by whole-segment
+        compaction to ``max_wal_bytes_per_tenant``.  A degraded tenant
+        declines to checkpoint (its recent ticks are volatile), so its
+        retention mark never advances past data that is not on disk.
         """
         for name in sorted(self._durable):
             s = self._stream_of[name]
-            self._ckpts[name].save(
+            saved = self._durability[name].save_checkpoint(
                 {
                     "version": 1,
                     "detector": self.detector.stream_checkpoint(s),
@@ -1047,10 +1142,37 @@ class FleetScheduler:
                     ),
                 }
             )
-            if not bool(self.detector.poisoned[s]):
-                self._wals[name].truncate()
-            self.report.checkpoints += 1
-            _SCHED_CHECKPOINTS.inc()
+            if saved:
+                self._durability[name].retire_wal(
+                    mark=not bool(self.detector.poisoned[s]),
+                    max_bytes=self.max_wal_bytes_per_tenant,
+                )
+                self.report.checkpoints += 1
+                _SCHED_CHECKPOINTS.inc()
+        self._export_wal_bytes()
+
+    def _export_wal_bytes(self) -> None:
+        """Publish retained WAL bytes (per tenant + fleet total)."""
+        total = 0
+        for name, wal in self._wals.items():
+            try:
+                retained = wal.bytes_retained()
+            except OSError:
+                continue
+            total += retained
+            if self.label_metrics:
+                _WAL_BYTES.labels(tenant=name).set(retained)
+        _WAL_BYTES_TOTAL.set(total)
+
+    def wal_bytes(self) -> Dict[str, int]:
+        """Retained WAL bytes per durable tenant (for reports/tests)."""
+        out: Dict[str, int] = {}
+        for name, wal in self._wals.items():
+            try:
+                out[name] = wal.bytes_retained()
+            except OSError:
+                out[name] = -1
+        return out
 
     def readmit(self, tenant: str) -> None:
         """Clear a tenant's lane poison and restore it to full service.
@@ -1253,11 +1375,21 @@ class FleetScheduler:
         }
 
     def close(self) -> None:
-        """Drain diagnosis, stop the pool, close WAL handles."""
+        """Drain diagnosis, stop the pool, close WAL handles.
+
+        Degraded tenants get one final probe: if the disk healed, their
+        volatile buffers drain to the WAL before the handles close.
+        """
         self.drain()
         self._pool.shutdown(wait=True)
+        for managed in self._durability.values():
+            managed.flush_volatile()
+        self._export_wal_bytes()
         for wal in self._wals.values():
-            wal.close()
+            try:
+                wal.close()
+            except OSError:
+                pass
         self.health.close()
 
     def __enter__(self) -> "FleetScheduler":

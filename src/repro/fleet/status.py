@@ -27,11 +27,14 @@ _TENANT_FAMILIES = {
     "repro_fleet_tenant_tick_seconds": "tick",
     "repro_fleet_tenant_health": "health",
     "repro_fleet_breaker_state": "breaker",
+    "repro_fleet_tenant_durability": "durability",
 }
 
 #: Gauge codes published by :mod:`repro.fleet.health`.
 _HEALTH_NAMES = {0: "healthy", 1: "degraded", 2: "quarantined", 3: "ejected"}
 _BREAKER_NAMES = {0: "closed", 1: "half-open", 2: "open"}
+#: Gauge codes published by :mod:`repro.stream.durability`.
+_DURABILITY_NAMES = {0: "durable", 1: "degraded"}
 
 _FLEET_COUNTERS = (
     ("repro_fleet_rounds_total", "rounds"),
@@ -51,6 +54,17 @@ _CONTAINMENT_COUNTERS = (
     ("repro_fleet_degraded_rankings_total", "degraded rankings"),
     ("repro_fleet_breaker_opens_total", "breaker opens"),
     ("repro_fleet_breaker_readmits_total", "breaker readmits"),
+)
+
+#: Storage-durability counters, shown on their own line when nonzero.
+_STORAGE_COUNTERS = (
+    ("repro_storage_write_errors_total", "write errors"),
+    ("repro_storage_read_errors_total", "read errors"),
+    ("repro_storage_retries_total", "io retries"),
+    ("repro_storage_degraded_transitions_total", "degraded"),
+    ("repro_storage_repromotions_total", "re-promoted"),
+    ("repro_storage_wal_corrupt_records_total", "wal corrupt"),
+    ("repro_storage_checkpoint_fallbacks_total", "ckpt fallbacks"),
 )
 
 
@@ -168,6 +182,21 @@ def render_fleet_status(
     if containment:
         lines.append("  " + "   ".join(containment))
 
+    # Storage durability: I/O errors, degraded tenants, WAL pressure.
+    storage = []
+    for name, label in _STORAGE_COUNTERS:
+        entry = snapshot.get(name)
+        if entry is not None and int(entry.get("value", 0)) > 0:
+            storage.append(f"{label} {int(entry['value'])}")  # type: ignore[arg-type]
+    degraded_now = snapshot.get("repro_storage_degraded_tenants")
+    if degraded_now is not None and int(degraded_now.get("value", 0)) > 0:
+        storage.append(f"degraded now {int(degraded_now['value'])}")  # type: ignore[arg-type]
+    wal_bytes = snapshot.get("repro_fleet_wal_bytes_total")
+    if wal_bytes is not None and int(wal_bytes.get("value", 0)) > 0:
+        storage.append(f"wal bytes {int(wal_bytes['value'])}")  # type: ignore[arg-type]
+    if storage:
+        lines.append("  storage: " + "   ".join(storage))
+
     # Group per-tenant families by tenant label.
     tenants: Dict[str, Dict[str, object]] = {}
     for name, entry in snapshot.items():
@@ -197,7 +226,8 @@ def render_fleet_status(
 
     lines.append("")
     header = (
-        f"  {'tenant':<12} {'health':<12} {'breaker':<9} {'lag':>5} "
+        f"  {'tenant':<12} {'health':<12} {'breaker':<9} {'durable':<9} "
+        f"{'lag':>5} "
         f"{'shed':>5} {'normal':>8} {'abnormal':>9} {'p99 tick (us)':>14}"
     )
     lines.append(header)
@@ -229,8 +259,13 @@ def render_fleet_status(
         )
         health = _HEALTH_NAMES.get(int(row.get("health", 0)), "?")  # type: ignore[arg-type]
         breaker = _BREAKER_NAMES.get(int(row.get("breaker", 0)), "?")  # type: ignore[arg-type]
+        durability = (
+            _DURABILITY_NAMES.get(int(row["durability"]), "?")  # type: ignore[arg-type]
+            if "durability" in row
+            else "-"
+        )
         lines.append(
-            f"  {tenant:<12} {health:<12} {breaker:<9} "
+            f"  {tenant:<12} {health:<12} {breaker:<9} {durability:<9} "
             f"{int(row.get('lag', 0)):>5} "  # type: ignore[arg-type]
             f"{int(row.get('shed', 0)):>5} {normal:>8} {abnormal:>9} "  # type: ignore[arg-type]
             f"{p99:>14}"

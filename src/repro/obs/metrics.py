@@ -35,6 +35,23 @@ and ``repro_fleet_breaker_state{tenant=…}`` /
 ``…_breaker_opens_total`` / ``…_breaker_readmits_total`` (per-tenant
 circuit breakers).  ``repro-sherlock fleet status`` renders all of them
 from one :meth:`snapshot`.
+
+The storage-durability layer (:mod:`repro.faults.fs`,
+:mod:`repro.stream.durability`) publishes the ``repro_storage_*``
+family: ``repro_storage_write_errors_total`` /
+``…_read_errors_total`` (I/O failures and corrupt payloads observed by
+persistence paths), ``…_faults_injected_total{kind=…}`` (shim faults
+fired), ``…_retries_total`` (transient errors absorbed by backoff),
+``…_degraded_transitions_total`` / ``…_repromotions_total`` /
+``repro_storage_degraded_tenants`` (the degraded in-memory persistence
+mode), ``…_volatile_ticks_total`` / ``…_volatile_dropped_total`` (the
+acknowledged-but-volatile buffer), ``…_wal_corrupt_records_total``
+(CRC-failed records skipped by WAL replay),
+``…_checkpoint_fallbacks_total`` (generation fallbacks), plus the WAL
+pressure gauges ``repro_fleet_wal_bytes{tenant=…}`` /
+``repro_fleet_wal_bytes_total`` and the per-tenant
+``repro_fleet_tenant_durability{tenant=…}`` mode gauge behind the
+durability column of ``fleet status``.
 """
 
 from __future__ import annotations

@@ -19,12 +19,17 @@ diagnostic knowledge.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Union
 
+from repro.faults import fs as _fs
+
 __all__ = ["AliasStore"]
+
+logger = logging.getLogger(__name__)
 
 SCHEMA_VERSION = 1
 
@@ -91,8 +96,7 @@ class AliasStore:
         """Re-read the backing file (no-op for in-memory stores)."""
         if self.path is None:
             return
-        with self.path.open("r") as fh:
-            payload = json.load(fh)
+        payload = json.loads(_fs.get_fs().read_text(self.path))
         version = payload.get("version")
         if version != SCHEMA_VERSION:
             raise ValueError(
@@ -106,28 +110,49 @@ class AliasStore:
             str(k): float(v) for k, v in payload.get("scores", {}).items()
         }
 
-    def save(self) -> None:
-        """Atomically persist the table (no-op for in-memory stores)."""
+    def save(self) -> bool:
+        """Atomically persist the table; True when it durably landed.
+
+        An I/O failure is *non-fatal*: confirmed aliases live on in
+        memory (a later save retries the whole table), the failure is
+        counted in ``repro_storage_write_errors_total``, and a warning
+        is logged — ``save`` is called mid-diagnosis by the reconciler,
+        where a sick disk must not abort the diagnosis itself.
+        """
         if self.path is None:
-            return
+            return True
         payload = {
             "version": SCHEMA_VERSION,
             "aliases": self.aliases,
             "scores": self.scores,
         }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
-        )
+        fsio = _fs.get_fs()
+        tmp = None
         try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.path.parent),
+                prefix=self.path.name,
+                suffix=".tmp",
+            )
             with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh, indent=2, sort_keys=True)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, self.path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                fsio.write(fh, json.dumps(payload, indent=2, sort_keys=True))
+                fsio.fsync(fh)
+            fsio.replace(tmp, self.path)
+            return True
+        except OSError as exc:
+            _fs.count_write_error()
+            logger.warning(
+                "alias table save to %s failed (%s); %d confirmed aliases "
+                "retained in memory only",
+                self.path,
+                exc,
+                len(self.aliases),
+            )
+            return False
+        finally:
+            if tmp is not None and os.path.exists(tmp):
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass

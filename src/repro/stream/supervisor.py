@@ -279,7 +279,12 @@ class StreamSupervisor:
                                             "processed_until": processed_until,
                                         }
                                     )
-                                    wal.truncate()
+                                    # retain segments back to the
+                                    # previous checkpoint generation so
+                                    # a fallback load still finds its
+                                    # replay ticks (replay filters by
+                                    # processed_until either way)
+                                    wal.mark_checkpoint()
                                 _SUP_CHECKPOINT_SECONDS.observe(
                                     _time.perf_counter() - t0
                                 )

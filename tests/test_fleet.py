@@ -458,10 +458,11 @@ class TestFleetStatus:
         lines = [l for l in text.splitlines() if l.strip().startswith("t1")]
         assert len(lines) == 1
         fields = lines[0].split()
-        # columns: tenant  health  breaker  lag  shed  normal  abnormal
+        # columns: tenant  health  breaker  durable  lag  shed  normal  abnormal
         assert fields[1] == "healthy" and fields[2] == "closed"
-        assert fields[3] == "3"  # lag
-        assert fields[5] == "5" and fields[6] == "2"  # normal, abnormal
+        assert fields[3] == "-"  # durability: not a durable tenant
+        assert fields[4] == "3"  # lag
+        assert fields[6] == "5" and fields[7] == "2"  # normal, abnormal
 
     def test_empty_snapshot_degrades_gracefully(self):
         text = render_fleet_status({})

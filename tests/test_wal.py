@@ -7,8 +7,6 @@ detector, and the source is never asked to re-deliver a tick —
 an uninterrupted run.
 """
 
-import json
-
 import numpy as np
 import pytest
 
@@ -64,20 +62,27 @@ class TestTickWAL:
             wal.append(0.0, {"a": 1.0}, {})
             wal.append(1.0, {"a": 2.0}, {})
         # crash mid-append: a final record cut off without its newline
-        with open(path, "a") as fh:
+        active = sorted(path.glob("seg-*.wal"))[-1]
+        with open(active, "a") as fh:
             fh.write('[2.0, {"a": 3.')
         reopened = TickWAL(path)
-        assert [t for t, _, _ in reopened.replay()] == [0.0, 1.0]
+        ticks, report = reopened.replay_report()
+        assert [t for t, _, _ in ticks] == [0.0, 1.0]
+        assert report.torn_tail
+        assert report.corrupt_records == 0
         reopened.close()
 
     def test_torn_record_with_newline_is_skipped(self, tmp_path):
         path = tmp_path / "ticks.wal"
         with TickWAL(path) as wal:
             wal.append(0.0, {"a": 1.0}, {})
-        with open(path, "a") as fh:
+        active = sorted(path.glob("seg-*.wal"))[-1]
+        with open(active, "a") as fh:
             fh.write('[1.0, {"a": \n')
         reopened = TickWAL(path)
-        assert [t for t, _, _ in reopened.replay()] == [0.0]
+        ticks, report = reopened.replay_report()
+        assert [t for t, _, _ in ticks] == [0.0]
+        assert report.corrupt_records == 1
         reopened.close()
 
     def test_truncate_clears_the_log(self, tmp_path):
@@ -120,8 +125,17 @@ class TestCheckpointStore:
         store = CheckpointStore(path)
         store.save({"generation": 1})
         store.save({"generation": 2})
-        assert json.loads(path.read_text()) == {"generation": 2}
+        assert store.load() == {"generation": 2}
         assert not path.with_suffix(".json.tmp").exists()
+
+    def test_previous_generation_survives_save(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt.json")
+        store.save({"generation": 1})
+        store.save({"generation": 2})
+        assert store.previous_path.exists()
+        # rot the newest generation: load falls back to the previous
+        store.path.write_text('{"crc32": 0, "state": {"generation": 9}}')
+        assert store.load() == {"generation": 1}
 
 
 # ---------------------------------------------------------------------------
@@ -233,7 +247,7 @@ class TestSupervisorWithWAL:
             recovered.window.timestamps, baseline.window.timestamps
         )
 
-    def test_wal_truncated_after_checkpoint(self, tmp_path):
+    def test_wal_retained_after_checkpoint(self, tmp_path):
         rows = scenario_rows(25)
         supervisor = StreamSupervisor(
             make_detector(),
@@ -243,10 +257,18 @@ class TestSupervisorWithWAL:
             wal_dir=tmp_path,
         )
         supervisor.run()
-        # 25 ticks, checkpoints at 10 and 20 truncate; 5 ticks remain
+        # 25 ticks, checkpoints at 10 and 20: segments older than the
+        # *previous* checkpoint mark are retired, so ticks 11-25 stay on
+        # disk (generation-fallback replay needs 11-20) ...
         leftover = TickWAL(tmp_path / "ticks.wal")
-        assert len(leftover.replay()) == 5
+        raw = leftover.replay()
+        assert len(raw) == 15
         leftover.close()
+        # ... but only the 5 post-checkpoint ticks are *effective*:
+        # replay filters by the stored processed_until watermark
+        stored = CheckpointStore(tmp_path / "checkpoint.json").load()
+        until = float(stored["processed_until"])
+        assert sum(1 for t, _, _ in raw if t > until) == 5
 
     def test_no_wal_dir_keeps_legacy_behaviour(self):
         rows = scenario_rows(30)
