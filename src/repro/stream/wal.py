@@ -42,6 +42,7 @@ strictly after the last logged tick: zero ticks re-processed.
 from __future__ import annotations
 
 import json
+import os
 import re
 import zlib
 from dataclasses import dataclass, field
@@ -151,12 +152,22 @@ class TickWAL:
         self.appended = 0
         #: appends known to have reached disk (fsynced) this lifetime.
         self.durable_appended = 0
-        #: segment indices recorded by :meth:`mark_checkpoint` (≤ 2).
-        self._marks: List[int] = []
+        #: True when opening found (and truncated away) an unterminated
+        #: final line left by a crash mid-append; surfaced as
+        #: ``torn_tail`` by :meth:`replay_report`.
+        self._sealed_torn_tail = False
         self._migrate_legacy_file()
         self.path.mkdir(parents=True, exist_ok=True)
         existing = self.segments()
         self._seg_index = _segment_index(existing[-1]) if existing else 0
+        #: segment indices recorded by :meth:`mark_checkpoint` (≤ 2),
+        #: seeded with the oldest on-disk segment so the *first* mark of
+        #: this handle's lifetime never deletes anything: after a
+        #: restart the surviving previous checkpoint generation may
+        #: still need those segments for replay.
+        self._marks: List[int] = (
+            [_segment_index(existing[0])] if existing else [0]
+        )
         self._open_segment()
 
     # ------------------------------------------------------------------
@@ -165,20 +176,55 @@ class TickWAL:
         return self._fs if self._fs is not None else _fs.get_fs()
 
     def _migrate_legacy_file(self) -> None:
-        """Turn a pre-segmentation single-file log into segment 0."""
-        if not self.path.is_file():
-            return
+        """Turn a pre-segmentation single-file log into segment 0.
+
+        The two renames are not atomic together: a crash between them
+        parks the entire pre-migration log at ``<name>.legacy-migrate``.
+        Startup therefore also adopts such an orphan, completing the
+        interrupted migration instead of silently abandoning it.
+        """
         legacy = self.path.with_name(self.path.name + ".legacy-migrate")
-        self.path.rename(legacy)
-        self.path.mkdir(parents=True, exist_ok=True)
-        legacy.rename(self.path / _segment_name(0))
+        if self.path.is_file():
+            self.path.rename(legacy)
+        if legacy.is_file():
+            self.path.mkdir(parents=True, exist_ok=True)
+            target = self.path / _segment_name(0)
+            if not target.exists():
+                legacy.rename(target)
 
     def _open_segment(self) -> None:
         seg = self.path / _segment_name(self._seg_index)
+        self._seal_torn_tail(seg)
         self._fh = open(seg, "a", encoding="utf-8")
         self._seg_written = seg.stat().st_size
         #: bytes of the active segment known to be on disk.
         self._durable_offset = self._seg_written
+
+    def _seal_torn_tail(self, seg: Path) -> None:
+        """Truncate an unterminated final line before appending to *seg*.
+
+        A crash mid-append leaves a partial record with no newline.  Its
+        tick was never acknowledged (the write did not complete), so the
+        bytes carry no durability promise — but appending *after* them
+        would merge the torn tail with the next record into one line
+        whose CRC fails, silently losing that later, acknowledged tick
+        on replay.  Sealing uses the real ``os`` primitives, not the
+        fault shim: this is a structural repair of byte offsets, and an
+        injected read corruption must not misplace the cut.
+        """
+        try:
+            with open(seg, "rb") as fh:
+                data = fh.read()
+        except FileNotFoundError:
+            return
+        if not data or data.endswith(b"\n"):
+            return
+        keep = data.rfind(b"\n") + 1  # 0 when the whole file is torn
+        with open(seg, "r+b") as fh:
+            fh.truncate(keep)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._sealed_torn_tail = True
 
     def segments(self) -> List[Path]:
         """All segment files on disk, oldest first."""
@@ -268,6 +314,8 @@ class TickWAL:
                 pass
         ticks: List[RawTick] = []
         report = WALReplayReport()
+        # a tail sealed (truncated) at open is still a crash signature
+        report.torn_tail = self._sealed_torn_tail
         segs = self.segments()
         report.segments = len(segs)
         for seg_pos, seg in enumerate(segs):
@@ -337,9 +385,10 @@ class TickWAL:
             self._fh.close()
         for seg in self.segments():
             seg.unlink()
-        self._marks.clear()
         self._seg_index += 1
+        self._marks = [self._seg_index]
         self._pending = 0
+        self._sealed_torn_tail = False
         self._open_segment()
 
     def mark_checkpoint(self) -> None:
@@ -349,8 +398,13 @@ class TickWAL:
         keeps segments back to the *previous* checkpoint mark: if the
         newest checkpoint generation is later found corrupt and load
         falls back a generation, the ticks processed since that older
-        checkpoint are still on disk for replay.  Only with two marks
-        recorded does anything get deleted.
+        checkpoint are still on disk for replay.  The mark list is
+        seeded at open with the oldest on-disk segment, so the first
+        mark of a handle's lifetime deletes nothing — after a restart
+        the previous mark is unknown (it lived in the dead process's
+        memory), and the surviving older checkpoint generation may
+        still need every retained segment.  Deletion starts only from
+        the second mark recorded by *this* handle.
         """
         if self._seg_written > 0:
             self._rotate()

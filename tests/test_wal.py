@@ -85,6 +85,88 @@ class TestTickWAL:
         assert report.corrupt_records == 1
         reopened.close()
 
+    def test_append_after_torn_tail_does_not_merge_records(self, tmp_path):
+        """Crash → recover → append → crash: opening seals the torn
+        tail, so the post-recovery append starts a fresh line instead
+        of merging with the torn bytes into one CRC-failing record."""
+        path = tmp_path / "ticks.wal"
+        with TickWAL(path, fsync_every=1) as wal:
+            wal.append(0.0, {"a": 1.0}, {})
+        active = sorted(path.glob("seg-*.wal"))[-1]
+        with open(active, "a") as fh:
+            fh.write('deadbeef [1.0, {"a": 2.')  # crash mid-append
+        recovered = TickWAL(path, fsync_every=1)
+        recovered.append(2.0, {"a": 3.0}, {})  # fsynced: acked-durable
+        recovered.close()
+        reader = TickWAL(path)
+        ticks, report = reader.replay_report()
+        reader.close()
+        assert [t for t, _, _ in ticks] == [0.0, 2.0]
+        assert report.corrupt_records == 0
+
+    def test_sealed_torn_tail_still_reported(self, tmp_path):
+        """The seal truncates the torn bytes but replay still reports
+        the crash signature (and the clean prefix survives on disk)."""
+        path = tmp_path / "ticks.wal"
+        with TickWAL(path) as wal:
+            wal.append(0.0, {"a": 1.0}, {})
+        active = sorted(path.glob("seg-*.wal"))[-1]
+        with open(active, "a") as fh:
+            fh.write('[1.0, {"a": 2.')
+        reopened = TickWAL(path)
+        ticks, report = reopened.replay_report()
+        reopened.close()
+        assert [t for t, _, _ in ticks] == [0.0]
+        assert report.torn_tail
+        assert report.corrupt_records == 0
+        assert active.read_bytes().endswith(b"\n")  # tail gone from disk
+
+    def test_first_checkpoint_mark_deletes_nothing(self, tmp_path):
+        """A single mark must not retire pre-checkpoint segments: the
+        floor only advances from the second mark of a handle's life."""
+        path = tmp_path / "ticks.wal"
+        wal = TickWAL(path, fsync_every=1)
+        wal.append(0.0, {"a": 1.0}, {})
+        wal.mark_checkpoint()
+        assert [t for t, _, _ in wal.replay()] == [0.0]
+        wal.append(1.0, {"a": 2.0}, {})
+        wal.mark_checkpoint()  # second mark: now pre-first-mark goes
+        assert [t for t, _, _ in wal.replay()] == [1.0]
+        wal.close()
+
+    def test_first_checkpoint_after_reopen_retains_fallback_segments(
+        self, tmp_path
+    ):
+        """Marks do not survive the process: after a restart the first
+        mark must keep every on-disk segment, because the surviving
+        previous checkpoint generation may still need them."""
+        path = tmp_path / "ticks.wal"
+        with TickWAL(path, fsync_every=1) as wal:
+            wal.append(0.0, {"a": 1.0}, {})
+            wal.mark_checkpoint()
+            wal.append(1.0, {"a": 2.0}, {})
+        reopened = TickWAL(path, fsync_every=1)
+        reopened.mark_checkpoint()  # first mark of this lifetime
+        assert [t for t, _, _ in reopened.replay()] == [0.0, 1.0]
+        reopened.append(2.0, {"a": 3.0}, {})
+        reopened.mark_checkpoint()  # second mark: retention resumes
+        assert [t for t, _, _ in reopened.replay()] == [2.0]
+        reopened.close()
+
+    def test_interrupted_legacy_migration_is_completed(self, tmp_path):
+        """A crash between the migration's two renames parks the legacy
+        log at '<name>.legacy-migrate'; the next open adopts it as
+        segment 0 instead of abandoning it."""
+        path = tmp_path / "ticks.wal"
+        orphan = tmp_path / "ticks.wal.legacy-migrate"
+        orphan.write_text('[0.0, {"a": 1.0}, {}]\n')
+        wal = TickWAL(path)
+        assert wal.replay() == [(0.0, {"a": 1.0}, {})]
+        assert not orphan.exists()
+        wal.append(1.0, {"a": 2.0}, {})
+        assert [t for t, _, _ in wal.replay()] == [0.0, 1.0]
+        wal.close()
+
     def test_truncate_clears_the_log(self, tmp_path):
         wal = TickWAL(tmp_path / "ticks.wal")
         wal.append(0.0, {"a": 1.0}, {})
