@@ -94,6 +94,34 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.add_argument("--metrics", default=None,
                             help="metrics snapshot JSON (optional)")
     obs_report.add_argument("--max-spans", type=int, default=40)
+    obs_incidents = obs_sub.add_parser(
+        "incidents", help="list, inspect, and diagnose incident bundles"
+    )
+    inc_sub = obs_incidents.add_subparsers(
+        dest="incidents_command", required=True
+    )
+    inc_list = inc_sub.add_parser(
+        "list", help="incident bundles under a fleet root"
+    )
+    inc_list.add_argument(
+        "--root", default=".",
+        help="fleet root or incidents/ directory (default: cwd)",
+    )
+    inc_show = inc_sub.add_parser(
+        "show", help="one bundle's manifest, spans, and health tail"
+    )
+    inc_show.add_argument("bundle", help="bundle directory path")
+    inc_explain = inc_sub.add_parser(
+        "explain",
+        help="diagnose a bundle from its retained metric timeline",
+    )
+    inc_explain.add_argument("bundle", help="bundle directory path")
+    inc_explain.add_argument(
+        "--models", default=None,
+        help="saved causal models (see DBSherlock.save_models) for "
+        "cause ranking",
+    )
+    inc_explain.add_argument("--theta", type=float, default=0.2)
 
     fleet = sub.add_parser(
         "fleet", help="multi-tenant fleet engine operations"
@@ -108,6 +136,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="metrics snapshot JSON (default: this process's registry)",
     )
     fleet_status.add_argument("--max-tenants", type=int, default=40)
+    fleet_status.add_argument(
+        "--json", action="store_true",
+        help="emit the full status as machine-readable JSON",
+    )
     return parser
 
 
@@ -202,6 +234,12 @@ def _cmd_causes(args, out) -> int:
 
 
 def _cmd_obs(args, out) -> int:
+    if args.obs_command == "incidents":
+        return _cmd_obs_incidents(args, out)
+    return _cmd_obs_report(args, out)
+
+
+def _cmd_obs_report(args, out) -> int:
     import json
 
     from repro.obs.report import render_report
@@ -221,10 +259,97 @@ def _cmd_obs(args, out) -> int:
     return 0
 
 
+def _cmd_obs_incidents(args, out) -> int:
+    from repro.obs.incident import explain_bundle, list_bundles, load_bundle
+
+    if args.incidents_command == "list":
+        bundles = list_bundles(args.root)
+        if not bundles:
+            print(f"no incident bundles under {args.root}", file=out)
+            return 1
+        for bundle in bundles:
+            manifest = load_bundle(bundle)["manifest"]
+            print(
+                f"{bundle}  tenant={manifest.get('tenant')} "
+                f"round={manifest.get('round')} "
+                f"reason={manifest.get('reason')!r}",
+                file=out,
+            )
+        return 0
+
+    if args.incidents_command == "show":
+        bundle = load_bundle(args.bundle)
+        manifest = bundle["manifest"]
+        print(f"incident bundle {bundle['path']}", file=out)
+        for key in ("tenant", "reason", "round", "seq", "version"):
+            print(f"  {key}: {manifest.get(key)}", file=out)
+        context = manifest.get("context") or {}
+        for key in sorted(context):
+            print(f"  context.{key}: {context[key]}", file=out)
+        print(f"  window: {manifest.get('window')}", file=out)
+        print(
+            f"  retained: {manifest.get('spans')} spans, "
+            f"{manifest.get('timeline_samples')} timeline samples, "
+            f"{len(bundle['health'])} health records",
+            file=out,
+        )
+        for tick in manifest.get("kept_ticks") or []:
+            print(
+                f"  kept tick round={tick.get('round')} "
+                f"reasons={tick.get('reasons')}",
+                file=out,
+            )
+        for record in bundle["health"][-5:]:
+            print(
+                f"  health {record.get('from')} -> {record.get('to')} "
+                f"({record.get('reason')!r}, round {record.get('round')})",
+                file=out,
+            )
+        return 0
+
+    # explain: replay the bundle's metric timeline through DBSherlock.
+    from repro.core.generator import GeneratorConfig
+    from repro.core.explain import DBSherlock as _DBSherlock
+
+    sherlock = _DBSherlock(config=GeneratorConfig(theta=args.theta))
+    if args.models is not None:
+        sherlock.load_models(args.models)
+    try:
+        explanation, dataset, spec = explain_bundle(
+            args.bundle, sherlock=sherlock
+        )
+    except ValueError as exc:
+        print(str(exc), file=out)
+        return 1
+    region = spec.abnormal[0]
+    print(
+        f"diagnosing {dataset.name} "
+        f"(abnormal {region.start:g}:{region.end:g}, "
+        f"{dataset.n_rows} rows)",
+        file=out,
+    )
+    if explanation.causes:
+        cause, confidence = explanation.causes[0]
+        print(f"top cause: {cause} (confidence {confidence:.1f})", file=out)
+        for cause, confidence in explanation.causes[1:5]:
+            print(
+                f"  runner-up: {cause} (confidence {confidence:.1f})",
+                file=out,
+            )
+    else:
+        print("top cause: (no causal models loaded)", file=out)
+    if explanation.predicates:
+        for predicate in explanation.predicates:
+            print(str(predicate), file=out)
+    else:
+        print("no predicates found (try a lower --theta)", file=out)
+    return 0
+
+
 def _cmd_fleet(args, out) -> int:
     import json
 
-    from repro.fleet.status import render_fleet_status
+    from repro.fleet.status import fleet_status_data, render_fleet_status
 
     if args.metrics is not None:
         with open(args.metrics) as fh:
@@ -233,6 +358,10 @@ def _cmd_fleet(args, out) -> int:
         from repro.obs.metrics import REGISTRY
 
         snapshot = REGISTRY.snapshot()
+    if getattr(args, "json", False):
+        data = fleet_status_data(snapshot, max_tenants=args.max_tenants)
+        print(json.dumps(data, indent=2, sort_keys=True), file=out)
+        return 0
     print(render_fleet_status(snapshot, max_tenants=args.max_tenants),
           file=out)
     return 0

@@ -54,6 +54,7 @@ from repro.core.anomaly import AnomalyDetector, DetectionResult
 from repro.data.regions import Region
 from repro.fleet.arena import ArenaWindow, FleetArena
 from repro.obs import metrics
+from repro.obs import trace
 from repro.stream.detector import (
     close_regions,
     close_regions_batch,
@@ -499,7 +500,19 @@ class FleetDetector:
 
         elapsed = _time.perf_counter() - t0
         n_present = int(present.sum())
-        _FLEET_TICK_SECONDS.observe(elapsed)
+        if trace.enabled():
+            ctx = trace.current_context()
+            _FLEET_TICK_SECONDS.observe(
+                elapsed, exemplar=ctx[0] if ctx else None
+            )
+            trace.stage(
+                "fleet.tick",
+                elapsed,
+                streams=n_present,
+                closed=n_closed,
+            )
+        else:
+            _FLEET_TICK_SECONDS.observe(elapsed)
         if n_present:
             _FLEET_STREAM_SECONDS.observe(elapsed / n_present)
             _FLEET_STREAM_TICKS.inc(n_present)

@@ -267,6 +267,10 @@ class HealthTracker:
         }
         self._journals: Dict[str, object] = {}
         self.transitions = 0
+        #: Optional observer called after every journaled transition as
+        #: ``hook(tenant, previous, state, reason, round_no)``; the
+        #: scheduler uses it to trigger incident-bundle snapshots.
+        self.transition_hook = None
 
     # ------------------------------------------------------------------
     def state(self, tenant: str) -> str:
@@ -313,6 +317,13 @@ class HealthTracker:
                 "round": round_no,
             },
         )
+        hook = self.transition_hook
+        if hook is not None:
+            # Forensics must never break a health transition.
+            try:
+                hook(tenant, previous, state, reason, round_no)
+            except Exception:
+                pass
         return True
 
     # ------------------------------------------------------------------
@@ -395,11 +406,22 @@ def read_health_journal(
     path = Path(root_dir) / tenant / HealthTracker.JOURNAL_NAME
     if not path.exists():
         return []
+    # Read through the storage shim so injected read corruption hits
+    # this path too; a corrupt prefix parses, the rest is dropped.
+    try:
+        text = _fs.get_fs().read_text(path)
+    except OSError:
+        _fs.count_read_error()
+        return []
     records: List[Dict[str, object]] = []
-    with path.open("r", encoding="utf-8") as handle:
-        for line in handle:
-            try:
-                records.append(json.loads(line))
-            except ValueError:
-                break  # torn tail: stop at the first unparsable record
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            break  # torn tail: stop at the first unparsable record
+        if not isinstance(record, dict):
+            break
+        records.append(record)
     return records

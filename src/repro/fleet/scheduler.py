@@ -74,6 +74,7 @@ from repro.data.regions import Region, RegionSpec
 from repro.fleet.engine import FleetDetector, FleetTick
 from repro.fleet.health import HealthTracker, RecoveryReport, TenantRecovery
 from repro.obs import metrics
+from repro.obs import trace
 from repro.stream.durability import TenantDurability
 from repro.stream.wal import (
     DEFAULT_SEGMENT_BYTES,
@@ -393,6 +394,10 @@ class FleetScheduler:
         storage_backoff_s: float = 0.01,
         storage_probe_every: int = 8,
         max_volatile_ticks: int = 4096,
+        flight=None,
+        incidents=None,
+        incident_capture_rounds: int = 4,
+        timeline_every: int = 4,
     ) -> None:
         if shed_policy not in SHED_POLICIES:
             raise ValueError(
@@ -503,6 +508,34 @@ class FleetScheduler:
         )
         #: set by :meth:`recover` — per-tenant recovery outcomes.
         self.recovery_report: Optional[RecoveryReport] = None
+        # ---- flight recorder + incident forensics -------------------
+        self.flight = flight
+        self.incidents = incidents
+        self.incident_capture_rounds = max(0, int(incident_capture_rounds))
+        self.timeline_every = max(1, int(timeline_every))
+        self.timeline = None
+        self._flight_installed = False
+        #: tenant → trigger reasons noted since the last end_round; also
+        #: guards the incident queue (workers and the durability/health
+        #: hooks append off the tick thread).
+        self._flight_lock = threading.Lock()
+        self._round_interest: Dict[str, List[str]] = {}
+        self._incident_queue: List[List[object]] = []
+        self._incident_queued: Set[str] = set()
+        if flight is not None or incidents is not None:
+            self.timeline = metrics.REGISTRY.timeline("fleet")
+            self.health.transition_hook = self._on_health_transition
+        if flight is not None and trace.get_recorder() is None:
+            # Tail sampling is only worth it when no full recorder is
+            # already capturing everything.
+            trace.install(flight)
+            self._flight_installed = True
+        if incidents is not None:
+            incidents.attach(
+                flight=flight,
+                timeline=self.timeline,
+                journal_root=self.root_dir,
+            )
 
     # ------------------------------------------------------------------
     def _make_durability_callback(self, tenant: str):
@@ -518,7 +551,11 @@ class FleetScheduler:
 
         def on_transition(mode: str, reason: str) -> None:
             round_no = self.report.rounds
+            self._note_interest(tenant, f"durability:{mode}")
             if mode == "degraded":
+                self._queue_incident(
+                    tenant, f"durability degraded: {reason}", round_no
+                )
                 if self.health.state(tenant) == "healthy":
                     self.health.set_state(
                         tenant,
@@ -545,13 +582,192 @@ class FleetScheduler:
         return managed.mode if managed is not None else None
 
     # ------------------------------------------------------------------
+    # Flight recorder + incident forensics
+    # ------------------------------------------------------------------
+    def _note_interest(self, tenant: str, reason: str) -> None:
+        """Mark this round interesting for *tenant* (any thread)."""
+        if self.flight is None and self.incidents is None:
+            return
+        with self._flight_lock:
+            reasons = self._round_interest.setdefault(tenant, [])
+            if reason not in reasons:
+                reasons.append(reason)
+
+    def _queue_incident(
+        self, tenant: str, reason: str, round_no: int
+    ) -> None:
+        """Schedule an incident snapshot for *tenant* (any thread).
+
+        The snapshot is deferred ``incident_capture_rounds`` rounds so
+        the bundle's timeline window includes post-trigger samples —
+        the step the diagnosis needs to see.  One in-flight snapshot
+        per tenant; the recorder's own rate limiter handles repeats.
+        """
+        if self.incidents is None:
+            return
+        with self._flight_lock:
+            if tenant in self._incident_queued:
+                return
+            self._incident_queued.add(tenant)
+            self._incident_queue.append(
+                [
+                    tenant,
+                    reason,
+                    int(round_no),
+                    int(round_no) + self.incident_capture_rounds,
+                ]
+            )
+
+    def _on_health_transition(
+        self,
+        tenant: str,
+        previous: str,
+        state: str,
+        reason: str,
+        round_no: Optional[int],
+    ) -> None:
+        """HealthTracker hook: health transitions are always interesting."""
+        self._note_interest(tenant, f"health:{state}")
+        if state in ("degraded", "quarantined", "ejected"):
+            self._queue_incident(
+                tenant,
+                f"{state}: {reason}" if reason else state,
+                round_no if round_no is not None else self.report.rounds,
+            )
+
+    def _collect_interest(self, tick: FleetTick) -> Dict[str, List[str]]:
+        """Drain the round's trigger reasons, folding in tick outcomes."""
+        with self._flight_lock:
+            interest = self._round_interest
+            self._round_interest = {}
+        for s, res in tick.results.items():
+            if res.regions:
+                reasons = interest.setdefault(self.tenants[int(s)], [])
+                if "verdict" not in reasons:
+                    reasons.append("verdict")
+        for s in tick.closed:
+            reasons = interest.setdefault(self.tenants[int(s)], [])
+            if "region_closed" not in reasons:
+                reasons.append("region_closed")
+        for s in tick.lane_errors:
+            reasons = interest.setdefault(self.tenants[int(s)], [])
+            if "lane_poisoned" not in reasons:
+                reasons.append("lane_poisoned")
+        return interest
+
+    def _finish_flight_round(
+        self, tick: FleetTick, latency_s: Optional[float], round_no: int
+    ) -> None:
+        interest = self._collect_interest(tick)
+        if self.flight is not None:
+            self.flight.end_round(interest, latency_s=latency_s)
+        if (
+            self.timeline is not None
+            and self.report.rounds % self.timeline_every == 0
+        ):
+            # stamp samples with the fleet round number: incident
+            # bundles can then anchor their abnormal region exactly at
+            # the trigger round instead of guessing a trailing window
+            self.timeline.sample(t=float(round_no))
+        self._flush_incidents()
+
+    def _incident_context(self, tenant: str) -> Dict[str, object]:
+        """Point-in-time tenant state frozen into an incident bundle."""
+        context: Dict[str, object] = {
+            "health": {
+                "state": self.health.state(tenant),
+                "reason": self.health.reason(tenant),
+            },
+            "breaker": self.health.breakers[tenant].state,
+            "round": self.report.rounds,
+        }
+        managed = self._durability.get(tenant)
+        if managed is not None:
+            context["durability"] = {
+                "mode": managed.mode,
+                "reason": managed.degraded_reason,
+            }
+        wal = self._wals.get(tenant)
+        if wal is not None:
+            try:
+                segment, offset = wal.durable_position()
+                context["wal"] = {
+                    "durable_segment": str(segment),
+                    "durable_offset": int(offset),
+                    "bytes_retained": int(wal.bytes_retained()),
+                }
+            except OSError:
+                pass
+        return context
+
+    def _flush_incidents(self, force: bool = False) -> None:
+        """Write queued incident bundles whose capture delay elapsed."""
+        if self.incidents is None:
+            return
+        # unlocked empty check: appends happen under the lock, and a
+        # snapshot enqueued this instant is never due before its capture
+        # delay elapses, so racing past it just defers to next round
+        if not self._incident_queue:
+            return
+        with self._flight_lock:
+            if not self._incident_queue:
+                return
+            rounds = self.report.rounds
+            due = [
+                entry
+                for entry in self._incident_queue
+                if force or rounds >= entry[3]
+            ]
+            if not due:
+                return
+            self._incident_queue = [
+                entry for entry in self._incident_queue if entry not in due
+            ]
+            for entry in due:
+                self._incident_queued.discard(entry[0])
+        for tenant, reason, round_no, _due_round in due:
+            self.incidents.snapshot(
+                tenant,
+                reason,
+                round_no,
+                context=self._incident_context(tenant),
+            )
+
+    # ------------------------------------------------------------------
     def run_round(
         self,
         times: np.ndarray,
         values: np.ndarray,
         active: Optional[np.ndarray] = None,
     ) -> FleetTick:
-        """One scheduler round: WAL, tick the fleet, queue fallout."""
+        """One scheduler round: WAL, tick the fleet, queue fallout.
+
+        With a flight recorder / incident recorder attached the round
+        runs inside a ``fleet.round`` span, its trigger reasons are
+        collected, and the span ring is kept or discarded at the end
+        (tail sampling).
+        """
+        if self.flight is None and self.incidents is None:
+            return self._round_core(times, values, active)
+        round_no = self.report.rounds
+        if self.flight is not None:
+            self.flight.begin_round(round_no)
+            t0 = _time.perf_counter()
+            with trace.span("fleet.round", round=round_no):
+                tick = self._round_core(times, values, active)
+            latency_s = _time.perf_counter() - t0
+        else:
+            tick = self._round_core(times, values, active)
+            latency_s = None
+        self._finish_flight_round(tick, latency_s, round_no)
+        return tick
+
+    def _round_core(
+        self,
+        times: np.ndarray,
+        values: np.ndarray,
+        active: Optional[np.ndarray] = None,
+    ) -> FleetTick:
         times = np.asarray(times, dtype=np.float64)
         values = np.asarray(values, dtype=np.float64)
         S = self.detector.n_streams
@@ -812,6 +1028,7 @@ class FleetScheduler:
         round_no = self.report.rounds
         for job in batch.jobs:
             _DEADLINE_MISSES.labels(tier="hard").inc()
+            self._note_interest(job.tenant, "deadline:hard")
             with self._diagnoses_lock:
                 self.report.deadline_misses += 1
                 if self.health.breaker_failure(job.tenant, round_no):
@@ -1066,6 +1283,7 @@ class FleetScheduler:
                 for job in batch.jobs:
                     self._lag[job.stream] -= 1
                     _DEADLINE_MISSES.labels(tier="soft").inc()
+                    self._note_interest(job.tenant, "deadline:soft")
                     _DEGRADED_RANKINGS.inc()
                     items.append(
                         (job.tenant, job.region,
@@ -1111,6 +1329,9 @@ class FleetScheduler:
             if not has_retry:
                 break
             self._requeue_due_retries(wait=True)
+        # Incidents whose capture delay has not elapsed still get
+        # written — a drained fleet produces no more samples to wait on.
+        self._flush_incidents(force=True)
 
     # ------------------------------------------------------------------
     # Durability
@@ -1220,6 +1441,7 @@ class FleetScheduler:
         outcomes: Dict[str, TenantRecovery] = {}
         states: Dict[str, Dict[str, object]] = {}
         replays: Dict[str, List[Tuple[float, Dict[str, float]]]] = {}
+        wal_corruption: Dict[str, str] = {}
         for name in tenants:
             ckpt_path = root / name / "checkpoint.json"
             store = CheckpointStore(ckpt_path)
@@ -1252,7 +1474,8 @@ class FleetScheduler:
             wal = TickWAL(root / name / "ticks.wal")
             rows: List[Tuple[float, Dict[str, float]]] = []
             try:
-                for time, numeric_row, _cat in wal.replay():
+                ticks, wal_report = wal.replay_report()
+                for time, numeric_row, _cat in ticks:
                     if until is not None and time <= until:
                         continue
                     rows.append((float(time), dict(numeric_row)))
@@ -1267,6 +1490,12 @@ class FleetScheduler:
                 wal.close()
             states[name] = detector_state
             replays[name] = rows
+            if wal_report.corrupt_records or wal_report.corrupt_segments:
+                wal_corruption[name] = (
+                    f"wal corruption: {wal_report.corrupt_records} "
+                    f"records / {wal_report.corrupt_segments} segments "
+                    f"skipped"
+                )
         recovered = [name for name in tenants if name in states]
         if not recovered:
             raise FileNotFoundError(
@@ -1324,9 +1553,18 @@ class FleetScheduler:
                 )
                 continue
             outcomes[name] = TenantRecovery(
-                tenant=name, status="recovered", replayed_ticks=replayed
+                tenant=name,
+                status="recovered",
+                replayed_ticks=replayed,
+                detail=wal_corruption.get(name, ""),
             )
         scheduler._flush_buffer()
+        # CRC-skipped WAL records are a forensics trigger: the tenant
+        # recovered, but something rotted its durable history.
+        for name, detail in wal_corruption.items():
+            scheduler._note_interest(name, "wal_corruption")
+            scheduler._queue_incident(name, detail, 0)
+        scheduler._flush_incidents(force=True)
         report = RecoveryReport(
             outcomes=[outcomes[name] for name in tenants]
         )
@@ -1391,6 +1629,11 @@ class FleetScheduler:
             except OSError:
                 pass
         self.health.close()
+        if self.health.transition_hook is self._on_health_transition:
+            self.health.transition_hook = None
+        if self._flight_installed and trace.get_recorder() is self.flight:
+            trace.uninstall()
+            self._flight_installed = False
 
     def __enter__(self) -> "FleetScheduler":
         return self

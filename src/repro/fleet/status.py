@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Tuple
 
-__all__ = ["render_fleet_status"]
+__all__ = ["fleet_status_data", "render_fleet_status"]
 
 _TENANT_FAMILIES = {
     "repro_fleet_tenant_lag": "lag",
@@ -111,6 +111,187 @@ def _fmt_us(seconds: float) -> str:
     return f"{seconds * 1e6:.0f}"
 
 
+def _tenant_rows(
+    snapshot: Mapping[str, Mapping[str, object]]
+) -> Dict[str, Dict[str, object]]:
+    """Group the per-tenant labeled families by tenant name."""
+    tenants: Dict[str, Dict[str, object]] = {}
+    for name, entry in snapshot.items():
+        fam = _family(name)
+        if fam is None:
+            continue
+        labels = entry.get("labels")
+        if not isinstance(labels, Mapping) or "tenant" not in labels:
+            continue
+        row = tenants.setdefault(str(labels["tenant"]), {})
+        if fam == "verdicts":
+            verdict = str(labels.get("verdict", "?"))
+            counts: Dict[str, int] = row.setdefault("verdicts", {})  # type: ignore[assignment]
+            counts[verdict] = counts.get(verdict, 0) + int(entry["value"])  # type: ignore[arg-type]
+        elif fam == "tick":
+            row["tick"] = entry
+        else:
+            row[fam] = int(entry["value"])  # type: ignore[arg-type]
+    return tenants
+
+
+def _tenant_sort_key(item: Tuple[str, Dict[str, object]]):
+    verdicts = item[1].get("verdicts", {})
+    abnormal = verdicts.get("abnormal", 0) if isinstance(verdicts, dict) else 0
+    # sickest first: ejected/quarantined tenants ahead of lag
+    return (
+        -int(item[1].get("health", 0)),  # type: ignore[arg-type]
+        -int(item[1].get("lag", 0)),  # type: ignore[arg-type]
+        -abnormal,
+        item[0],
+    )
+
+
+def _counter_value(
+    snapshot: Mapping[str, Mapping[str, object]], name: str
+) -> int:
+    entry = snapshot.get(name)
+    if entry is None or "value" not in entry:
+        return 0
+    return int(entry["value"])  # type: ignore[arg-type]
+
+
+def fleet_status_data(
+    snapshot: Mapping[str, Mapping[str, object]],
+    max_tenants: Optional[int] = None,
+) -> Dict[str, object]:
+    """The full fleet status as a machine-readable (JSON-able) dict.
+
+    The structured twin of :func:`render_fleet_status` — same snapshot
+    in, but every section lands under a stable key instead of a text
+    line: ``totals``, ``latency``, ``storm``, ``containment``,
+    ``storage``, ``flight``, ``incidents``, and the sorted (sickest
+    first) ``tenants`` rows.  ``repro-sherlock fleet status --json``
+    emits exactly this dict for scraping.
+    """
+    data: Dict[str, object] = {}
+    totals: Dict[str, int] = {}
+    for name, label in _FLEET_COUNTERS:
+        if name in snapshot:
+            totals[label.replace(" ", "_")] = _counter_value(snapshot, name)
+    data["totals"] = totals
+
+    latency: Optional[Dict[str, float]] = None
+    stream_hist = snapshot.get("repro_fleet_stream_tick_seconds")
+    if stream_hist is not None and int(stream_hist.get("count", 0)) > 0:
+        latency = {
+            "p50_us": _histogram_quantile(stream_hist, 0.50) * 1e6,
+            "p99_us": _histogram_quantile(stream_hist, 0.99) * 1e6,
+        }
+    data["latency"] = latency
+
+    storm: Dict[str, float] = {}
+    for metric, key in (
+        ("repro_fleet_fallout_streams", "fallout_streams_p99"),
+        ("repro_fleet_fallout_ms", "fallout_stage_p99_ms"),
+        ("repro_fleet_diagnosis_lock_wait_ms", "diagnosis_lock_wait_p99_ms"),
+    ):
+        entry = snapshot.get(metric)
+        if entry is not None and int(entry.get("count", 0)) > 0:
+            storm[key] = _histogram_quantile(entry, 0.99)
+    data["storm"] = storm
+
+    containment: Dict[str, object] = {}
+    for name, label in _CONTAINMENT_COUNTERS:
+        value = _counter_value(snapshot, name)
+        if value:
+            containment[label.replace(" ", "_")] = value
+    failures = _sum_labeled(
+        snapshot, "repro_fleet_diagnosis_failures_total", "tenant"
+    )
+    if failures:
+        containment["diagnosis_failures"] = sum(failures.values())
+    misses = _sum_labeled(
+        snapshot, "repro_fleet_deadline_misses_total", "tier"
+    )
+    if misses:
+        containment["deadline_misses"] = misses
+    transitions = _sum_labeled(
+        snapshot, "repro_fleet_health_transitions_total", "state"
+    )
+    if transitions:
+        containment["health_transitions"] = transitions
+    data["containment"] = containment
+
+    storage: Dict[str, int] = {}
+    for name, label in _STORAGE_COUNTERS:
+        value = _counter_value(snapshot, name)
+        if value:
+            storage[label.replace(" ", "_")] = value
+    degraded_now = _counter_value(snapshot, "repro_storage_degraded_tenants")
+    if degraded_now:
+        storage["degraded_now"] = degraded_now
+    wal_bytes = _counter_value(snapshot, "repro_fleet_wal_bytes_total")
+    if wal_bytes:
+        storage["wal_bytes"] = wal_bytes
+    data["storage"] = storage
+
+    flight: Dict[str, object] = {}
+    flight_ticks = _counter_value(snapshot, "repro_flight_ticks_total")
+    if flight_ticks:
+        flight["ticks"] = flight_ticks
+        kept = _sum_labeled(
+            snapshot, "repro_flight_kept_ticks_total", "reason"
+        )
+        flight["kept"] = kept
+        flight["retained_bytes"] = _counter_value(
+            snapshot, "repro_flight_retained_bytes"
+        )
+        dropped = _counter_value(snapshot, "repro_flight_dropped_events_total")
+        if dropped:
+            flight["dropped_events"] = dropped
+    data["flight"] = flight
+
+    incidents: Dict[str, object] = {}
+    bundles = _sum_labeled(
+        snapshot, "repro_incident_bundles_total", "reason"
+    )
+    if bundles:
+        incidents["bundles"] = bundles
+        incidents["bytes"] = _counter_value(snapshot, "repro_incident_bytes")
+    skipped = _sum_labeled(snapshot, "repro_incident_skipped_total", "why")
+    if skipped:
+        incidents["skipped"] = skipped
+    data["incidents"] = incidents
+
+    rows: List[Dict[str, object]] = []
+    tenants = _tenant_rows(snapshot)
+    shown = sorted(tenants.items(), key=_tenant_sort_key)
+    if max_tenants is not None:
+        shown = shown[:max_tenants]
+    for tenant, row in shown:
+        verdicts = row.get("verdicts", {})
+        tick = row.get("tick")
+        p99 = (
+            _histogram_quantile(tick, 0.99) * 1e6  # type: ignore[arg-type]
+            if tick is not None and int(tick.get("count", 0)) > 0  # type: ignore[union-attr]
+            else None
+        )
+        rows.append(
+            {
+                "tenant": tenant,
+                "health": _HEALTH_NAMES.get(int(row.get("health", 0)), "?"),  # type: ignore[arg-type]
+                "breaker": _BREAKER_NAMES.get(int(row.get("breaker", 0)), "?"),  # type: ignore[arg-type]
+                "durability": (
+                    _DURABILITY_NAMES.get(int(row["durability"]), "?")  # type: ignore[arg-type]
+                    if "durability" in row
+                    else None
+                ),
+                "lag": int(row.get("lag", 0)),  # type: ignore[arg-type]
+                "shed": int(row.get("shed", 0)),  # type: ignore[arg-type]
+                "verdicts": verdicts if isinstance(verdicts, dict) else {},
+                "p99_tick_us": p99,
+            }
+        )
+    data["tenants"] = rows
+    return data
+
+
 def render_fleet_status(
     snapshot: Mapping[str, Mapping[str, object]],
     max_tenants: int = 40,
@@ -197,24 +378,34 @@ def render_fleet_status(
     if storage:
         lines.append("  storage: " + "   ".join(storage))
 
+    # Flight recorder and incident forensics, when observed.
+    forensics = []
+    flight_ticks = _counter_value(snapshot, "repro_flight_ticks_total")
+    if flight_ticks:
+        kept = sum(
+            _sum_labeled(
+                snapshot, "repro_flight_kept_ticks_total", "reason"
+            ).values()
+        )
+        retained = _counter_value(snapshot, "repro_flight_retained_bytes")
+        forensics.append(
+            f"flight ticks {flight_ticks} kept {kept} "
+            f"retained {retained}b"
+        )
+    bundles = _sum_labeled(snapshot, "repro_incident_bundles_total", "reason")
+    if bundles:
+        nbytes = _counter_value(snapshot, "repro_incident_bytes")
+        forensics.append(
+            f"incident bundles {sum(bundles.values())} ({nbytes}b)"
+        )
+    skipped = _sum_labeled(snapshot, "repro_incident_skipped_total", "why")
+    if skipped:
+        forensics.append(f"incidents suppressed {sum(skipped.values())}")
+    if forensics:
+        lines.append("  forensics: " + "   ".join(forensics))
+
     # Group per-tenant families by tenant label.
-    tenants: Dict[str, Dict[str, object]] = {}
-    for name, entry in snapshot.items():
-        fam = _family(name)
-        if fam is None:
-            continue
-        labels = entry.get("labels")
-        if not isinstance(labels, Mapping) or "tenant" not in labels:
-            continue
-        row = tenants.setdefault(str(labels["tenant"]), {})
-        if fam == "verdicts":
-            verdict = str(labels.get("verdict", "?"))
-            counts: Dict[str, int] = row.setdefault("verdicts", {})  # type: ignore[assignment]
-            counts[verdict] = counts.get(verdict, 0) + int(entry["value"])  # type: ignore[arg-type]
-        elif fam == "tick":
-            row["tick"] = entry
-        else:
-            row[fam] = int(entry["value"])  # type: ignore[arg-type]
+    tenants = _tenant_rows(snapshot)
 
     if not tenants:
         lines.append("")
@@ -233,18 +424,7 @@ def render_fleet_status(
     lines.append(header)
     lines.append("  " + "-" * (len(header) - 2))
 
-    def sort_key(item: Tuple[str, Dict[str, object]]):
-        verdicts = item[1].get("verdicts", {})
-        abnormal = verdicts.get("abnormal", 0) if isinstance(verdicts, dict) else 0
-        # sickest first: ejected/quarantined tenants ahead of lag
-        return (
-            -int(item[1].get("health", 0)),  # type: ignore[arg-type]
-            -int(item[1].get("lag", 0)),  # type: ignore[arg-type]
-            -abnormal,
-            item[0],
-        )
-
-    shown = sorted(tenants.items(), key=sort_key)
+    shown = sorted(tenants.items(), key=_tenant_sort_key)
     for tenant, row in shown[:max_tenants]:
         verdicts = row.get("verdicts", {})
         normal = verdicts.get("normal", 0) if isinstance(verdicts, dict) else 0

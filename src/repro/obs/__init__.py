@@ -9,9 +9,20 @@
   ``Dataset`` so the pipeline can diagnose itself.
 - :mod:`repro.obs.report` — renders traces and snapshots as ASCII
   (``repro-sherlock obs report``).
+- :mod:`repro.obs.flight` — always-on tail-sampled flight recorder
+  (keep interesting ticks, discard the rest).
+- :mod:`repro.obs.incident` — atomically-written incident forensics
+  bundles plus the ``obs incidents`` CLI backend.
 """
 
-from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.flight import FlightRecorder
+from repro.obs.incident import (
+    IncidentRecorder,
+    explain_bundle,
+    list_bundles,
+    load_bundle,
+)
+from repro.obs.metrics import REGISTRY, MetricsRegistry, TimelineRing
 from repro.obs.trace import (
     TraceRecorder,
     add_attrs,
@@ -30,8 +41,14 @@ from repro.obs.trace import (
 
 __all__ = [
     "REGISTRY",
+    "FlightRecorder",
+    "IncidentRecorder",
     "MetricsRegistry",
+    "TimelineRing",
     "TraceRecorder",
+    "explain_bundle",
+    "list_bundles",
+    "load_bundle",
     "add_attrs",
     "attached",
     "current_context",

@@ -75,6 +75,35 @@ class MetricsTimeline:
         self._kinds: Dict[str, str] = {}
         self._tick = 0
 
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Sequence[Tuple[float, Dict[str, float]]],
+        kinds: Optional[Dict[str, str]] = None,
+        interval: float = 1.0,
+    ) -> "MetricsTimeline":
+        """Rehydrate a timeline from stored ``(t, row)`` samples.
+
+        The incident-bundle path: a bundle's ``timeline.json`` carries
+        the retained samples and their attribute kinds; this rebuilds a
+        timeline whose :meth:`to_dataset` treats them exactly as the
+        live registry would (counters as rates, gauges as levels).
+        """
+        timeline = cls(interval=interval)
+        last: Optional[float] = None
+        for t, row in samples:
+            t = float(t)
+            if last is not None and t <= last:
+                raise ValueError(
+                    f"sample time {t} does not advance past {last}"
+                )
+            last = t
+            timeline._samples.append((t, dict(row)))
+        timeline._tick = len(timeline._samples)
+        if kinds:
+            timeline._kinds.update(kinds)
+        return timeline
+
     def __len__(self) -> int:
         return len(self._samples)
 

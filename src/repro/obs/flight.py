@@ -1,0 +1,315 @@
+"""Always-on tail-sampled flight recorder for the fleet.
+
+The observability layer's full tracing mode costs ~+9% (see
+``BENCH_obs_overhead.json``) because every span of every tick is
+serialised to disk.  The flight recorder inverts the decision: every
+fleet tick records spans into a small in-memory ring, and on tick
+completion the ring is *kept* only if the tick turned out to be
+interesting — a verdict was emitted, a deadline tier fired, a lane was
+poisoned, durability transitioned, or the round latency exceeded a
+rolling p99.  Boring ticks (the overwhelming majority) are discarded
+wholesale, so the amortised overhead is bounded by the cost of
+appending dicts to a list.
+
+:class:`FlightRecorder` is duck-type compatible with
+:class:`repro.obs.trace.TraceRecorder` (it exposes ``record`` plus the
+``path``/``keep`` attributes that :func:`repro.obs.trace.current_context`
+reads), so it installs via :func:`repro.obs.trace.install` and the
+existing ``span``/``stage`` helpers feed it without modification.
+
+Retained ticks are grouped per tenant (plus a ``"_fleet"``
+pseudo-tenant for round-scoped spans) in bounded deques so a noisy
+fleet cannot grow memory without bound; :meth:`FlightRecorder.retained`
+and :meth:`FlightRecorder.bundle_events` expose them to
+:class:`repro.obs.incident.IncidentRecorder`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs import metrics
+
+__all__ = ["FlightRecorder", "FLEET_TENANT"]
+
+#: Pseudo-tenant under which round-scoped (not tenant-specific) keeps
+#: are retained; merged into every tenant's bundle.
+FLEET_TENANT = "_fleet"
+
+_FLIGHT_TICKS = metrics.REGISTRY.counter(
+    "repro_flight_ticks_total",
+    "Fleet rounds observed by the flight recorder.",
+)
+_FLIGHT_KEPT = metrics.REGISTRY.counter(
+    "repro_flight_kept_ticks_total",
+    "Fleet rounds whose span ring was retained, by trigger reason.",
+    labelnames=("reason",),
+)
+_FLIGHT_RETAINED_BYTES = metrics.REGISTRY.gauge(
+    "repro_flight_retained_bytes",
+    "Approximate bytes of retained span events across all tenants.",
+)
+_FLIGHT_DROPPED = metrics.REGISTRY.counter(
+    "repro_flight_dropped_events_total",
+    "Span events dropped because a tick ring exceeded its byte budget.",
+)
+
+
+def _event_bytes(event: dict) -> int:
+    """A cheap, deterministic size estimate for one span event.
+
+    Serialising every event with ``json.dumps`` just to measure it
+    would dominate the recorder's cost, so budget accounting uses a
+    fixed overhead plus small per-field charges.
+    """
+    size = 96 + len(str(event.get("name", "")))
+    attrs = event.get("attrs")
+    if attrs:
+        size += 16 * len(attrs)
+    return size
+
+
+class _RetainedTick:
+    """One kept round: its reasons, span events, and byte estimate."""
+
+    __slots__ = ("round_no", "reasons", "events", "nbytes")
+
+    def __init__(
+        self,
+        round_no: int,
+        reasons: Tuple[str, ...],
+        events: Tuple[dict, ...],
+        nbytes: int,
+    ) -> None:
+        self.round_no = round_no
+        self.reasons = reasons
+        self.events = events
+        self.nbytes = nbytes
+
+
+class FlightRecorder:
+    """Tail-sampling span sink with bounded per-tenant retention.
+
+    Parameters
+    ----------
+    max_tick_bytes:
+        Byte budget for the in-flight ring of a single round; the
+        oldest events are dropped (and counted) beyond it.
+    keep_ticks:
+        Retained rounds per tenant (deque ``maxlen``).
+    max_retained_bytes:
+        Byte ceiling across one tenant's retained rounds; oldest
+        retained rounds are evicted beyond it.
+    p99_window:
+        Rolling window of round latencies backing the latency trigger.
+    min_latency_samples:
+        The p99 trigger stays dormant until this many latencies have
+        been observed, so warm-up rounds don't all look anomalous.
+    """
+
+    def __init__(
+        self,
+        max_tick_bytes: int = 64 * 1024,
+        keep_ticks: int = 8,
+        max_retained_bytes: int = 256 * 1024,
+        p99_window: int = 128,
+        min_latency_samples: int = 32,
+    ) -> None:
+        if max_tick_bytes <= 0:
+            raise ValueError("max_tick_bytes must be positive")
+        if keep_ticks <= 0:
+            raise ValueError("keep_ticks must be positive")
+        self.max_tick_bytes = int(max_tick_bytes)
+        self.keep_ticks = int(keep_ticks)
+        self.max_retained_bytes = int(max_retained_bytes)
+        self.min_latency_samples = max(1, int(min_latency_samples))
+        # TraceRecorder duck-type surface: current_context() reads
+        # .path, recording() reads .keep.
+        self.path = None
+        self.keep = False
+        self._lock = threading.Lock()
+        self._ring: List[dict] = []
+        self._ring_bytes = 0
+        self._round_no = 0
+        self._retained: Dict[str, "deque[_RetainedTick]"] = {}
+        self._retained_bytes: Dict[str, int] = {}
+        self._latencies: "deque[float]" = deque(maxlen=int(p99_window))
+        self._p99_cache: Optional[float] = None
+        self._p99_stale = 0
+
+    # ------------------------------------------------------------------
+    # TraceRecorder protocol
+    # ------------------------------------------------------------------
+    def record(self, event: dict) -> None:
+        """Append one span event to the current round's ring."""
+        nbytes = _event_bytes(event)
+        with self._lock:
+            self._ring.append(event)
+            self._ring_bytes += nbytes
+            while self._ring_bytes > self.max_tick_bytes and len(self._ring) > 1:
+                dropped = self._ring.pop(0)
+                self._ring_bytes -= _event_bytes(dropped)
+                _FLIGHT_DROPPED.inc()
+
+    # ------------------------------------------------------------------
+    # Round lifecycle
+    # ------------------------------------------------------------------
+    def begin_round(self, round_no: int) -> None:
+        """Open a round: clear the in-flight ring."""
+        with self._lock:
+            self._round_no = int(round_no)
+            self._ring = []
+            self._ring_bytes = 0
+
+    def end_round(
+        self,
+        interest: Dict[str, Sequence[str]],
+        latency_s: Optional[float] = None,
+    ) -> Tuple[str, ...]:
+        """Close a round; keep its ring iff any trigger fired.
+
+        ``interest`` maps tenant -> trigger reasons accumulated during
+        the round (empty dict = boring round).  ``latency_s`` feeds the
+        rolling-p99 trigger.  Returns the union of reasons that caused
+        a keep (empty tuple = discarded).
+        """
+        _FLIGHT_TICKS.inc()
+        keep: Dict[str, List[str]] = {
+            t: list(r) for t, r in interest.items() if r
+        }
+        if latency_s is not None:
+            threshold = self._latency_threshold(float(latency_s))
+            if threshold is not None and float(latency_s) > threshold:
+                keep.setdefault(FLEET_TENANT, []).append("latency_p99")
+        with self._lock:
+            if not keep:
+                # boring round (the overwhelming majority): drop the
+                # ring without materializing a tuple of its events
+                self._ring = []
+                self._ring_bytes = 0
+                return ()
+            events = tuple(self._ring)
+            round_no = self._round_no
+            self._ring = []
+            self._ring_bytes = 0
+            all_reasons: List[str] = []
+            for tenant, reasons in keep.items():
+                tick = _RetainedTick(
+                    round_no,
+                    tuple(reasons),
+                    events,
+                    sum(_event_bytes(e) for e in events),
+                )
+                self._retain(tenant, tick)
+                all_reasons.extend(reasons)
+            total = sum(self._retained_bytes.values())
+        for reason in sorted(set(all_reasons)):
+            _FLIGHT_KEPT.labels(reason=reason).inc()
+        _FLIGHT_RETAINED_BYTES.set(total)
+        return tuple(sorted(set(all_reasons)))
+
+    def _retain(self, tenant: str, tick: _RetainedTick) -> None:
+        """Append a kept tick under *tenant*; caller holds the lock."""
+        ring = self._retained.get(tenant)
+        if ring is None:
+            ring = deque(maxlen=self.keep_ticks)
+            self._retained[tenant] = ring
+            self._retained_bytes[tenant] = 0
+        if len(ring) == ring.maxlen:
+            evicted = ring[0]
+            self._retained_bytes[tenant] -= evicted.nbytes
+        ring.append(tick)
+        self._retained_bytes[tenant] += tick.nbytes
+        while self._retained_bytes[tenant] > self.max_retained_bytes and len(ring) > 1:
+            evicted = ring.popleft()
+            self._retained_bytes[tenant] -= evicted.nbytes
+
+    def _latency_threshold(self, latency_s: float) -> Optional[float]:
+        """Record *latency_s* and return the current p99, if armed."""
+        with self._lock:
+            self._latencies.append(latency_s)
+            n = len(self._latencies)
+            if n < self.min_latency_samples:
+                return None
+            self._p99_stale += 1
+            if self._p99_cache is None or self._p99_stale >= 8:
+                ordered = sorted(self._latencies)
+                self._p99_cache = ordered[min(n - 1, int(0.99 * n))]
+                self._p99_stale = 0
+            return self._p99_cache
+
+    # ------------------------------------------------------------------
+    # Retained evidence
+    # ------------------------------------------------------------------
+    def retained(self, tenant: str) -> List[dict]:
+        """Kept-tick metadata for *tenant* (newest last)."""
+        with self._lock:
+            ring = self._retained.get(tenant) or ()
+            return [
+                {
+                    "round": tick.round_no,
+                    "reasons": list(tick.reasons),
+                    "events": len(tick.events),
+                    "bytes": tick.nbytes,
+                }
+                for tick in ring
+            ]
+
+    def bundle_events(self, tenant: str) -> List[dict]:
+        """All retained span events relevant to *tenant*.
+
+        Merges the tenant's own keeps with the ``_fleet`` pseudo-tenant
+        (round-scoped spans), deduplicated by span id, ordered by start
+        time.
+        """
+        with self._lock:
+            ticks: List[_RetainedTick] = []
+            for key in (tenant, FLEET_TENANT):
+                if key in self._retained:
+                    ticks.extend(self._retained[key])
+        seen = set()
+        events: List[dict] = []
+        for tick in ticks:
+            for event in tick.events:
+                sid = event.get("span_id")
+                if sid in seen:
+                    continue
+                seen.add(sid)
+                events.append(event)
+        events.sort(key=lambda e: e.get("start_s", 0.0))
+        return events
+
+    def tenants(self) -> List[str]:
+        """Tenants (including ``_fleet``) holding retained ticks."""
+        with self._lock:
+            return sorted(self._retained)
+
+    def stats(self) -> dict:
+        """Aggregate retention statistics (for ``fleet status``)."""
+        with self._lock:
+            return {
+                "tenants": len(self._retained),
+                "kept_ticks": sum(len(r) for r in self._retained.values()),
+                "retained_bytes": sum(self._retained_bytes.values()),
+            }
+
+    def clear(self) -> None:
+        """Drop the in-flight ring and every retained tick."""
+        with self._lock:
+            self._ring = []
+            self._ring_bytes = 0
+            self._retained.clear()
+            self._retained_bytes.clear()
+            self._latencies.clear()
+            self._p99_cache = None
+            self._p99_stale = 0
+        _FLIGHT_RETAINED_BYTES.set(0)
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"FlightRecorder(kept_ticks={stats['kept_ticks']}, "
+            f"retained_bytes={stats['retained_bytes']})"
+        )

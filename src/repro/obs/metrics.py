@@ -59,6 +59,7 @@ from __future__ import annotations
 import json
 import re
 import threading
+from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 __all__ = [
@@ -67,6 +68,7 @@ __all__ = [
     "Histogram",
     "MetricFamily",
     "MetricsRegistry",
+    "TimelineRing",
     "REGISTRY",
     "DEFAULT_BUCKETS",
     "FINE_BUCKETS",
@@ -243,7 +245,8 @@ class Gauge:
 class Histogram:
     """Fixed-bucket histogram of observations (cumulative, Prometheus-style)."""
 
-    __slots__ = ("name", "help", "buckets", "_counts", "_sum", "_count", "_lock")
+    __slots__ = ("name", "help", "buckets", "_counts", "_sum", "_count",
+                 "_exemplar", "_lock")
 
     kind = "histogram"
 
@@ -262,9 +265,12 @@ class Histogram:
         self._counts = [0] * (len(bounds) + 1)  # +1 for the +Inf bucket
         self._sum = 0.0
         self._count = 0
+        self._exemplar: Optional[Tuple[float, str]] = None
         self._lock = threading.Lock()
 
-    def observe(self, value: Union[int, float]) -> None:
+    def observe(
+        self, value: Union[int, float], exemplar: Optional[str] = None
+    ) -> None:
         value = float(value)
         idx = len(self.buckets)
         for i, bound in enumerate(self.buckets):
@@ -275,6 +281,15 @@ class Histogram:
             self._counts[idx] += 1
             self._sum += value
             self._count += 1
+            if exemplar is not None and (
+                self._exemplar is None or value >= self._exemplar[0]
+            ):
+                self._exemplar = (value, exemplar)
+
+    @property
+    def exemplar(self) -> Optional[Tuple[float, str]]:
+        """``(value, trace_id)`` of the worst exemplar-tagged observation."""
+        return self._exemplar
 
     @property
     def count(self) -> int:
@@ -298,6 +313,7 @@ class Histogram:
         self._counts = [0] * (len(self.buckets) + 1)
         self._sum = 0.0
         self._count = 0
+        self._exemplar = None
 
 
 class MetricFamily:
@@ -311,7 +327,7 @@ class MetricFamily:
     """
 
     __slots__ = ("name", "help", "labelnames", "_cls", "_kwargs",
-                 "_children", "_lock")
+                 "_children", "_rendered", "_lock")
 
     def __init__(self, cls, name: str, help: str,
                  labelnames: Sequence[str], **kwargs) -> None:
@@ -327,6 +343,7 @@ class MetricFamily:
         self._cls = cls
         self._kwargs = kwargs
         self._children: Dict[Tuple[str, ...], object] = {}
+        self._rendered: Dict[Tuple[str, ...], str] = {}
         self._lock = threading.Lock()
 
     @property
@@ -363,10 +380,97 @@ class MetricFamily:
         with self._lock:
             return sorted(self._children.items())
 
+    def rendered_children(self) -> List[Tuple[str, Tuple[str, ...], object]]:
+        """``(rendered name, label values, child)``, sorted by values.
+
+        The rendered ``name{label="value"}`` string for each child is
+        cached on first use — label values are immutable once a child
+        exists, so :meth:`MetricsRegistry.flat_sample` callers (the
+        per-round timeline ring) never pay the f-string cost twice.
+        """
+        with self._lock:
+            out = []
+            for values in sorted(self._children):
+                rendered = self._rendered.get(values)
+                if rendered is None:
+                    rendered = (
+                        f"{self.name}{{"
+                        f"{_render_labels(self.labelnames, values)}}}"
+                    )
+                    self._rendered[values] = rendered
+                out.append((rendered, values, self._children[values]))
+            return out
+
     def _reset(self) -> None:
         with self._lock:
             for child in self._children.values():
                 child._reset()
+
+
+class TimelineRing:
+    """A bounded ring of flat registry samples — retained metric history.
+
+    The dogfood ``MetricsTimeline`` grows without bound and raises when
+    time fails to advance; the ring is its always-on counterpart: fixed
+    memory (``maxlen`` samples), monotonicized timestamps (two callers
+    sampling "at the same time" advance by ``interval`` instead of
+    raising), and a :meth:`window` accessor for incident bundles.
+    """
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        max_samples: int = 512,
+        interval: float = 1.0,
+    ) -> None:
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.registry = registry
+        self.interval = float(interval)
+        self._samples: "deque[Tuple[float, Dict[str, float]]]" = deque(
+            maxlen=int(max_samples)
+        )
+        self._kinds: Dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    def sample(self, t: Optional[float] = None) -> float:
+        """Append one flat registry sample; returns the stamped time."""
+        row, kinds = self.registry.flat_sample()
+        with self._lock:
+            last = self._samples[-1][0] if self._samples else None
+            if t is None:
+                t = 0.0 if last is None else last + self.interval
+            t = float(t)
+            if last is not None and t <= last:
+                t = last + self.interval
+            self._samples.append((t, row))
+            for name, kind in kinds.items():
+                self._kinds.setdefault(name, kind)
+        return t
+
+    def window(self, n: Optional[int] = None) -> List[Tuple[float, Dict[str, float]]]:
+        """The trailing *n* samples (all of them when ``n`` is ``None``)."""
+        with self._lock:
+            samples = list(self._samples)
+        if n is not None:
+            samples = samples[-int(n):]
+        return samples
+
+    def kinds(self) -> Dict[str, str]:
+        """Attribute → metric kind for every attribute ever sampled."""
+        with self._lock:
+            return dict(self._kinds)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._samples.clear()
+            self._kinds.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
 
 
 class MetricsRegistry:
@@ -376,6 +480,7 @@ class MetricsRegistry:
         self._metrics: Dict[
             str, Union[Counter, Gauge, Histogram, MetricFamily]
         ] = {}
+        self._timelines: Dict[str, TimelineRing] = {}
         self._lock = threading.Lock()
 
     def _get_or_create(
@@ -445,11 +550,56 @@ class MetricsRegistry:
     def names(self) -> List[str]:
         return sorted(self._metrics)
 
-    def reset(self) -> None:
-        """Zero every instrument in place (handles stay valid)."""
+    def timeline(
+        self, key: str, max_samples: int = 512, interval: float = 1.0
+    ) -> TimelineRing:
+        """Get-or-create the named retained-sample ring."""
         with self._lock:
-            for metric in self._metrics.values():
-                metric._reset()
+            ring = self._timelines.get(key)
+            if ring is None:
+                ring = TimelineRing(self, max_samples, interval)
+                self._timelines[key] = ring
+            return ring
+
+    def timelines(self) -> Dict[str, TimelineRing]:
+        with self._lock:
+            return dict(self._timelines)
+
+    def reset(self) -> None:
+        """Zero every instrument in place (handles stay valid); retained
+        timeline rings and histogram exemplars clear too, so benches and
+        tests that share the process registry stay isolated."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+            rings = list(self._timelines.values())
+        for metric in metrics:
+            metric._reset()
+        # Rings sample the registry under their own lock; clearing them
+        # outside the registry lock avoids a lock-order inversion with a
+        # concurrent ring.sample().
+        for ring in rings:
+            ring.clear()
+
+    def flat_sample(self) -> Tuple[Dict[str, float], Dict[str, str]]:
+        """One flat ``attribute → float`` row plus attribute kinds.
+
+        The fast-path sibling of :meth:`snapshot` +
+        ``dogfood.flatten_snapshot``: counters/gauges contribute their
+        value, histograms contribute ``<name>_count``/``<name>_sum``
+        (no bucket vectors are materialised), families expand to their
+        rendered per-label names.  Cheap enough for per-round sampling.
+        """
+        row: Dict[str, float] = {}
+        kinds: Dict[str, str] = {}
+        for name, metric, _labels in self._iter_instruments():
+            if isinstance(metric, Histogram):
+                row[name + "_count"] = float(metric.count)
+                row[name + "_sum"] = float(metric.sum)
+                kinds[name] = "histogram"
+            else:
+                row[name] = float(metric.value)
+                kinds[name] = metric.kind
+        return row, kinds
 
     def _iter_instruments(self):
         """Yield ``(rendered name, instrument, labels dict | None)``.
@@ -460,11 +610,7 @@ class MetricsRegistry:
         for name in sorted(self._metrics):
             metric = self._metrics[name]
             if isinstance(metric, MetricFamily):
-                for values, child in metric.children():
-                    rendered = (
-                        f"{name}{{"
-                        f"{_render_labels(metric.labelnames, values)}}}"
-                    )
+                for rendered, values, child in metric.rendered_children():
                     yield rendered, child, dict(
                         zip(metric.labelnames, values)
                     )
@@ -494,6 +640,12 @@ class MetricsRegistry:
                         [bound, count] for bound, count in metric.bucket_counts()
                     ],
                 }
+                exemplar = metric.exemplar
+                if exemplar is not None:
+                    entry["exemplar"] = {
+                        "value": exemplar[0],
+                        "trace_id": exemplar[1],
+                    }
             else:
                 entry = {
                     "kind": metric.kind,

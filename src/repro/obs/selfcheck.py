@@ -94,8 +94,57 @@ def run_selfcheck(out_dir: Optional[Path] = None) -> List[dict]:
         f"sink holds {len(file_events)} events, recorder {len(events)}"
     )
 
+    _check_flight()
+
     (out_dir / "obs_metrics.json").write_text(metrics.REGISTRY.to_json())
     return events
+
+
+def _check_flight() -> None:
+    """Flight-recorder leg: tail sampling must emit schema-valid spans.
+
+    Installs a :class:`~repro.obs.flight.FlightRecorder`, drives one
+    boring round and one interesting round through the ``span``/``stage``
+    helpers, and asserts the boring round is discarded while the
+    interesting round's retained events all pass
+    :func:`~repro.obs.trace.validate_event`.
+    """
+    from repro.obs.flight import FlightRecorder
+
+    previous = trace.get_recorder()
+    if previous is not None:
+        trace.uninstall()
+    flight = FlightRecorder(keep_ticks=4)
+    trace.install(flight)
+    try:
+        flight.begin_round(0)
+        with trace.span("fleet.round", round=0):
+            trace.stage("fleet.tick", 0.001, streams=2)
+        kept = flight.end_round({})
+        assert kept == (), f"boring round was retained: {kept}"
+        assert flight.bundle_events("t0") == [], (
+            "discarded round left retained events"
+        )
+
+        flight.begin_round(1)
+        with trace.span("fleet.round", round=1):
+            trace.stage("fleet.tick", 0.001, streams=2)
+        kept = flight.end_round({"t0": ["verdict"]})
+        assert kept == ("verdict",), f"interesting round not kept: {kept}"
+        retained = flight.bundle_events("t0")
+        assert len(retained) == 2, (
+            f"expected 2 retained spans, got {len(retained)}"
+        )
+        for event in retained:
+            trace.validate_event(event)
+        names = {event["name"] for event in retained}
+        assert names == {"fleet.round", "fleet.tick"}, (
+            f"unexpected retained span names: {names}"
+        )
+    finally:
+        trace.uninstall()
+        if previous is not None:
+            trace.install(previous)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

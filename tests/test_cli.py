@@ -150,6 +150,102 @@ class TestFleetStatus:
         assert code == 0
         assert "fleet status" in text
 
+    def test_json_output_is_machine_readable(self, tmp_path):
+        import json
+
+        from repro.fleet import FleetDetector, FleetScheduler, FleetSimSource
+        from repro.obs.metrics import REGISTRY
+
+        attrs = ["a", "b"]
+        det = FleetDetector(3, attrs, capacity=30, window=6,
+                            pp_threshold=0.4, min_region_s=2.0)
+        sched = FleetScheduler(det, label_metrics=True)
+        src = FleetSimSource(3, attrs, seed=2, anomaly_fraction=0.5,
+                             anomaly_period=20, anomaly_duration=10,
+                             anomaly_scale=10.0)
+        for times, values, active in src.take(30):
+            sched.run_round(times, values, active)
+        sched.close()
+        path = tmp_path / "metrics.json"
+        path.write_text(REGISTRY.to_json())
+
+        code, text = run_cli(
+            ["fleet", "status", "--metrics", str(path), "--json"]
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["totals"]
+        tenants = payload["tenants"]
+        assert "t0000" in {row["tenant"] for row in tenants}
+        for row in tenants:
+            assert "health" in row and "breaker" in row
+
+
+@pytest.fixture(scope="module")
+def incident_bundle(tmp_path_factory):
+    """One incident bundle written by a real recorder."""
+    from repro.obs import metrics
+    from repro.obs.incident import IncidentRecorder
+
+    root = tmp_path_factory.mktemp("incidents")
+    registry = metrics.MetricsRegistry()
+    counter = registry.counter("repro_cli_step_total", "step")
+    ring = metrics.TimelineRing(registry, max_samples=32)
+    for i in range(16):
+        if i >= 8:
+            counter.inc(3)
+        ring.sample(t=float(i))
+    recorder = IncidentRecorder(root, timeline=ring)
+    path = recorder.snapshot(
+        "alpha", "durability degraded: full disk", 8,
+        context={"round": 8},
+    )
+    assert path is not None
+    return root, path
+
+
+class TestObsIncidents:
+    def test_list(self, incident_bundle):
+        root, path = incident_bundle
+        code, text = run_cli(["obs", "incidents", "list", "--root", str(root)])
+        assert code == 0
+        assert str(path) in text
+        assert "tenant=alpha" in text
+
+    def test_list_empty_root_fails(self, tmp_path):
+        code, text = run_cli(
+            ["obs", "incidents", "list", "--root", str(tmp_path)]
+        )
+        assert code == 1
+        assert "no incident bundles" in text
+
+    def test_show(self, incident_bundle):
+        _root, path = incident_bundle
+        code, text = run_cli(["obs", "incidents", "show", str(path)])
+        assert code == 0
+        assert "tenant: alpha" in text
+        assert "durability degraded" in text
+        assert "context.round: 8" in text
+        assert "window" in text
+
+    def test_explain_without_models_reports_predicates_only(
+        self, incident_bundle
+    ):
+        _root, path = incident_bundle
+        code, text = run_cli(["obs", "incidents", "explain", str(path)])
+        assert code == 0
+        assert "diagnosing incident:alpha" in text
+        assert "top cause: (no causal models loaded)" in text
+
+    def test_explain_unusable_bundle_fails_cleanly(self, tmp_path):
+        from repro.obs.incident import IncidentRecorder
+
+        recorder = IncidentRecorder(tmp_path)  # no timeline evidence
+        path = recorder.snapshot("beta", "no evidence", 1)
+        code, text = run_cli(["obs", "incidents", "explain", str(path)])
+        assert code == 1
+        assert "no usable timeline" in text
+
 
 class TestParser:
     def test_requires_command(self):

@@ -289,6 +289,42 @@ class TestExporters:
         handle.inc()
         assert registry.get("requests_total").value == 1
 
+    def test_reset_clears_exemplars_and_timeline_rings(self):
+        registry = metrics.MetricsRegistry()
+        latency = registry.histogram("lat_seconds", "latency")
+        latency.observe(0.4, exemplar="trace-abc")
+        ring = registry.timeline("fleet", max_samples=8)
+        ring.sample()
+        ring.sample()
+        assert latency.exemplar == (0.4, "trace-abc")
+        assert len(ring) == 2
+
+        registry.reset()
+        assert latency.exemplar is None
+        assert len(ring) == 0 and ring.kinds() == {}
+        # the same ring handle stays live after reset
+        assert registry.timeline("fleet") is ring
+        ring.sample()
+        assert len(ring) == 1
+
+
+class TestExemplars:
+    def test_worst_observation_wins(self):
+        registry = metrics.MetricsRegistry()
+        hist = registry.histogram("h_seconds", "h")
+        hist.observe(0.2, exemplar="trace-small")
+        hist.observe(0.9, exemplar="trace-big")
+        hist.observe(0.5, exemplar="trace-mid")  # smaller: not kept
+        assert hist.exemplar == (0.9, "trace-big")
+
+    def test_untagged_observations_keep_existing_exemplar(self):
+        registry = metrics.MetricsRegistry()
+        hist = registry.histogram("h_seconds", "h")
+        hist.observe(0.1, exemplar="trace-first")
+        hist.observe(99.0)  # no exemplar attached
+        assert hist.exemplar == (0.1, "trace-first")
+        assert hist.count == 2
+
 
 class TestMetricFamilies:
     def test_labels_get_or_create_children(self):
